@@ -1,0 +1,48 @@
+//! The decoupled vector engine (`1bDV`, paper Figure 3).
+//!
+//! An aggressive Tarantula-class machine: 2048-bit hardware vector length,
+//! sixteen 32-bit execution lanes (fully pipelined, including FP), deep
+//! command and data buffering for aggressive access/execute decoupling,
+//! and a high-bandwidth connection straight into the shared L2 that
+//! sustains several cache-line requests per cycle.
+
+use crate::machine::{MemPath, SimpleVecParams};
+
+/// Parameters of the paper's decoupled vector engine.
+pub fn dve_params() -> SimpleVecParams {
+    SimpleVecParams {
+        vlen_bits: 2048,
+        simple_throughput: 16,
+        complex_throughput: 16,
+        cmdq_depth: 64,
+        mem_path: MemPath::DirectL2,
+        line_reqs_per_cycle: 4,
+        max_inflight_lines: 64,
+        resp_latency: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivu_params;
+
+    #[test]
+    fn dve_matches_figure_3() {
+        let p = dve_params();
+        assert_eq!(p.vlen_bits, 2048);
+        assert_eq!(p.simple_throughput, 16);
+        assert_eq!(p.mem_path, MemPath::DirectL2);
+    }
+
+    #[test]
+    fn dve_dominates_ivu_in_every_resource() {
+        let d = dve_params();
+        let i = ivu_params();
+        assert!(d.vlen_bits > i.vlen_bits);
+        assert!(d.simple_throughput > i.simple_throughput);
+        assert!(d.complex_throughput > i.complex_throughput);
+        assert!(d.cmdq_depth > i.cmdq_depth);
+        assert!(d.max_inflight_lines > i.max_inflight_lines);
+    }
+}

@@ -1,0 +1,38 @@
+//! The integrated vector unit (`1bIV` systems).
+//!
+//! Paper Table III: a 128-bit unit exemplifying a modest next-generation
+//! vector implementation — comparable to an Arm NEON-class SIMD datapath.
+//! It reuses two of the big core's execution pipelines (four 32-bit simple
+//! operations per cycle, two long-latency per cycle) and shares the big
+//! core's L1D port, so its memory bandwidth is an L1 port's.
+
+use crate::machine::{MemPath, SimpleVecParams};
+
+/// Parameters of the paper's integrated vector unit.
+pub fn ivu_params() -> SimpleVecParams {
+    SimpleVecParams {
+        vlen_bits: 128,
+        simple_throughput: 4,
+        complex_throughput: 2,
+        cmdq_depth: 4,
+        mem_path: MemPath::SharedL1,
+        line_reqs_per_cycle: 1,
+        max_inflight_lines: 4,
+        resp_latency: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ivu_matches_table_iii() {
+        let p = ivu_params();
+        assert_eq!(p.vlen_bits, 128);
+        assert_eq!(p.simple_throughput, 4);
+        assert_eq!(p.mem_path, MemPath::SharedL1);
+        // Shallow buffering: an integrated unit barely decouples.
+        assert!(p.cmdq_depth <= 8);
+    }
+}

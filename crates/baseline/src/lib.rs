@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # bvl-baseline — baseline vector machines
+//!
+//! The two comparison points of the paper's evaluation (Table III):
+//!
+//! * [`ivu`] — a modest **integrated vector unit** (`1bIV` systems):
+//!   128-bit hardware vector length, sharing two of the big core's
+//!   execution pipelines and the big core's L1D port. Cheap in area,
+//!   modest in performance.
+//! * [`dve`] — an aggressive **decoupled vector engine** (`1bDV`, Figure
+//!   3): 2048-bit hardware vector length, sixteen 32-bit lanes, deep
+//!   command/data buffering and a high-bandwidth L2 port — Tarantula-class
+//!   performance at Tarantula-class area cost.
+//!
+//! Both are expressed as one parameterized decoupled machine model
+//! ([`machine::SimpleVecMachine`]) behind the same
+//! [`bvl_core::VectorEngine`] interface as the VLITTLE engine, so the
+//! systems differ *only* in the resources the paper says they differ in
+//! (vector length, compute throughput, memory path, buffering).
+
+pub mod dve;
+pub mod ivu;
+pub mod machine;
+
+pub use dve::dve_params;
+pub use ivu::ivu_params;
+pub use machine::{MemPath, SimpleVecMachine, SimpleVecParams};

@@ -1,0 +1,95 @@
+//! Substrate microbenchmarks: golden-executor throughput, the cache
+//! hit/miss paths and a full VLITTLE strip loop. These catch simulator
+//! performance regressions independent of the figure-level runs.
+
+use bvl_isa::asm::Assembler;
+use bvl_isa::exec::Machine;
+use bvl_isa::mem::VecMemory;
+use bvl_isa::reg::XReg;
+use bvl_sim::{simulate, SimParams, SystemKind};
+use bvl_workloads::{kernels::mmult, Scale};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Golden-executor instructions per second on a tight ALU loop.
+fn executor_throughput(c: &mut Criterion) {
+    let mut a = Assembler::new();
+    let (i, n, acc) = (XReg::new(5), XReg::new(6), XReg::new(7));
+    a.li(i, 0);
+    a.li(n, 10_000);
+    a.label("loop");
+    a.add(acc, acc, i);
+    a.xor(acc, acc, n);
+    a.addi(i, i, 1);
+    a.bne(i, n, "loop");
+    a.halt();
+    let prog = a.assemble().expect("assembles");
+
+    let mut g = c.benchmark_group("executor");
+    g.throughput(Throughput::Elements(40_003));
+    g.bench_function("alu_loop", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(VecMemory::new(64), 512);
+            black_box(m.run(&prog, 10_000_000).expect("runs"))
+        });
+    });
+    g.finish();
+}
+
+/// Cache model: hit-path and miss-path costs.
+fn cache_paths(c: &mut Criterion) {
+    use bvl_mem::cache::{Cache, CacheParams};
+    use bvl_mem::req::{AccessKind, MemReq, PortId};
+
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("hit_path", |b| {
+        let mut cache = Cache::new(CacheParams::little_l1());
+        cache.tick(0);
+        cache.access(
+            0,
+            MemReq {
+                id: 0,
+                addr: 0x100,
+                size: 4,
+                is_store: false,
+                kind: AccessKind::Data,
+                port: PortId::BigData,
+            },
+        );
+        cache.fill(0, 0x100);
+        let mut t = 1;
+        b.iter(|| {
+            cache.tick(t);
+            let out = cache.access(
+                t,
+                MemReq {
+                    id: t,
+                    addr: 0x100,
+                    size: 4,
+                    is_store: false,
+                    kind: AccessKind::Data,
+                    port: PortId::BigData,
+                },
+            );
+            t += 1;
+            black_box(out)
+        });
+    });
+    g.finish();
+}
+
+/// A full mmult run on the VLITTLE engine — the heaviest single-system
+/// simulation path.
+fn vlittle_mmult(c: &mut Criterion) {
+    let w = mmult::build(Scale::tiny());
+    let params = SimParams::default();
+    let mut g = c.benchmark_group("vlittle");
+    g.sample_size(10);
+    g.bench_function("mmult_tiny", |b| {
+        b.iter(|| black_box(simulate(SystemKind::B4Vl, &w, &params).expect("runs")));
+    });
+    g.finish();
+}
+
+criterion_group!(components, executor_throughput, cache_paths, vlittle_mmult);
+criterion_main!(components);

@@ -1,0 +1,97 @@
+//! Criterion benches for the figure experiments: each bench executes the
+//! core measurement behind one paper figure at test scale, so `cargo
+//! bench` exercises every reproduction path and tracks simulator
+//! throughput regressions.
+
+use bvl_sim::{simulate, SimParams, SystemKind};
+use bvl_vengine::regmap::RegMap;
+use bvl_workloads::{kernels::saxpy, kernels::vvadd, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Figure 4: speedup measurement (one representative data-parallel kernel
+/// per system class).
+fn fig04(c: &mut Criterion) {
+    let w = saxpy::build(Scale::tiny());
+    let params = SimParams::default();
+    let mut g = c.benchmark_group("fig04_speedup");
+    g.sample_size(10);
+    for kind in [SystemKind::L1, SystemKind::BIv, SystemKind::BDv, SystemKind::B4Vl] {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(simulate(kind, &w, &params).expect("runs")));
+        });
+    }
+    g.finish();
+}
+
+/// Figures 5 & 6: traffic counting on the three comparison systems.
+fn fig05_06(c: &mut Criterion) {
+    let w = vvadd::build(Scale::tiny());
+    let params = SimParams::default();
+    let mut g = c.benchmark_group("fig05_06_traffic");
+    g.sample_size(10);
+    for kind in [SystemKind::BIv4L, SystemKind::BDv, SystemKind::B4Vl] {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let r = simulate(kind, &w, &params).expect("runs");
+                black_box((r.fetch_groups, r.mem.data_reqs))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 7: the three VLITTLE pipeline configurations.
+fn fig07(c: &mut Criterion) {
+    let w = saxpy::build(Scale::tiny());
+    let mut g = c.benchmark_group("fig07_breakdown");
+    g.sample_size(10);
+    for (name, chimes, packed) in [("1c", 1, false), ("1c+sw", 1, true), ("2c+sw", 2, true)] {
+        let mut params = SimParams::default();
+        params.engine.regmap = RegMap {
+            cores: 4,
+            chimes,
+            packed,
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(simulate(SystemKind::B4Vl, &w, &params).expect("runs")));
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8: the VMU data-queue sweep endpoints.
+fn fig08(c: &mut Criterion) {
+    let w = vvadd::build(Scale::tiny());
+    let mut g = c.benchmark_group("fig08_lsq");
+    g.sample_size(10);
+    for size in [4usize, 64] {
+        let mut params = SimParams::default();
+        params.engine.vmu.load_data_slots = size;
+        params.engine.vmu.store_data_slots = size;
+        g.bench_function(format!("{size}_lines"), |b| {
+            b.iter(|| black_box(simulate(SystemKind::B4Vl, &w, &params).expect("runs")));
+        });
+    }
+    g.finish();
+}
+
+/// Figures 9–11: one corner of the V/F grid (full grids live in the
+/// experiment binaries).
+fn fig09_11(c: &mut Criterion) {
+    let w = vvadd::build(Scale::tiny());
+    let mut g = c.benchmark_group("fig09_11_dvfs");
+    g.sample_size(10);
+    for (name, big, little) in [("b1_l2", 1.0, 1.0), ("b0_l3", 0.8, 1.2)] {
+        let mut params = SimParams::default();
+        params.clocks.big_ghz = big;
+        params.clocks.little_ghz = little;
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(simulate(SystemKind::B4Vl, &w, &params).expect("runs")));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(figures, fig04, fig05_06, fig07, fig08, fig09_11);
+criterion_main!(figures);

@@ -1,0 +1,63 @@
+//! Criterion benches for the table artifacts: workload characterization
+//! (Tables IV & V), the area model (Table VI) and the power levels
+//! (Table VII).
+
+use bvl_area::{cluster_4l, cluster_4vl, vlittle_overhead, LittleCoreRtl};
+use bvl_isa::exec::Machine;
+use bvl_power::{pareto_frontier, PerfPowerPoint, SystemPower, BIG_LEVELS, LITTLE_LEVELS};
+use bvl_workloads::{kernels::saxpy, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Tables IV & V: golden-machine characterization run.
+fn tab45(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab45_characterization");
+    g.sample_size(10);
+    g.bench_function("saxpy_vector_entry", |b| {
+        b.iter(|| {
+            let w = saxpy::build(Scale::tiny());
+            let mut m = Machine::new(w.mem.clone(), 512);
+            m.set_pc(w.vector_entry.expect("vectorized"));
+            m.run(&w.program, 1_000_000_000).expect("runs");
+            black_box(m.counters())
+        });
+    });
+    g.finish();
+}
+
+/// Table VI: the area composition.
+fn tab06(c: &mut Criterion) {
+    c.bench_function("tab06_area_model", |b| {
+        b.iter(|| {
+            for rtl in [LittleCoreRtl::Simple, LittleCoreRtl::Ariane] {
+                black_box((
+                    cluster_4l(rtl).total_kum2,
+                    cluster_4vl(rtl).total_kum2,
+                    vlittle_overhead(rtl),
+                ));
+            }
+        });
+    });
+}
+
+/// Table VII + the Pareto machinery of Figures 10/11.
+fn tab07(c: &mut Criterion) {
+    c.bench_function("tab07_power_pareto", |b| {
+        b.iter(|| {
+            let mut pts = Vec::new();
+            for big in BIG_LEVELS {
+                for little in LITTLE_LEVELS {
+                    pts.push(PerfPowerPoint {
+                        label: format!("{}-{}", big.name, little.name),
+                        time: 1.0 / (big.ghz + little.ghz),
+                        power: SystemPower::BigPlusLittles(4).watts(big, little),
+                    });
+                }
+            }
+            black_box(pareto_frontier(&pts))
+        });
+    });
+}
+
+criterion_group!(tables, tab45, tab06, tab07);
+criterion_main!(tables);

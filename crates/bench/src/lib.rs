@@ -1,0 +1,15 @@
+//! # bvl-bench — Criterion benchmark harness
+//!
+//! The benches (in `benches/`) exercise every reproduction path:
+//!
+//! * `figures` — one bench group per paper figure (4, 5/6, 7, 8, 9–11),
+//!   each running the figure's core measurement at test scale.
+//! * `tables` — the table artifacts (IV/V characterization, VI area,
+//!   VII power levels).
+//! * `components` — microbenchmarks of the substrate: golden-executor
+//!   throughput, cache hit/miss paths, and the VLITTLE engine's strip
+//!   loop.
+//!
+//! Run with `cargo bench`. The *paper-facing* numbers come from the
+//! `bvl-experiments` binaries; these benches track simulator performance
+//! and keep every path hot under CI.

@@ -1,0 +1,170 @@
+//! The front-end fetch model shared by both core types.
+//!
+//! A core's front-end holds one fetched line in its fetch buffer. Fetch
+//! groups that hit the buffer are delivered immediately (and counted — the
+//! L1I is read every fetch group, which is the quantity behind Figure 5);
+//! crossing a line boundary or taking a redirect issues a line-granular
+//! request to the L1I through the hierarchy.
+
+use bvl_mem::{AccessKind, MemHierarchy, MemReq, PortId};
+
+/// Program text is laid out from this synthetic address upward; it never
+/// overlaps workload data (which the allocator places low).
+pub const TEXT_BASE: u64 = 0x1000_0000;
+
+/// The fetch unit of one core.
+#[derive(Clone, Debug)]
+pub struct FetchUnit {
+    port: PortId,
+    text_base: u64,
+    line_bytes: u64,
+    buffered_line: Option<u64>,
+    pending_line: Option<u64>,
+    redirect_free_at: u64,
+    next_id: u64,
+    /// Fetch groups delivered (one L1I read each).
+    pub fetch_groups: u64,
+}
+
+impl FetchUnit {
+    /// Creates a fetch unit fetching through `port` with instruction text
+    /// based at `text_base`.
+    pub fn new(port: PortId, text_base: u64, line_bytes: u64) -> Self {
+        FetchUnit {
+            port,
+            text_base,
+            line_bytes,
+            buffered_line: None,
+            pending_line: None,
+            redirect_free_at: 0,
+            next_id: 0,
+            fetch_groups: 0,
+        }
+    }
+
+    /// Byte address of instruction index `pc`.
+    pub fn addr_of(&self, pc: u32) -> u64 {
+        self.text_base + u64::from(pc) * 4
+    }
+
+    fn line_of(&self, pc: u32) -> u64 {
+        self.addr_of(pc) & !(self.line_bytes - 1)
+    }
+
+    /// Applies a control-flow redirect: the front-end is unavailable until
+    /// `now + penalty`.
+    pub fn redirect(&mut self, now: u64, penalty: u64) {
+        self.redirect_free_at = self.redirect_free_at.max(now + penalty);
+    }
+
+    /// Drains fetch responses from the hierarchy. Call once per cycle.
+    pub fn drain_responses(&mut self, hier: &mut MemHierarchy) {
+        while let Some(resp) = hier.pop_response(self.port) {
+            debug_assert_eq!(Some(resp.addr), self.pending_line);
+            self.buffered_line = Some(resp.addr);
+            self.pending_line = None;
+        }
+    }
+
+    /// Ensures the instruction at `pc` is fetchable this cycle, issuing an
+    /// L1I request if needed. Returns `true` when the instruction can be
+    /// delivered (caller then calls [`FetchUnit::deliver`]).
+    pub fn available(&mut self, now: u64, pc: u32, hier: &mut MemHierarchy) -> bool {
+        if now < self.redirect_free_at {
+            return false;
+        }
+        let line = self.line_of(pc);
+        if self.buffered_line == Some(line) {
+            return true;
+        }
+        if self.pending_line.is_none() {
+            self.next_id += 1;
+            let req = MemReq {
+                id: self.next_id,
+                addr: line,
+                size: self.line_bytes,
+                is_store: false,
+                kind: AccessKind::IFetch,
+                port: self.port,
+            };
+            if hier.request(req) {
+                self.pending_line = Some(line);
+            }
+        }
+        false
+    }
+
+    /// Counts delivery of one fetch group (an L1I read).
+    pub fn deliver(&mut self) {
+        self.fetch_groups += 1;
+    }
+
+    /// True while a line fetch is outstanding.
+    pub fn fetch_pending(&self) -> bool {
+        self.pending_line.is_some()
+    }
+
+    /// Forgets the buffered line (used when a core is reassigned to a new
+    /// program/task far away).
+    pub fn flush(&mut self) {
+        self.buffered_line = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvl_mem::HierConfig;
+
+    #[test]
+    fn fetch_miss_then_buffered() {
+        let mut hier = MemHierarchy::new(HierConfig::with_little(1));
+        let mut f = FetchUnit::new(PortId::LittleFetch(0), TEXT_BASE, 64);
+        hier.tick(0);
+        assert!(!f.available(0, 0, &mut hier)); // issues the line request
+        assert!(f.fetch_pending());
+        let mut ready_at = None;
+        for t in 1..500 {
+            hier.tick(t);
+            f.drain_responses(&mut hier);
+            if f.available(t, 0, &mut hier) {
+                ready_at = Some(t);
+                break;
+            }
+        }
+        let t = ready_at.expect("fetch completed");
+        // Same line: instruction 5 is available without further requests.
+        assert!(f.available(t, 5, &mut hier));
+        // Different line (64 B = 16 instructions): new request.
+        assert!(!f.available(t, 16, &mut hier));
+        assert!(f.fetch_pending());
+    }
+
+    #[test]
+    fn redirect_blocks_fetch() {
+        let mut hier = MemHierarchy::new(HierConfig::with_little(1));
+        let mut f = FetchUnit::new(PortId::LittleFetch(0), TEXT_BASE, 64);
+        hier.tick(0);
+        f.available(0, 0, &mut hier);
+        for t in 1..500 {
+            hier.tick(t);
+            f.drain_responses(&mut hier);
+            if f.available(t, 0, &mut hier) {
+                f.redirect(t, 3);
+                assert!(!f.available(t, 0, &mut hier));
+                assert!(!f.available(t + 2, 0, &mut hier));
+                assert!(f.available(t + 3, 0, &mut hier));
+                return;
+            }
+        }
+        panic!("fetch never completed");
+    }
+
+    #[test]
+    fn fetch_group_counter() {
+        let mut f = FetchUnit::new(PortId::BigFetch, TEXT_BASE, 64);
+        f.deliver();
+        f.deliver();
+        assert_eq!(f.fetch_groups, 2);
+    }
+}

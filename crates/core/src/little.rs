@@ -1,0 +1,545 @@
+//! The single-issue in-order little core.
+//!
+//! Pipeline model: a one-line fetch buffer feeds a single decoded-
+//! instruction slot; issue is gated by a register scoreboard (RAW), the
+//! unpipelined multiply/divide unit (structural), one outstanding load and
+//! a small store buffer (structural), and the L1D port. Branches use a
+//! static backward-taken / forward-not-taken predictor with a fixed
+//! redirect penalty on mispredicts.
+//!
+//! Functional semantics come from the embedded golden [`Machine`]
+//! (execute-at-decode); the timing model replays its effects.
+
+use crate::fetch::FetchUnit;
+use crate::types::{CoreStats, StallKind};
+use bvl_isa::asm::Program;
+use bvl_isa::exec::{ExecError, StepInfo};
+use bvl_isa::meta::{scalar_meta, FuClass};
+use bvl_isa::reg::NUM_REGS;
+use bvl_isa::Machine;
+use bvl_mem::{AccessKind, MemHierarchy, MemReq, PortId, SharedMem};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// "Value is an outstanding load" sentinel in the scoreboard.
+const LOAD_PENDING: u64 = u64::MAX;
+
+/// Little-core configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LittleParams {
+    /// Redirect penalty on a branch mispredict, cycles.
+    pub branch_penalty: u64,
+    /// Store-buffer entries (outstanding stores).
+    pub store_buffer: usize,
+}
+
+impl Default for LittleParams {
+    fn default() -> Self {
+        LittleParams {
+            branch_penalty: 2,
+            store_buffer: 4,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Dest {
+    X(usize),
+    F(usize),
+    None,
+}
+
+#[derive(Debug)]
+struct Pending {
+    info: StepInfo,
+}
+
+/// The in-order little core timing model.
+#[derive(Debug)]
+pub struct LittleCore {
+    id: u8,
+    params: LittleParams,
+    machine: Machine<SharedMem>,
+    program: Rc<Program>,
+    fetch: FetchUnit,
+    x_ready: [u64; NUM_REGS],
+    f_ready: [u64; NUM_REGS],
+    muldiv_busy_until: u64,
+    pending: Option<Pending>,
+    load_wait: Option<(u64, Dest)>,
+    outstanding_stores: HashSet<u64>,
+    next_mem_id: u64,
+    stats: CoreStats,
+    halted: bool,
+}
+
+impl LittleCore {
+    /// Creates little core `id` executing `program` on the shared memory.
+    ///
+    /// `vlen_bits` sizes the golden machine's vector state; the little core
+    /// itself never executes vector instructions (scalar task variants
+    /// only), but the machine type requires it.
+    pub fn new(
+        id: u8,
+        mem: SharedMem,
+        program: Rc<Program>,
+        text_base: u64,
+        line_bytes: u64,
+        params: LittleParams,
+    ) -> Self {
+        LittleCore {
+            id,
+            params,
+            machine: Machine::new(mem, 64),
+            program,
+            fetch: FetchUnit::new(PortId::LittleFetch(id), text_base, line_bytes),
+            x_ready: [0; NUM_REGS],
+            f_ready: [0; NUM_REGS],
+            muldiv_busy_until: 0,
+            pending: None,
+            load_wait: None,
+            outstanding_stores: HashSet::new(),
+            next_mem_id: 0,
+            stats: CoreStats::default(),
+            halted: true, // idle until assigned work
+        }
+    }
+
+    /// This core's cluster index.
+    pub fn id(&self) -> u8 {
+        self.id
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Fetch groups delivered (L1I reads).
+    pub fn fetch_groups(&self) -> u64 {
+        self.fetch.fetch_groups
+    }
+
+    /// The golden machine (for argument setup and result inspection).
+    pub fn machine_mut(&mut self) -> &mut Machine<SharedMem> {
+        &mut self.machine
+    }
+
+    /// Borrow of the golden machine.
+    pub fn machine(&self) -> &Machine<SharedMem> {
+        &self.machine
+    }
+
+    /// True when the core has halted (finished its assigned work) and the
+    /// pipeline has fully drained.
+    pub fn done(&self) -> bool {
+        self.halted
+            && self.pending.is_none()
+            && self.load_wait.is_none()
+            && self.outstanding_stores.is_empty()
+    }
+
+    /// True when the core has architecturally halted (it may still have
+    /// stores in flight; see [`LittleCore::done`]).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Assigns new work: jump to `pc` and run until `halt`.
+    pub fn assign(&mut self, pc: u32) {
+        self.machine.set_pc(pc);
+        self.halted = false;
+    }
+
+    /// Advances the core one cycle against the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program escapes its bounds without halting (a
+    /// workload-authoring bug surfaced loudly).
+    pub fn tick(&mut self, now: u64, hier: &mut MemHierarchy) {
+        // Drain memory responses first (they may unblock this cycle).
+        self.fetch.drain_responses(hier);
+        while let Some(resp) = hier.pop_response(PortId::LittleData(self.id)) {
+            if resp.is_store {
+                self.outstanding_stores.remove(&resp.id);
+            } else if let Some((id, dest)) = self.load_wait {
+                debug_assert_eq!(id, resp.id, "single outstanding load");
+                match dest {
+                    Dest::X(r) => self.x_ready[r] = now,
+                    Dest::F(r) => self.f_ready[r] = now,
+                    Dest::None => {}
+                }
+                self.load_wait = None;
+            }
+        }
+
+        if self.halted {
+            return; // idle cores burn no modeled cycles
+        }
+
+        // Decode: refill the pending slot from the front-end.
+        if self.pending.is_none() {
+            let pc = self.machine.pc();
+            if self.fetch.available(now, pc, hier) {
+                self.fetch.deliver();
+                self.stats.fetch_groups += 1;
+                match self.machine.step(&self.program) {
+                    Ok(info) => self.pending = Some(Pending { info }),
+                    Err(ExecError::PcOutOfRange(pc)) => {
+                        panic!("little core {} escaped program at pc {pc}", self.id)
+                    }
+                    Err(e) => panic!("little core {} exec error: {e}", self.id),
+                }
+            } else {
+                self.stats.account(StallKind::Misc); // front-end starvation
+                return;
+            }
+        }
+
+        let stall = self.try_issue(now, hier);
+        self.stats.account(stall);
+    }
+
+    fn try_issue(&mut self, now: u64, hier: &mut MemHierarchy) -> StallKind {
+        let info = &self.pending.as_ref().expect("pending refilled").info;
+        let instr = info.instr;
+        debug_assert!(
+            !instr.is_vector(),
+            "little cores execute scalar task variants only"
+        );
+        let meta = scalar_meta(&instr);
+
+        // RAW hazards via the scoreboard.
+        if let Some(kind) = self.source_hazard(now, &instr) {
+            return kind;
+        }
+
+        // Structural hazards.
+        if meta.fu == FuClass::MulDiv && self.muldiv_busy_until > now {
+            return StallKind::Struct;
+        }
+        let is_load = instr.is_scalar_mem() && !info.mem.is_empty() && !info.mem[0].is_store;
+        let is_store = instr.is_scalar_mem() && !info.mem.is_empty() && info.mem[0].is_store;
+        if is_load && self.load_wait.is_some() {
+            return StallKind::Struct;
+        }
+        if is_store && self.outstanding_stores.len() >= self.params.store_buffer {
+            return StallKind::Struct;
+        }
+
+        // Memory issue (may be rejected by the L1D port).
+        if is_load || is_store {
+            let acc = info.mem[0];
+            self.next_mem_id += 1;
+            let req = MemReq {
+                id: self.next_mem_id,
+                addr: acc.addr,
+                size: acc.size,
+                is_store,
+                kind: AccessKind::Data,
+                port: PortId::LittleData(self.id),
+            };
+            if !hier.request(req) {
+                return StallKind::Struct;
+            }
+            if is_load {
+                let dest = self.dest_of(&instr);
+                self.set_dest_pending(dest);
+                self.load_wait = Some((self.next_mem_id, dest));
+            } else {
+                self.outstanding_stores.insert(self.next_mem_id);
+            }
+        } else {
+            // Register result ready after the FU latency.
+            let dest = self.dest_of(&instr);
+            self.set_dest_ready(dest, now + u64::from(meta.latency));
+            if meta.fu == FuClass::MulDiv {
+                self.muldiv_busy_until = now + u64::from(meta.latency);
+            }
+        }
+
+        // Control flow.
+        if instr.is_control() {
+            let info = &self.pending.as_ref().expect("pending").info;
+            if let bvl_isa::instr::Instr::Branch { target, .. } = instr {
+                self.stats.branches += 1;
+                let predicted_taken = target <= info.pc; // backward-taken
+                let actually_taken = info.taken.is_some();
+                if predicted_taken != actually_taken {
+                    self.stats.mispredicts += 1;
+                    self.fetch.redirect(now, self.params.branch_penalty);
+                }
+            } else {
+                // Unconditional jumps: assume the BTB redirects in time.
+            }
+        }
+
+        let info = self.pending.take().expect("pending").info;
+        if info.halted {
+            self.halted = true;
+        }
+        self.stats.retired += 1;
+        StallKind::Busy
+    }
+
+    fn source_hazard(&self, now: u64, instr: &bvl_isa::instr::Instr) -> Option<StallKind> {
+        let ready_times = source_ready_times(instr, &self.x_ready, &self.f_ready);
+        let mut worst: Option<StallKind> = None;
+        for t in ready_times {
+            if t == LOAD_PENDING {
+                worst = Some(StallKind::RawMem);
+            } else if t > now && worst.is_none() {
+                worst = Some(StallKind::RawLlfu);
+            }
+        }
+        worst
+    }
+
+    fn dest_of(&self, instr: &bvl_isa::instr::Instr) -> Dest {
+        use bvl_isa::instr::Instr::*;
+        match *instr {
+            Op { rd, .. } | OpImm { rd, .. } | Lui { rd, .. } | Load { rd, .. } => {
+                Dest::X(rd.index())
+            }
+            Jal { rd, .. } | Jalr { rd, .. } => Dest::X(rd.index()),
+            FpCmp { rd, .. } | FpCvtToInt { rd, .. } | FpMvToInt { rd, .. } => Dest::X(rd.index()),
+            FpOp { rd, .. } | FpFma { rd, .. } | FpLoad { rd, .. } => Dest::F(rd.index()),
+            FpCvtFromInt { rd, .. } | FpMvFromInt { rd, .. } => Dest::F(rd.index()),
+            _ => Dest::None,
+        }
+    }
+
+    fn set_dest_ready(&mut self, dest: Dest, at: u64) {
+        match dest {
+            Dest::X(0) => {}
+            Dest::X(r) => self.x_ready[r] = at,
+            Dest::F(r) => self.f_ready[r] = at,
+            Dest::None => {}
+        }
+    }
+
+    fn set_dest_pending(&mut self, dest: Dest) {
+        self.set_dest_ready(dest, LOAD_PENDING);
+    }
+}
+
+/// Scoreboard ready-times of every source register an instruction reads.
+/// Shared with the big core's wakeup logic.
+pub(crate) fn source_ready_times(
+    instr: &bvl_isa::instr::Instr,
+    x_ready: &[u64; NUM_REGS],
+    f_ready: &[u64; NUM_REGS],
+) -> Vec<u64> {
+    use bvl_isa::instr::Instr::*;
+    let mut out = Vec::with_capacity(3);
+    let mut x = |r: bvl_isa::reg::XReg| {
+        if r.index() != 0 {
+            out.push(x_ready[r.index()]);
+        }
+    };
+    match *instr {
+        Op { rs1, rs2, .. } | Store { rs2, rs1, .. } | Branch { rs1, rs2, .. } => {
+            x(rs1);
+            x(rs2);
+        }
+        OpImm { rs1, .. }
+        | Load { rs1, .. }
+        | FpLoad { rs1, .. }
+        | Jalr { rs1, .. }
+        | FpCvtFromInt { rs1, .. }
+        | FpMvFromInt { rs1, .. } => x(rs1),
+        FpStore { rs1, rs2, .. } => {
+            x(rs1);
+            out.push(f_ready[rs2.index()]);
+        }
+        FpOp { rs1, rs2, .. } | FpCmp { rs1, rs2, .. } => {
+            out.push(f_ready[rs1.index()]);
+            out.push(f_ready[rs2.index()]);
+        }
+        FpFma { rs1, rs2, rs3, .. } => {
+            out.push(f_ready[rs1.index()]);
+            out.push(f_ready[rs2.index()]);
+            out.push(f_ready[rs3.index()]);
+        }
+        FpCvtToInt { rs1, .. } | FpMvToInt { rs1, .. } => out.push(f_ready[rs1.index()]),
+        // Vector instructions: scalar sources carried into the engine.
+        VSetVl {
+            avl: bvl_isa::instr::AvlSrc::Reg(r),
+            ..
+        } => x(r),
+        VLoad { base, mode, .. } | VStore { base, mode, .. } => {
+            x(base);
+            if let bvl_isa::instr::VMemMode::Strided(s) = mode {
+                x(s);
+            }
+        }
+        VArith { src1, .. } | VCmp { src1, .. } => {
+            if let Some(r) = src1.xreg() {
+                x(r);
+            }
+            if let Some(r) = src1.freg() {
+                out.push(f_ready[r.index()]);
+            }
+        }
+        VSlideUp { amt, .. } | VSlideDown { amt, .. } => x(amt),
+        VMvVX { rs1, .. } | VMvSX { rs1, .. } => x(rs1),
+        VFMvVF { fs1, .. } => out.push(f_ready[fs1.index()]),
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fetch::TEXT_BASE;
+    use bvl_isa::asm::Assembler;
+    use bvl_isa::reg::XReg;
+    use bvl_mem::{HierConfig, SimMemory};
+
+    fn x(i: u8) -> XReg {
+        XReg::new(i)
+    }
+
+    fn run_core(a: &Assembler, mem: SimMemory) -> (LittleCore, u64, SharedMem) {
+        let prog = Rc::new(a.assemble().unwrap());
+        let shared = SharedMem::new(mem);
+        let mut hier = MemHierarchy::new(HierConfig::with_little(1));
+        let mut core = LittleCore::new(
+            0,
+            shared.clone(),
+            prog,
+            TEXT_BASE,
+            hier.line_bytes(),
+            LittleParams::default(),
+        );
+        core.assign(0);
+        for t in 0..2_000_000 {
+            hier.tick(t);
+            core.tick(t, &mut hier);
+            if core.done() {
+                return (core, t, shared);
+            }
+        }
+        panic!("core did not finish");
+    }
+
+    #[test]
+    fn straight_line_code_retires_all() {
+        let mut a = Assembler::new();
+        a.li(x(1), 1);
+        a.li(x(2), 2);
+        a.add(x(3), x(1), x(2));
+        a.halt();
+        let (core, cycles, _) = run_core(&a, SimMemory::new(1 << 20));
+        assert_eq!(core.stats().retired, 4);
+        assert_eq!(core.machine().xreg(x(3)), 3);
+        assert!(cycles < 1000);
+    }
+
+    #[test]
+    fn loop_executes_with_reasonable_ipc() {
+        let mut a = Assembler::new();
+        a.li(x(1), 0);
+        a.li(x(2), 100);
+        a.label("loop");
+        a.addi(x(1), x(1), 1);
+        a.bne(x(1), x(2), "loop");
+        a.halt();
+        let (core, _, _) = run_core(&a, SimMemory::new(1 << 20));
+        assert_eq!(core.stats().retired, 203);
+        // Tight ALU loop after warmup: IPC should be decent but < 1.
+        assert!(core.stats().ipc() > 0.4, "ipc = {}", core.stats().ipc());
+        assert!(core.stats().branches == 100);
+        // Backward-taken predictor mispredicts only the exit.
+        assert_eq!(core.stats().mispredicts, 1);
+    }
+
+    #[test]
+    fn load_use_stall_is_raw_mem() {
+        let mut a = Assembler::new();
+        a.li(x(1), 0x2000);
+        a.lw(x(2), x(1), 0); // cold miss -> long stall
+        a.addi(x(3), x(2), 1); // load-use dependency
+        a.halt();
+        let (core, _, _) = run_core(&a, SimMemory::new(1 << 20));
+        assert!(
+            core.stats().of(StallKind::RawMem) > 50,
+            "raw_mem = {}",
+            core.stats().of(StallKind::RawMem)
+        );
+    }
+
+    #[test]
+    fn div_dependency_is_raw_llfu() {
+        let mut a = Assembler::new();
+        a.li(x(1), 100);
+        a.li(x(2), 7);
+        a.div(x(3), x(1), x(2));
+        a.addi(x(4), x(3), 1);
+        a.halt();
+        let (core, _, _) = run_core(&a, SimMemory::new(1 << 20));
+        assert!(core.stats().of(StallKind::RawLlfu) >= 10);
+    }
+
+    #[test]
+    fn stores_reach_shared_memory() {
+        let mut a = Assembler::new();
+        a.li(x(1), 0x3000);
+        a.li(x(2), 99);
+        a.sw(x(2), x(1), 0);
+        a.halt();
+        let (_, _, shared) = run_core(&a, SimMemory::new(1 << 20));
+        shared.with(|m| {
+            assert_eq!(
+                bvl_isa::mem::Memory::read_uint(m, 0x3000, 4),
+                99
+            )
+        });
+    }
+
+    #[test]
+    fn back_to_back_memory_ops_respect_single_load() {
+        let mut a = Assembler::new();
+        a.li(x(1), 0x4000);
+        for i in 0..8 {
+            a.lw(x(2), x(1), i * 4);
+        }
+        a.halt();
+        let (core, _, _) = run_core(&a, SimMemory::new(1 << 20));
+        // 8 independent loads: structural single-load limit forces
+        // serialization; struct stalls must appear.
+        assert!(core.stats().of(StallKind::Struct) > 0);
+    }
+
+    #[test]
+    fn assigning_twice_reuses_the_core() {
+        let mut a = Assembler::new();
+        a.label("task");
+        a.addi(x(5), x(5), 1);
+        a.halt();
+        let prog = Rc::new(a.assemble().unwrap());
+        let shared = SharedMem::new(SimMemory::new(1 << 20));
+        let mut hier = MemHierarchy::new(HierConfig::with_little(1));
+        let mut core = LittleCore::new(
+            0,
+            shared,
+            prog.clone(),
+            TEXT_BASE,
+            hier.line_bytes(),
+            LittleParams::default(),
+        );
+        let mut t = 0;
+        for _ in 0..3 {
+            core.assign(prog.label("task").unwrap());
+            while !core.done() {
+                hier.tick(t);
+                core.tick(t, &mut hier);
+                t += 1;
+                assert!(t < 100_000);
+            }
+        }
+        assert_eq!(core.machine().xreg(x(5)), 3);
+    }
+}

@@ -1,0 +1,194 @@
+//! Shared core-facing types: statistics, stall taxonomy and the vector
+//! engine interface.
+
+use bvl_isa::exec::MemAccess;
+use bvl_isa::instr::Instr;
+use bvl_isa::vcfg::Sew;
+use bvl_mem::MemHierarchy;
+
+/// Why a core could not retire useful work in a given cycle.
+///
+/// The categories mirror Figure 7 of the paper (vector-mode little cores);
+/// scalar execution uses the same taxonomy so breakdowns are comparable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StallKind {
+    /// Issued (or retired) useful work — not a stall.
+    Busy,
+    /// Waiting for lock-step micro-op issue from the VCU (vector mode).
+    Simd,
+    /// Read-after-write on an outstanding memory value.
+    RawMem,
+    /// Read-after-write on a long-latency functional unit.
+    RawLlfu,
+    /// Structural hazard (FU or port busy, queue full).
+    Struct,
+    /// Waiting on a cross-element (VXU) operation.
+    Xelem,
+    /// Front-end starvation, fences, and everything else.
+    Misc,
+}
+
+impl StallKind {
+    /// All categories, in the order used by the Figure 7 breakdown.
+    pub const ALL: [StallKind; 7] = [
+        StallKind::Busy,
+        StallKind::Simd,
+        StallKind::RawMem,
+        StallKind::RawLlfu,
+        StallKind::Struct,
+        StallKind::Xelem,
+        StallKind::Misc,
+    ];
+
+    /// Short label matching the paper's legend.
+    pub const fn label(self) -> &'static str {
+        match self {
+            StallKind::Busy => "busy",
+            StallKind::Simd => "simd",
+            StallKind::RawMem => "raw_mem",
+            StallKind::RawLlfu => "raw_llfu",
+            StallKind::Struct => "struct",
+            StallKind::Xelem => "xelem",
+            StallKind::Misc => "misc",
+        }
+    }
+}
+
+/// Per-core statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Cycles the core was powered in its current role.
+    pub cycles: u64,
+    /// Instructions (or micro-ops) retired.
+    pub retired: u64,
+    /// Instruction fetch groups read from the L1I (Figure 5's quantity).
+    pub fetch_groups: u64,
+    /// Cycle breakdown, indexed by [`StallKind::ALL`] order.
+    pub breakdown: [u64; 7],
+    /// Conditional branches executed / mispredicted.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+}
+
+impl CoreStats {
+    /// Records one cycle attributed to `kind`.
+    pub fn account(&mut self, kind: StallKind) {
+        self.cycles += 1;
+        let idx = StallKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind is in ALL");
+        self.breakdown[idx] += 1;
+    }
+
+    /// Cycles attributed to `kind`.
+    pub fn of(&self, kind: StallKind) -> u64 {
+        let idx = StallKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind is in ALL");
+        self.breakdown[idx]
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A vector instruction handed from the big core to a vector engine, with
+/// the functional effects the timing model needs.
+#[derive(Clone, Debug)]
+pub struct VecCmd {
+    /// The big core's sequence number for the instruction (echoed back on
+    /// completion of scalar-writing instructions).
+    pub seq: u64,
+    /// The vector instruction.
+    pub instr: Instr,
+    /// Vector length in effect.
+    pub vl: u32,
+    /// Element width in effect.
+    pub sew: Sew,
+    /// Per-element memory accesses performed (for vector loads/stores).
+    pub mem: Vec<MemAccess>,
+    /// True if the big core blocks at the ROB head until the engine
+    /// responds with a scalar value (paper section III-A).
+    pub needs_scalar_response: bool,
+}
+
+/// The interface every vector engine implements: the VLITTLE cluster, the
+/// integrated vector unit and the decoupled vector engine.
+///
+/// The big core dispatches one vector instruction at a time from its ROB
+/// head; instructions that do not write a scalar register are considered
+/// committed at dispatch, while scalar-writing instructions complete when
+/// the engine reports their sequence number via
+/// [`VectorEngine::pop_scalar_done`].
+pub trait VectorEngine {
+    /// True if the engine can accept a new command this cycle.
+    fn can_accept(&self) -> bool;
+
+    /// Accepts a command.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called while [`VectorEngine::can_accept`]
+    /// is false.
+    fn dispatch(&mut self, cmd: VecCmd);
+
+    /// Pops the sequence number of a completed scalar-writing instruction.
+    fn pop_scalar_done(&mut self) -> Option<u64>;
+
+    /// True when every dispatched vector *memory* operation has retired —
+    /// the condition `vmfence` waits on (paper section III-B).
+    fn mem_drained(&self) -> bool;
+
+    /// True when the engine holds no work at all.
+    fn idle(&self) -> bool;
+
+    /// Advances the engine one cycle, exchanging traffic with the memory
+    /// hierarchy.
+    fn tick(&mut self, now: u64, hier: &mut MemHierarchy);
+
+    /// Hardware vector length in bits (what `vsetvl` grants against).
+    fn vlen_bits(&self) -> u32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accounting() {
+        let mut s = CoreStats::default();
+        s.account(StallKind::Busy);
+        s.account(StallKind::RawMem);
+        s.account(StallKind::RawMem);
+        assert_eq!(s.cycles, 3);
+        assert_eq!(s.of(StallKind::RawMem), 2);
+        assert_eq!(s.of(StallKind::Busy), 1);
+        assert_eq!(s.of(StallKind::Xelem), 0);
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        let labels: Vec<&str> = StallKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["busy", "simd", "raw_mem", "raw_llfu", "struct", "xelem", "misc"]
+        );
+    }
+
+    #[test]
+    fn ipc() {
+        let mut s = CoreStats::default();
+        s.retired = 50;
+        s.cycles = 100;
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! Developer tool: disassembles a workload's program, with binary
+//! encodings where the instruction fits the 32-bit formats — an
+//! `objdump`-style view of what the in-library "compiler" emitted.
+//!
+//! ```sh
+//! cargo run --release -p bvl-experiments --bin dump_program -- --scale tiny 2>/dev/null | head
+//! ```
+//!
+//! Accepts the common `--scale` flag; dumps every workload, with entry
+//! points and per-label markers.
+
+use bvl_experiments::ExpOpts;
+use bvl_isa::encode::encode;
+use bvl_workloads::{all_data_parallel, all_task_parallel};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    for w in all_data_parallel(opts.scale)
+        .into_iter()
+        .chain(all_task_parallel(opts.scale))
+    {
+        println!("\n==== {} ({} instructions) ====", w.name, w.program.len());
+        println!(
+            "serial entry @{}; vector entry {:?}; {} tasks in {} phases",
+            w.serial_entry,
+            w.vector_entry,
+            w.total_tasks(),
+            w.phases.len()
+        );
+        for (pc, instr) in w.program.iter().enumerate() {
+            let word = match encode(instr, pc as u32) {
+                Ok(word) => format!("{word:08x}"),
+                Err(_) => "........".to_string(), // immediate exceeds field
+            };
+            println!("{pc:6}: {word}  {instr}");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+#![warn(missing_docs)]
+//! # bvl-experiments — regenerating the paper's figures and tables
+//!
+//! One binary per evaluation artifact (DESIGN.md's per-experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig04_speedup` | Figure 4 — speedup over 1L, all systems |
+//! | `fig05_ifetch` | Figure 5 — instruction-fetch requests, normalized to 1bDV |
+//! | `fig06_dreq` | Figure 6 — data requests, normalized to 1bDV |
+//! | `fig07_breakdown` | Figure 7 — 1b-4VL lane execution-time breakdown (1c / 1c+sw / 2c+sw) |
+//! | `fig08_lsq_sweep` | Figure 8 — VMU load/store data-queue size sweep |
+//! | `fig09_vf_heatmap` | Figure 9 — V/F-level performance heatmaps |
+//! | `fig10_perf_power` | Figure 10 — 1b-4VL time/power scatter |
+//! | `fig11_pareto` | Figure 11 — time/power Pareto frontiers, all designs |
+//! | `tab45_workloads` | Tables IV & V — workload characterization |
+//! | `tab06_area` | Table VI — area model |
+//! | `tab07_power_levels` | Table VII — V/F levels |
+//! | `abl_vxu_topology` | Ablation — VXU ring vs idealized crossbar |
+//! | `abl_vmu_coalesce` | Ablation — VMIU index coalescing on/off |
+//!
+//! Every binary accepts `--scale tiny|default|large` and `--out <dir>`
+//! (default `results/`), prints the figure's rows as a markdown table, and
+//! writes the raw numbers as JSON so EXPERIMENTS.md is regenerable.
+
+use bvl_sim::{RunResult, SimParams, SystemKind};
+use bvl_workloads::{Scale, Workload};
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct ExpOpts {
+    /// Input-size scale.
+    pub scale: Scale,
+    /// Scale name (for output labelling).
+    pub scale_name: String,
+    /// Output directory for JSON results.
+    pub out_dir: PathBuf,
+}
+
+impl ExpOpts {
+    /// Parses `--scale` and `--out` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with usage help) on unknown arguments.
+    pub fn from_args() -> Self {
+        let mut scale_name = "default".to_string();
+        let mut out_dir = PathBuf::from("results");
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    scale_name = args.next().expect("--scale needs a value");
+                }
+                "--out" => {
+                    out_dir = PathBuf::from(args.next().expect("--out needs a value"));
+                }
+                other => panic!("unknown argument `{other}` (use --scale tiny|default|large, --out DIR)"),
+            }
+        }
+        let scale = match scale_name.as_str() {
+            "tiny" => Scale::tiny(),
+            "default" => Scale::default_eval(),
+            "large" => Scale::large(),
+            other => panic!("unknown scale `{other}`"),
+        };
+        ExpOpts {
+            scale,
+            scale_name,
+            out_dir,
+        }
+    }
+
+    /// Writes `value` as pretty JSON to `<out>/<name>.json`.
+    pub fn save_json<T: Serialize>(&self, name: &str, value: &T) {
+        fs::create_dir_all(&self.out_dir).expect("create output dir");
+        let path = self.out_dir.join(format!("{name}.json"));
+        fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Runs one workload on one system, panicking with context on failure
+/// (every simulated run is checked against the workload's reference).
+pub fn run_checked(kind: SystemKind, w: &Workload, params: &SimParams) -> RunResult {
+    bvl_sim::simulate(kind, w, params)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name, kind.label()))
+}
+
+/// Prints a markdown table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats a ratio to two decimals.
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Geometric mean.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// One (workload, system) measurement for JSON output.
+#[derive(Clone, Debug, Serialize)]
+pub struct Measurement {
+    /// Workload name.
+    pub workload: String,
+    /// System label.
+    pub system: String,
+    /// Wall time, ns.
+    pub wall_ns: f64,
+    /// Fetch groups (L1I reads).
+    pub fetch_groups: u64,
+    /// Data requests into the L1 level.
+    pub data_reqs: u64,
+}
+
+impl Measurement {
+    /// Captures the interesting fields of a run.
+    pub fn of(workload: &str, system: SystemKind, r: &RunResult) -> Self {
+        Measurement {
+            workload: workload.to_string(),
+            system: system.label().to_string(),
+            wall_ns: r.wall_ns,
+            fetch_groups: r.fetch_groups,
+            data_reqs: r.mem.data_reqs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identity() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn fmt2_rounds() {
+        assert_eq!(fmt2(1.234), "1.23");
+    }
+}

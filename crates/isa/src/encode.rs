@@ -1,0 +1,1669 @@
+//! Binary encoding, decoding and disassembly.
+//!
+//! Scalar instructions use the real RV64IMFD encodings (R/I/S/B/U/J
+//! formats). Vector instructions use a *structural* 32-bit encoding that
+//! mirrors the shape of RVV 1.0 (OP-V major opcode, `funct6`/`funct3`/`vm`
+//! fields) but is not bit-compatible with the ratified spec — the simulator
+//! dispatches on [`Instr`] values, and this module exists for tooling
+//! (program dumps, round-trip tests, binary size accounting).
+//!
+//! Branch/jump targets in [`Instr`] are absolute instruction indices;
+//! encoding converts them to the byte-relative immediates of the real
+//! formats using the instruction's own index (`pc`), and decoding converts
+//! back, so `decode(encode(i, pc), pc) == i` for every encodable
+//! instruction.
+
+use crate::instr::{
+    AluOp, AvlSrc, BranchOp, FpCmpOp, FpOp, FpPrec, Instr, MemWidth, VArithOp, VCmpOp, VMaskOp,
+    VMemMode, VRedOp, VSrc,
+};
+use crate::reg::{FReg, VReg, XReg};
+use crate::vcfg::Sew;
+use std::fmt;
+
+/// Error produced by [`encode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate does not fit in the instruction format's field.
+    ImmOutOfRange {
+        /// The offending immediate.
+        imm: i64,
+        /// Field width in bits (signed).
+        bits: u32,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { imm, bits } => {
+                write!(f, "immediate {imm} does not fit in {bits} signed bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error produced by [`decode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The word's opcode or sub-fields match no modeled instruction.
+    Unrecognized(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Unrecognized(w) => write!(f, "unrecognized instruction word {w:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn check_imm(imm: i64, bits: u32) -> Result<u32, EncodeError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if imm < min || imm > max {
+        Err(EncodeError::ImmOutOfRange { imm, bits })
+    } else {
+        Ok((imm as u64 & ((1u64 << bits) - 1)) as u32)
+    }
+}
+
+fn sext(v: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    (((v as u64) << shift) as i64) >> shift
+}
+
+const OP: u32 = 0x33;
+const OP_IMM: u32 = 0x13;
+const LUI: u32 = 0x37;
+const LOAD: u32 = 0x03;
+const STORE: u32 = 0x23;
+const BRANCH: u32 = 0x63;
+const JAL: u32 = 0x6F;
+const JALR: u32 = 0x67;
+const LOAD_FP: u32 = 0x07;
+const STORE_FP: u32 = 0x27;
+const OP_FP: u32 = 0x53;
+const FMADD: u32 = 0x43;
+const OP_V: u32 = 0x57;
+const MISC_MEM: u32 = 0x0F;
+const SYSTEM: u32 = 0x73;
+
+fn r_type(opcode: u32, rd: u32, funct3: u32, rs1: u32, rs2: u32, funct7: u32) -> u32 {
+    opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (rs2 << 20) | (funct7 << 25)
+}
+
+fn i_type(opcode: u32, rd: u32, funct3: u32, rs1: u32, imm12: u32) -> u32 {
+    opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (imm12 << 20)
+}
+
+fn s_type(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm12: u32) -> u32 {
+    opcode
+        | ((imm12 & 0x1F) << 7)
+        | (funct3 << 12)
+        | (rs1 << 15)
+        | (rs2 << 20)
+        | ((imm12 >> 5) << 25)
+}
+
+fn alu_funct(op: AluOp) -> (u32, u32) {
+    // (funct3, funct7)
+    match op {
+        AluOp::Add => (0, 0),
+        AluOp::Sub => (0, 0x20),
+        AluOp::Sll => (1, 0),
+        AluOp::Slt => (2, 0),
+        AluOp::Sltu => (3, 0),
+        AluOp::Xor => (4, 0),
+        AluOp::Srl => (5, 0),
+        AluOp::Sra => (5, 0x20),
+        AluOp::Or => (6, 0),
+        AluOp::And => (7, 0),
+        AluOp::Mul => (0, 1),
+        AluOp::Div => (4, 1),
+        AluOp::Divu => (5, 1),
+        AluOp::Rem => (6, 1),
+        AluOp::Remu => (7, 1),
+    }
+}
+
+fn alu_from_funct(funct3: u32, funct7: u32) -> Option<AluOp> {
+    Some(match (funct3, funct7) {
+        (0, 0) => AluOp::Add,
+        (0, 0x20) => AluOp::Sub,
+        (1, 0) => AluOp::Sll,
+        (2, 0) => AluOp::Slt,
+        (3, 0) => AluOp::Sltu,
+        (4, 0) => AluOp::Xor,
+        (5, 0) => AluOp::Srl,
+        (5, 0x20) => AluOp::Sra,
+        (6, 0) => AluOp::Or,
+        (7, 0) => AluOp::And,
+        (0, 1) => AluOp::Mul,
+        (4, 1) => AluOp::Div,
+        (5, 1) => AluOp::Divu,
+        (6, 1) => AluOp::Rem,
+        (7, 1) => AluOp::Remu,
+        _ => return None,
+    })
+}
+
+fn branch_funct3(op: BranchOp) -> u32 {
+    match op {
+        BranchOp::Eq => 0,
+        BranchOp::Ne => 1,
+        BranchOp::Lt => 4,
+        BranchOp::Ge => 5,
+        BranchOp::Ltu => 6,
+        BranchOp::Geu => 7,
+    }
+}
+
+fn branch_from_funct3(f: u32) -> Option<BranchOp> {
+    Some(match f {
+        0 => BranchOp::Eq,
+        1 => BranchOp::Ne,
+        4 => BranchOp::Lt,
+        5 => BranchOp::Ge,
+        6 => BranchOp::Ltu,
+        7 => BranchOp::Geu,
+        _ => return None,
+    })
+}
+
+fn fmt_bit(prec: FpPrec) -> u32 {
+    match prec {
+        FpPrec::S => 0,
+        FpPrec::D => 1,
+    }
+}
+
+fn fp_funct7(op: FpOp, prec: FpPrec) -> (u32, u32) {
+    // (funct7, funct3) — funct3 carries rounding mode (0) or sgnj selector.
+    let f = fmt_bit(prec);
+    match op {
+        FpOp::Add => (f, 0),
+        FpOp::Sub => (0x04 | f, 0),
+        FpOp::Mul => (0x08 | f, 0),
+        FpOp::Div => (0x0C | f, 0),
+        FpOp::Sqrt => (0x2C | f, 0),
+        FpOp::Sgnj => (0x10 | f, 0),
+        FpOp::Sgnjn => (0x10 | f, 1),
+        FpOp::Sgnjx => (0x10 | f, 2),
+        FpOp::Min => (0x14 | f, 0),
+        FpOp::Max => (0x14 | f, 1),
+    }
+}
+
+// Structural funct6 assignments for the vector encoding (see module docs).
+fn varith_funct6(op: VArithOp) -> u32 {
+    use VArithOp::*;
+    match op {
+        Add => 0,
+        Sub => 1,
+        Mul => 2,
+        Div => 3,
+        Divu => 4,
+        Rem => 5,
+        Min => 6,
+        Max => 7,
+        And => 8,
+        Or => 9,
+        Xor => 10,
+        Sll => 11,
+        Srl => 12,
+        Sra => 13,
+        FAdd => 14,
+        FSub => 15,
+        FMul => 16,
+        FDiv => 17,
+        FMin => 18,
+        FMax => 19,
+        FSqrt => 20,
+        FMacc => 21,
+        FNeg => 22,
+        FAbs => 23,
+        Merge => 24,
+    }
+}
+
+fn varith_from_funct6(f: u32) -> Option<VArithOp> {
+    use VArithOp::*;
+    Some(match f {
+        0 => Add,
+        1 => Sub,
+        2 => Mul,
+        3 => Div,
+        4 => Divu,
+        5 => Rem,
+        6 => Min,
+        7 => Max,
+        8 => And,
+        9 => Or,
+        10 => Xor,
+        11 => Sll,
+        12 => Srl,
+        13 => Sra,
+        14 => FAdd,
+        15 => FSub,
+        16 => FMul,
+        17 => FDiv,
+        18 => FMin,
+        19 => FMax,
+        20 => FSqrt,
+        21 => FMacc,
+        22 => FNeg,
+        23 => FAbs,
+        24 => Merge,
+        _ => return None,
+    })
+}
+
+fn vcmp_funct6(op: VCmpOp) -> u32 {
+    use VCmpOp::*;
+    match op {
+        Eq => 25,
+        Ne => 26,
+        Lt => 27,
+        Le => 28,
+        Gt => 29,
+        FEq => 30,
+        FLt => 31,
+        FLe => 32,
+    }
+}
+
+fn vcmp_from_funct6(f: u32) -> Option<VCmpOp> {
+    use VCmpOp::*;
+    Some(match f {
+        25 => Eq,
+        26 => Ne,
+        27 => Lt,
+        28 => Le,
+        29 => Gt,
+        30 => FEq,
+        31 => FLt,
+        32 => FLe,
+        _ => return None,
+    })
+}
+
+fn vred_funct6(op: VRedOp) -> u32 {
+    use VRedOp::*;
+    match op {
+        Sum => 33,
+        Min => 34,
+        Max => 35,
+        FSum => 36,
+        FMin => 37,
+        FMax => 38,
+    }
+}
+
+fn vred_from_funct6(f: u32) -> Option<VRedOp> {
+    use VRedOp::*;
+    Some(match f {
+        33 => Sum,
+        34 => Min,
+        35 => Max,
+        36 => FSum,
+        37 => FMin,
+        38 => FMax,
+        _ => return None,
+    })
+}
+
+fn vmask_funct6(op: VMaskOp) -> u32 {
+    use VMaskOp::*;
+    match op {
+        And => 39,
+        Or => 40,
+        Xor => 41,
+        AndNot => 42,
+        Not => 43,
+    }
+}
+
+fn vmask_from_funct6(f: u32) -> Option<VMaskOp> {
+    use VMaskOp::*;
+    Some(match f {
+        39 => And,
+        40 => Or,
+        41 => Xor,
+        42 => AndNot,
+        43 => Not,
+        _ => return None,
+    })
+}
+
+const F6_RGATHER: u32 = 44;
+const F6_SLIDEUP: u32 = 45;
+const F6_SLIDEDOWN: u32 = 46;
+const F6_MV_VX: u32 = 47;
+const F6_FMV_VF: u32 = 48;
+const F6_MV_VV: u32 = 49;
+const F6_MV_XS: u32 = 50;
+const F6_FMV_FS: u32 = 51;
+const F6_MV_SX: u32 = 52;
+const F6_VID: u32 = 53;
+const F6_POPC: u32 = 54;
+const F6_FIRST: u32 = 55;
+
+/// OPIVV / OPIVX / OPIVI / OPFVF operand-kind selectors (funct3 of OP-V).
+const K_VV: u32 = 0;
+const K_VI: u32 = 3;
+const K_VX: u32 = 4;
+const K_VF: u32 = 5;
+const K_SETVL: u32 = 7;
+
+fn opv(funct6: u32, vm_masked: bool, vs2: u32, s1: u32, funct3: u32, d: u32) -> u32 {
+    OP_V | (d << 7)
+        | (funct3 << 12)
+        | (s1 << 15)
+        | (vs2 << 20)
+        | (u32::from(vm_masked) << 25)
+        | (funct6 << 26)
+}
+
+fn sew_code(sew: Sew) -> u32 {
+    match sew {
+        Sew::E8 => 0,
+        Sew::E16 => 1,
+        Sew::E32 => 2,
+        Sew::E64 => 3,
+    }
+}
+
+fn sew_from_code(c: u32) -> Sew {
+    match c & 3 {
+        0 => Sew::E8,
+        1 => Sew::E16,
+        2 => Sew::E32,
+        _ => Sew::E64,
+    }
+}
+
+/// Encodes one instruction into a 32-bit word.
+///
+/// `pc` is the instruction's own index in the program (used to compute
+/// byte-relative branch/jump immediates).
+///
+/// # Errors
+///
+/// Returns [`EncodeError::ImmOutOfRange`] if an immediate (including a
+/// branch displacement) does not fit the format's field.
+pub fn encode(instr: &Instr, pc: u32) -> Result<u32, EncodeError> {
+    Ok(match *instr {
+        Instr::Op { op, rd, rs1, rs2 } => {
+            let (f3, f7) = alu_funct(op);
+            r_type(OP, rd.index() as u32, f3, rs1.index() as u32, rs2.index() as u32, f7)
+        }
+        Instr::OpImm { op, rd, rs1, imm } => {
+            let (f3, f7) = alu_funct(op);
+            let imm12 = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                check_imm(imm, 7)? | (f7 << 6) // 6-bit shamt + funct7 marker
+            } else {
+                check_imm(imm, 12)?
+            };
+            i_type(OP_IMM, rd.index() as u32, f3, rs1.index() as u32, imm12)
+        }
+        Instr::Lui { rd, imm } => {
+            let imm20 = check_imm(imm, 20)?;
+            LUI | ((rd.index() as u32) << 7) | (imm20 << 12)
+        }
+        Instr::Load {
+            rd,
+            rs1,
+            imm,
+            width,
+            signed,
+        } => {
+            let f3 = match (width, signed) {
+                (MemWidth::B, true) => 0,
+                (MemWidth::H, true) => 1,
+                (MemWidth::W, true) => 2,
+                (MemWidth::D, _) => 3,
+                (MemWidth::B, false) => 4,
+                (MemWidth::H, false) => 5,
+                (MemWidth::W, false) => 6,
+            };
+            i_type(LOAD, rd.index() as u32, f3, rs1.index() as u32, check_imm(imm, 12)?)
+        }
+        Instr::Store {
+            rs2,
+            rs1,
+            imm,
+            width,
+        } => {
+            let f3 = match width {
+                MemWidth::B => 0,
+                MemWidth::H => 1,
+                MemWidth::W => 2,
+                MemWidth::D => 3,
+            };
+            s_type(STORE, f3, rs1.index() as u32, rs2.index() as u32, check_imm(imm, 12)?)
+        }
+        Instr::Branch {
+            op,
+            rs1,
+            rs2,
+            target,
+        } => {
+            let disp = (i64::from(target) - i64::from(pc)) * 4;
+            let imm = check_imm(disp, 13)?;
+            let f3 = branch_funct3(op);
+            BRANCH
+                | (((imm >> 11) & 1) << 7)
+                | (((imm >> 1) & 0xF) << 8)
+                | (f3 << 12)
+                | ((rs1.index() as u32) << 15)
+                | ((rs2.index() as u32) << 20)
+                | (((imm >> 5) & 0x3F) << 25)
+                | (((imm >> 12) & 1) << 31)
+        }
+        Instr::Jal { rd, target } => {
+            let disp = (i64::from(target) - i64::from(pc)) * 4;
+            let imm = check_imm(disp, 21)?;
+            JAL | ((rd.index() as u32) << 7)
+                | (((imm >> 12) & 0xFF) << 12)
+                | (((imm >> 11) & 1) << 20)
+                | (((imm >> 1) & 0x3FF) << 21)
+                | (((imm >> 20) & 1) << 31)
+        }
+        Instr::Jalr { rd, rs1, imm } => i_type(
+            JALR,
+            rd.index() as u32,
+            0,
+            rs1.index() as u32,
+            check_imm(imm, 12)?,
+        ),
+
+        Instr::FpOp {
+            op,
+            prec,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            let (f7, f3) = fp_funct7(op, prec);
+            r_type(OP_FP, rd.index() as u32, f3, rs1.index() as u32, rs2.index() as u32, f7)
+        }
+        Instr::FpFma {
+            prec,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+        } => {
+            FMADD
+                | ((rd.index() as u32) << 7)
+                | ((rs1.index() as u32) << 15)
+                | ((rs2.index() as u32) << 20)
+                | (fmt_bit(prec) << 25)
+                | ((rs3.index() as u32) << 27)
+        }
+        Instr::FpCmp {
+            op,
+            prec,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            let f3 = match op {
+                FpCmpOp::Le => 0,
+                FpCmpOp::Lt => 1,
+                FpCmpOp::Eq => 2,
+            };
+            r_type(
+                OP_FP,
+                rd.index() as u32,
+                f3,
+                rs1.index() as u32,
+                rs2.index() as u32,
+                0x50 | fmt_bit(prec),
+            )
+        }
+        Instr::FpLoad { rd, rs1, imm, prec } => i_type(
+            LOAD_FP,
+            rd.index() as u32,
+            2 + fmt_bit(prec),
+            rs1.index() as u32,
+            check_imm(imm, 12)?,
+        ),
+        Instr::FpStore { rs2, rs1, imm, prec } => s_type(
+            STORE_FP,
+            2 + fmt_bit(prec),
+            rs1.index() as u32,
+            rs2.index() as u32,
+            check_imm(imm, 12)?,
+        ),
+        Instr::FpCvtFromInt { prec, rd, rs1 } => r_type(
+            OP_FP,
+            rd.index() as u32,
+            0,
+            rs1.index() as u32,
+            0,
+            0x68 | fmt_bit(prec),
+        ),
+        Instr::FpCvtToInt { prec, rd, rs1 } => r_type(
+            OP_FP,
+            rd.index() as u32,
+            0,
+            rs1.index() as u32,
+            0,
+            0x60 | fmt_bit(prec),
+        ),
+        Instr::FpMvFromInt { prec, rd, rs1 } => r_type(
+            OP_FP,
+            rd.index() as u32,
+            0,
+            rs1.index() as u32,
+            0,
+            0x78 | fmt_bit(prec),
+        ),
+        Instr::FpMvToInt { prec, rd, rs1 } => r_type(
+            OP_FP,
+            rd.index() as u32,
+            0,
+            rs1.index() as u32,
+            0,
+            0x70 | fmt_bit(prec),
+        ),
+
+        Instr::VSetVl { rd, avl, sew } => {
+            let (s1, is_imm) = match avl {
+                AvlSrc::Reg(r) => (r.index() as u32, 0),
+                AvlSrc::Imm(i) => {
+                    if i > 31 {
+                        return Err(EncodeError::ImmOutOfRange {
+                            imm: i64::from(i),
+                            bits: 5,
+                        });
+                    }
+                    (i, 1)
+                }
+            };
+            opv(
+                sew_code(sew),
+                is_imm == 1,
+                0,
+                s1,
+                K_SETVL,
+                rd.index() as u32,
+            )
+        }
+        Instr::VLoad {
+            vd,
+            base,
+            mode,
+            masked,
+        } => encode_vmem(LOAD_FP, vd.index() as u32, base, mode, masked),
+        Instr::VStore {
+            vs3,
+            base,
+            mode,
+            masked,
+        } => encode_vmem(STORE_FP, vs3.index() as u32, base, mode, masked),
+        Instr::VArith {
+            op,
+            vd,
+            src1,
+            vs2,
+            masked,
+        } => {
+            let (k, s1) = encode_vsrc(src1)?;
+            opv(varith_funct6(op), masked, vs2.index() as u32, s1, k, vd.index() as u32)
+        }
+        Instr::VCmp {
+            op,
+            vd,
+            vs2,
+            src1,
+            masked,
+        } => {
+            let (k, s1) = encode_vsrc(src1)?;
+            opv(vcmp_funct6(op), masked, vs2.index() as u32, s1, k, vd.index() as u32)
+        }
+        Instr::VRed {
+            op,
+            vd,
+            vs2,
+            vs1,
+            masked,
+        } => opv(
+            vred_funct6(op),
+            masked,
+            vs2.index() as u32,
+            vs1.index() as u32,
+            K_VV,
+            vd.index() as u32,
+        ),
+        Instr::VPopc { rd, vs2 } => opv(F6_POPC, false, vs2.index() as u32, 0, K_VV, rd.index() as u32),
+        Instr::VFirst { rd, vs2 } => {
+            opv(F6_FIRST, false, vs2.index() as u32, 0, K_VV, rd.index() as u32)
+        }
+        Instr::VMask { op, vd, vs1, vs2 } => opv(
+            vmask_funct6(op),
+            false,
+            vs2.index() as u32,
+            vs1.index() as u32,
+            K_VV,
+            vd.index() as u32,
+        ),
+        Instr::VRgather { vd, vs2, vs1 } => opv(
+            F6_RGATHER,
+            false,
+            vs2.index() as u32,
+            vs1.index() as u32,
+            K_VV,
+            vd.index() as u32,
+        ),
+        Instr::VSlideUp { vd, vs2, amt } => opv(
+            F6_SLIDEUP,
+            false,
+            vs2.index() as u32,
+            amt.index() as u32,
+            K_VX,
+            vd.index() as u32,
+        ),
+        Instr::VSlideDown { vd, vs2, amt } => opv(
+            F6_SLIDEDOWN,
+            false,
+            vs2.index() as u32,
+            amt.index() as u32,
+            K_VX,
+            vd.index() as u32,
+        ),
+        Instr::VMvVX { vd, rs1 } => opv(F6_MV_VX, false, 0, rs1.index() as u32, K_VX, vd.index() as u32),
+        Instr::VFMvVF { vd, fs1 } => {
+            opv(F6_FMV_VF, false, 0, fs1.index() as u32, K_VF, vd.index() as u32)
+        }
+        Instr::VMvVV { vd, vs2 } => opv(F6_MV_VV, false, vs2.index() as u32, 0, K_VV, vd.index() as u32),
+        Instr::VMvXS { rd, vs2 } => opv(F6_MV_XS, false, vs2.index() as u32, 0, K_VV, rd.index() as u32),
+        Instr::VFMvFS { rd, vs2 } => {
+            opv(F6_FMV_FS, false, vs2.index() as u32, 0, K_VV, rd.index() as u32)
+        }
+        Instr::VMvSX { vd, rs1 } => opv(F6_MV_SX, false, 0, rs1.index() as u32, K_VX, vd.index() as u32),
+        Instr::VId { vd, masked } => opv(F6_VID, masked, 0, 0, K_VV, vd.index() as u32),
+
+        Instr::VmFence => MISC_MEM | (0b1010 << 28),
+        Instr::Halt => SYSTEM | (1 << 20), // EBREAK
+        Instr::Nop => i_type(OP_IMM, 0, 0, 0, 0),
+    })
+}
+
+fn encode_vsrc(src1: VSrc) -> Result<(u32, u32), EncodeError> {
+    Ok(match src1 {
+        VSrc::V(v) => (K_VV, v.index() as u32),
+        VSrc::X(x) => (K_VX, x.index() as u32),
+        VSrc::F(f) => (K_VF, f.index() as u32),
+        VSrc::I(imm) => (K_VI, check_imm(imm, 5)?),
+    })
+}
+
+fn encode_vmem(opcode: u32, vreg: u32, base: XReg, mode: VMemMode, masked: bool) -> u32 {
+    let (mop, reg2) = match mode {
+        VMemMode::Unit => (0u32, 0u32),
+        VMemMode::Strided(s) => (2, s.index() as u32),
+        VMemMode::Indexed(v) => (3, v.index() as u32),
+    };
+    opcode
+        | (vreg << 7)
+        | (7 << 12) // funct3 = 7 distinguishes vector from scalar FP mem
+        | ((base.index() as u32) << 15)
+        | (reg2 << 20)
+        | (u32::from(masked) << 25)
+        | (mop << 26)
+}
+
+/// Decodes a 32-bit word back into an [`Instr`].
+///
+/// `pc` is the word's instruction index (for branch targets).
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Unrecognized`] for words outside the modeled
+/// subset.
+pub fn decode(word: u32, pc: u32) -> Result<Instr, DecodeError> {
+    let opcode = word & 0x7F;
+    let rd = ((word >> 7) & 0x1F) as u8;
+    let funct3 = (word >> 12) & 7;
+    let rs1 = ((word >> 15) & 0x1F) as u8;
+    let rs2 = ((word >> 20) & 0x1F) as u8;
+    let funct7 = (word >> 25) & 0x7F;
+    let err = DecodeError::Unrecognized(word);
+
+    Ok(match opcode {
+        OP => Instr::Op {
+            op: alu_from_funct(funct3, funct7).ok_or(err)?,
+            rd: XReg::new(rd),
+            rs1: XReg::new(rs1),
+            rs2: XReg::new(rs2),
+        },
+        OP_IMM => {
+            if word == i_type(OP_IMM, 0, 0, 0, 0) {
+                return Ok(Instr::Nop);
+            }
+            let raw = (word >> 20) & 0xFFF;
+            let op = match funct3 {
+                0 => AluOp::Add,
+                1 => AluOp::Sll,
+                2 => AluOp::Slt,
+                3 => AluOp::Sltu,
+                4 => AluOp::Xor,
+                5 => {
+                    if (raw >> 6) & 0x20 != 0 {
+                        AluOp::Sra
+                    } else {
+                        AluOp::Srl
+                    }
+                }
+                6 => AluOp::Or,
+                7 => AluOp::And,
+                _ => return Err(err),
+            };
+            let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                i64::from(raw & 0x3F)
+            } else {
+                sext(raw, 12)
+            };
+            Instr::OpImm {
+                op,
+                rd: XReg::new(rd),
+                rs1: XReg::new(rs1),
+                imm,
+            }
+        }
+        LUI => Instr::Lui {
+            rd: XReg::new(rd),
+            imm: sext(word >> 12, 20),
+        },
+        LOAD => {
+            let (width, signed) = match funct3 {
+                0 => (MemWidth::B, true),
+                1 => (MemWidth::H, true),
+                2 => (MemWidth::W, true),
+                3 => (MemWidth::D, true),
+                4 => (MemWidth::B, false),
+                5 => (MemWidth::H, false),
+                6 => (MemWidth::W, false),
+                _ => return Err(err),
+            };
+            Instr::Load {
+                rd: XReg::new(rd),
+                rs1: XReg::new(rs1),
+                imm: sext(word >> 20, 12),
+                width,
+                signed,
+            }
+        }
+        STORE => {
+            let width = match funct3 {
+                0 => MemWidth::B,
+                1 => MemWidth::H,
+                2 => MemWidth::W,
+                3 => MemWidth::D,
+                _ => return Err(err),
+            };
+            let imm = sext(((word >> 7) & 0x1F) | (((word >> 25) & 0x7F) << 5), 12);
+            Instr::Store {
+                rs2: XReg::new(rs2),
+                rs1: XReg::new(rs1),
+                imm,
+                width,
+            }
+        }
+        BRANCH => {
+            let imm = (((word >> 8) & 0xF) << 1)
+                | (((word >> 25) & 0x3F) << 5)
+                | (((word >> 7) & 1) << 11)
+                | ((word >> 31) << 12);
+            let disp = sext(imm, 13);
+            Instr::Branch {
+                op: branch_from_funct3(funct3).ok_or(err)?,
+                rs1: XReg::new(rs1),
+                rs2: XReg::new(rs2),
+                target: (i64::from(pc) + disp / 4) as u32,
+            }
+        }
+        JAL => {
+            let imm = (((word >> 21) & 0x3FF) << 1)
+                | (((word >> 20) & 1) << 11)
+                | (((word >> 12) & 0xFF) << 12)
+                | ((word >> 31) << 20);
+            let disp = sext(imm, 21);
+            Instr::Jal {
+                rd: XReg::new(rd),
+                target: (i64::from(pc) + disp / 4) as u32,
+            }
+        }
+        JALR => Instr::Jalr {
+            rd: XReg::new(rd),
+            rs1: XReg::new(rs1),
+            imm: sext(word >> 20, 12),
+        },
+        LOAD_FP | STORE_FP if funct3 == 7 => {
+            let masked = (word >> 25) & 1 == 1;
+            let mode = match (word >> 26) & 3 {
+                0 => VMemMode::Unit,
+                2 => VMemMode::Strided(XReg::new(rs2)),
+                3 => VMemMode::Indexed(VReg::new(rs2)),
+                _ => return Err(err),
+            };
+            if opcode == LOAD_FP {
+                Instr::VLoad {
+                    vd: VReg::new(rd),
+                    base: XReg::new(rs1),
+                    mode,
+                    masked,
+                }
+            } else {
+                Instr::VStore {
+                    vs3: VReg::new(rd),
+                    base: XReg::new(rs1),
+                    mode,
+                    masked,
+                }
+            }
+        }
+        LOAD_FP => {
+            let prec = if funct3 == 3 { FpPrec::D } else { FpPrec::S };
+            Instr::FpLoad {
+                rd: FReg::new(rd),
+                rs1: XReg::new(rs1),
+                imm: sext(word >> 20, 12),
+                prec,
+            }
+        }
+        STORE_FP => {
+            let prec = if funct3 == 3 { FpPrec::D } else { FpPrec::S };
+            let imm = sext(((word >> 7) & 0x1F) | (((word >> 25) & 0x7F) << 5), 12);
+            Instr::FpStore {
+                rs2: FReg::new(rs2),
+                rs1: XReg::new(rs1),
+                imm,
+                prec,
+            }
+        }
+        OP_FP => {
+            let prec = if funct7 & 1 == 1 { FpPrec::D } else { FpPrec::S };
+            match funct7 & !1 {
+                0x50 => {
+                    let op = match funct3 {
+                        0 => FpCmpOp::Le,
+                        1 => FpCmpOp::Lt,
+                        2 => FpCmpOp::Eq,
+                        _ => return Err(err),
+                    };
+                    Instr::FpCmp {
+                        op,
+                        prec,
+                        rd: XReg::new(rd),
+                        rs1: FReg::new(rs1),
+                        rs2: FReg::new(rs2),
+                    }
+                }
+                0x68 => Instr::FpCvtFromInt {
+                    prec,
+                    rd: FReg::new(rd),
+                    rs1: XReg::new(rs1),
+                },
+                0x60 => Instr::FpCvtToInt {
+                    prec,
+                    rd: XReg::new(rd),
+                    rs1: FReg::new(rs1),
+                },
+                0x78 => Instr::FpMvFromInt {
+                    prec,
+                    rd: FReg::new(rd),
+                    rs1: XReg::new(rs1),
+                },
+                0x70 => Instr::FpMvToInt {
+                    prec,
+                    rd: XReg::new(rd),
+                    rs1: FReg::new(rs1),
+                },
+                base => {
+                    let op = match (base, funct3) {
+                        (0x00, 0) => FpOp::Add,
+                        (0x04, 0) => FpOp::Sub,
+                        (0x08, 0) => FpOp::Mul,
+                        (0x0C, 0) => FpOp::Div,
+                        (0x2C, 0) => FpOp::Sqrt,
+                        (0x10, 0) => FpOp::Sgnj,
+                        (0x10, 1) => FpOp::Sgnjn,
+                        (0x10, 2) => FpOp::Sgnjx,
+                        (0x14, 0) => FpOp::Min,
+                        (0x14, 1) => FpOp::Max,
+                        _ => return Err(err),
+                    };
+                    Instr::FpOp {
+                        op,
+                        prec,
+                        rd: FReg::new(rd),
+                        rs1: FReg::new(rs1),
+                        rs2: FReg::new(rs2),
+                    }
+                }
+            }
+        }
+        FMADD => Instr::FpFma {
+            prec: if (word >> 25) & 1 == 1 {
+                FpPrec::D
+            } else {
+                FpPrec::S
+            },
+            rd: FReg::new(rd),
+            rs1: FReg::new(rs1),
+            rs2: FReg::new(rs2),
+            rs3: FReg::new(((word >> 27) & 0x1F) as u8),
+        },
+        OP_V => decode_opv(word, rd, funct3, rs1, rs2).ok_or(err)?,
+        MISC_MEM if (word >> 28) == 0b1010 => Instr::VmFence,
+        SYSTEM if word == SYSTEM | (1 << 20) => Instr::Halt,
+        _ => return Err(err),
+    })
+}
+
+fn decode_opv(word: u32, rd: u8, funct3: u32, s1: u8, vs2: u8, ) -> Option<Instr> {
+    let masked = (word >> 25) & 1 == 1;
+    let funct6 = word >> 26;
+    if funct3 == K_SETVL {
+        let sew = sew_from_code(funct6);
+        let avl = if masked {
+            AvlSrc::Imm(u32::from(s1))
+        } else {
+            AvlSrc::Reg(XReg::new(s1))
+        };
+        return Some(Instr::VSetVl {
+            rd: XReg::new(rd),
+            avl,
+            sew,
+        });
+    }
+    let vsrc = || match funct3 {
+        K_VV => Some(VSrc::V(VReg::new(s1))),
+        K_VX => Some(VSrc::X(XReg::new(s1))),
+        K_VF => Some(VSrc::F(FReg::new(s1))),
+        K_VI => Some(VSrc::I(sext(u32::from(s1), 5))),
+        _ => None,
+    };
+    if let Some(op) = varith_from_funct6(funct6) {
+        return Some(Instr::VArith {
+            op,
+            vd: VReg::new(rd),
+            src1: vsrc()?,
+            vs2: VReg::new(vs2),
+            masked,
+        });
+    }
+    if let Some(op) = vcmp_from_funct6(funct6) {
+        return Some(Instr::VCmp {
+            op,
+            vd: VReg::new(rd),
+            vs2: VReg::new(vs2),
+            src1: vsrc()?,
+            masked,
+        });
+    }
+    if let Some(op) = vred_from_funct6(funct6) {
+        return Some(Instr::VRed {
+            op,
+            vd: VReg::new(rd),
+            vs2: VReg::new(vs2),
+            vs1: VReg::new(s1),
+            masked,
+        });
+    }
+    if let Some(op) = vmask_from_funct6(funct6) {
+        return Some(Instr::VMask {
+            op,
+            vd: VReg::new(rd),
+            vs1: VReg::new(s1),
+            vs2: VReg::new(vs2),
+        });
+    }
+    Some(match funct6 {
+        F6_RGATHER => Instr::VRgather {
+            vd: VReg::new(rd),
+            vs2: VReg::new(vs2),
+            vs1: VReg::new(s1),
+        },
+        F6_SLIDEUP => Instr::VSlideUp {
+            vd: VReg::new(rd),
+            vs2: VReg::new(vs2),
+            amt: XReg::new(s1),
+        },
+        F6_SLIDEDOWN => Instr::VSlideDown {
+            vd: VReg::new(rd),
+            vs2: VReg::new(vs2),
+            amt: XReg::new(s1),
+        },
+        F6_MV_VX => Instr::VMvVX {
+            vd: VReg::new(rd),
+            rs1: XReg::new(s1),
+        },
+        F6_FMV_VF => Instr::VFMvVF {
+            vd: VReg::new(rd),
+            fs1: FReg::new(s1),
+        },
+        F6_MV_VV => Instr::VMvVV {
+            vd: VReg::new(rd),
+            vs2: VReg::new(vs2),
+        },
+        F6_MV_XS => Instr::VMvXS {
+            rd: XReg::new(rd),
+            vs2: VReg::new(vs2),
+        },
+        F6_FMV_FS => Instr::VFMvFS {
+            rd: FReg::new(rd),
+            vs2: VReg::new(vs2),
+        },
+        F6_MV_SX => Instr::VMvSX {
+            vd: VReg::new(rd),
+            rs1: XReg::new(s1),
+        },
+        F6_VID => Instr::VId {
+            vd: VReg::new(rd),
+            masked,
+        },
+        F6_POPC => Instr::VPopc {
+            rd: XReg::new(rd),
+            vs2: VReg::new(vs2),
+        },
+        F6_FIRST => Instr::VFirst {
+            rd: XReg::new(rd),
+            vs2: VReg::new(vs2),
+        },
+        _ => return None,
+    })
+}
+
+/// Formats an instruction as assembly-like text (used by `Display`).
+pub(crate) fn disasm(instr: &Instr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match *instr {
+        Instr::Op { op, rd, rs1, rs2 } => write!(f, "{} {rd}, {rs1}, {rs2}", alu_name(op)),
+        Instr::OpImm { op, rd, rs1, imm } => write!(f, "{}i {rd}, {rs1}, {imm}", alu_name(op)),
+        Instr::Lui { rd, imm } => write!(f, "lui {rd}, {imm}"),
+        Instr::Load {
+            rd,
+            rs1,
+            imm,
+            width,
+            signed,
+        } => write!(
+            f,
+            "l{}{} {rd}, {imm}({rs1})",
+            width_name(width),
+            if signed { "" } else { "u" }
+        ),
+        Instr::Store {
+            rs2,
+            rs1,
+            imm,
+            width,
+        } => write!(f, "s{} {rs2}, {imm}({rs1})", width_name(width)),
+        Instr::Branch {
+            op,
+            rs1,
+            rs2,
+            target,
+        } => {
+            let n = match op {
+                BranchOp::Eq => "beq",
+                BranchOp::Ne => "bne",
+                BranchOp::Lt => "blt",
+                BranchOp::Ge => "bge",
+                BranchOp::Ltu => "bltu",
+                BranchOp::Geu => "bgeu",
+            };
+            write!(f, "{n} {rs1}, {rs2}, @{target}")
+        }
+        Instr::Jal { rd, target } => write!(f, "jal {rd}, @{target}"),
+        Instr::Jalr { rd, rs1, imm } => write!(f, "jalr {rd}, {imm}({rs1})"),
+        Instr::FpOp {
+            op,
+            prec,
+            rd,
+            rs1,
+            rs2,
+        } => write!(f, "f{}.{} {rd}, {rs1}, {rs2}", fp_name(op), prec_name(prec)),
+        Instr::FpFma {
+            prec,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+        } => write!(f, "fmadd.{} {rd}, {rs1}, {rs2}, {rs3}", prec_name(prec)),
+        Instr::FpCmp {
+            op,
+            prec,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            let n = match op {
+                FpCmpOp::Eq => "feq",
+                FpCmpOp::Lt => "flt",
+                FpCmpOp::Le => "fle",
+            };
+            write!(f, "{n}.{} {rd}, {rs1}, {rs2}", prec_name(prec))
+        }
+        Instr::FpLoad { rd, rs1, imm, prec } => {
+            write!(f, "fl{} {rd}, {imm}({rs1})", fp_mem_suffix(prec))
+        }
+        Instr::FpStore { rs2, rs1, imm, prec } => {
+            write!(f, "fs{} {rs2}, {imm}({rs1})", fp_mem_suffix(prec))
+        }
+        Instr::FpCvtFromInt { prec, rd, rs1 } => {
+            write!(f, "fcvt.{}.l {rd}, {rs1}", prec_name(prec))
+        }
+        Instr::FpCvtToInt { prec, rd, rs1 } => {
+            write!(f, "fcvt.l.{} {rd}, {rs1}", prec_name(prec))
+        }
+        Instr::FpMvFromInt { prec, rd, rs1 } => {
+            write!(f, "fmv.{}.x {rd}, {rs1}", prec_name(prec))
+        }
+        Instr::FpMvToInt { prec, rd, rs1 } => write!(f, "fmv.x.{} {rd}, {rs1}", prec_name(prec)),
+        Instr::VSetVl { rd, avl, sew } => match avl {
+            AvlSrc::Reg(r) => write!(f, "vsetvli {rd}, {r}, {sew}"),
+            AvlSrc::Imm(i) => write!(f, "vsetivli {rd}, {i}, {sew}"),
+        },
+        Instr::VLoad {
+            vd,
+            base,
+            mode,
+            masked,
+        } => write_vmem(f, "vl", vd.index(), base, mode, masked),
+        Instr::VStore {
+            vs3,
+            base,
+            mode,
+            masked,
+        } => write_vmem(f, "vs", vs3.index(), base, mode, masked),
+        Instr::VArith {
+            op,
+            vd,
+            src1,
+            vs2,
+            masked,
+        } => {
+            write!(f, "{}.{} {vd}, {vs2}, ", varith_name(op), vsrc_suffix(src1))?;
+            write_vsrc(f, src1)?;
+            write_mask(f, masked)
+        }
+        Instr::VCmp {
+            op,
+            vd,
+            vs2,
+            src1,
+            masked,
+        } => {
+            let n = match op {
+                VCmpOp::Eq => "vmseq",
+                VCmpOp::Ne => "vmsne",
+                VCmpOp::Lt => "vmslt",
+                VCmpOp::Le => "vmsle",
+                VCmpOp::Gt => "vmsgt",
+                VCmpOp::FEq => "vmfeq",
+                VCmpOp::FLt => "vmflt",
+                VCmpOp::FLe => "vmfle",
+            };
+            write!(f, "{n}.{} {vd}, {vs2}, ", vsrc_suffix(src1))?;
+            write_vsrc(f, src1)?;
+            write_mask(f, masked)
+        }
+        Instr::VRed {
+            op,
+            vd,
+            vs2,
+            vs1,
+            masked,
+        } => {
+            let n = match op {
+                VRedOp::Sum => "vredsum",
+                VRedOp::Min => "vredmin",
+                VRedOp::Max => "vredmax",
+                VRedOp::FSum => "vfredosum",
+                VRedOp::FMin => "vfredmin",
+                VRedOp::FMax => "vfredmax",
+            };
+            write!(f, "{n}.vs {vd}, {vs2}, {vs1}")?;
+            write_mask(f, masked)
+        }
+        Instr::VPopc { rd, vs2 } => write!(f, "vcpop.m {rd}, {vs2}"),
+        Instr::VFirst { rd, vs2 } => write!(f, "vfirst.m {rd}, {vs2}"),
+        Instr::VMask { op, vd, vs1, vs2 } => {
+            let n = match op {
+                VMaskOp::And => "vmand",
+                VMaskOp::Or => "vmor",
+                VMaskOp::Xor => "vmxor",
+                VMaskOp::AndNot => "vmandn",
+                VMaskOp::Not => "vmnot",
+            };
+            write!(f, "{n}.mm {vd}, {vs1}, {vs2}")
+        }
+        Instr::VRgather { vd, vs2, vs1 } => write!(f, "vrgather.vv {vd}, {vs2}, {vs1}"),
+        Instr::VSlideUp { vd, vs2, amt } => write!(f, "vslideup.vx {vd}, {vs2}, {amt}"),
+        Instr::VSlideDown { vd, vs2, amt } => write!(f, "vslidedown.vx {vd}, {vs2}, {amt}"),
+        Instr::VMvVX { vd, rs1 } => write!(f, "vmv.v.x {vd}, {rs1}"),
+        Instr::VFMvVF { vd, fs1 } => write!(f, "vfmv.v.f {vd}, {fs1}"),
+        Instr::VMvVV { vd, vs2 } => write!(f, "vmv.v.v {vd}, {vs2}"),
+        Instr::VMvXS { rd, vs2 } => write!(f, "vmv.x.s {rd}, {vs2}"),
+        Instr::VFMvFS { rd, vs2 } => write!(f, "vfmv.f.s {rd}, {vs2}"),
+        Instr::VMvSX { vd, rs1 } => write!(f, "vmv.s.x {vd}, {rs1}"),
+        Instr::VId { vd, masked } => {
+            write!(f, "vid.v {vd}")?;
+            write_mask(f, masked)
+        }
+        Instr::VmFence => write!(f, "vmfence"),
+        Instr::Halt => write!(f, "halt"),
+        Instr::Nop => write!(f, "nop"),
+    }
+}
+
+fn write_mask(f: &mut fmt::Formatter<'_>, masked: bool) -> fmt::Result {
+    if masked {
+        write!(f, ", v0.t")
+    } else {
+        Ok(())
+    }
+}
+
+fn write_vsrc(f: &mut fmt::Formatter<'_>, src: VSrc) -> fmt::Result {
+    match src {
+        VSrc::V(v) => write!(f, "{v}"),
+        VSrc::X(x) => write!(f, "{x}"),
+        VSrc::F(r) => write!(f, "{r}"),
+        VSrc::I(i) => write!(f, "{i}"),
+    }
+}
+
+fn vsrc_suffix(src: VSrc) -> &'static str {
+    match src {
+        VSrc::V(_) => "vv",
+        VSrc::X(_) => "vx",
+        VSrc::F(_) => "vf",
+        VSrc::I(_) => "vi",
+    }
+}
+
+fn write_vmem(
+    f: &mut fmt::Formatter<'_>,
+    prefix: &str,
+    vreg: usize,
+    base: XReg,
+    mode: VMemMode,
+    masked: bool,
+) -> fmt::Result {
+    match mode {
+        VMemMode::Unit => write!(f, "{prefix}e.v v{vreg}, ({base})")?,
+        VMemMode::Strided(s) => write!(f, "{prefix}se.v v{vreg}, ({base}), {s}")?,
+        VMemMode::Indexed(v) => write!(f, "{prefix}uxei.v v{vreg}, ({base}), {v}")?,
+    }
+    write_mask(f, masked)
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Divu => "divu",
+        AluOp::Rem => "rem",
+        AluOp::Remu => "remu",
+    }
+}
+
+fn varith_name(op: VArithOp) -> &'static str {
+    use VArithOp::*;
+    match op {
+        Add => "vadd",
+        Sub => "vsub",
+        Mul => "vmul",
+        Div => "vdiv",
+        Divu => "vdivu",
+        Rem => "vrem",
+        Min => "vmin",
+        Max => "vmax",
+        And => "vand",
+        Or => "vor",
+        Xor => "vxor",
+        Sll => "vsll",
+        Srl => "vsrl",
+        Sra => "vsra",
+        FAdd => "vfadd",
+        FSub => "vfsub",
+        FMul => "vfmul",
+        FDiv => "vfdiv",
+        FMin => "vfmin",
+        FMax => "vfmax",
+        FSqrt => "vfsqrt",
+        FMacc => "vfmacc",
+        FNeg => "vfneg",
+        FAbs => "vfabs",
+        Merge => "vmerge",
+    }
+}
+
+fn fp_name(op: FpOp) -> &'static str {
+    match op {
+        FpOp::Add => "add",
+        FpOp::Sub => "sub",
+        FpOp::Mul => "mul",
+        FpOp::Div => "div",
+        FpOp::Min => "min",
+        FpOp::Max => "max",
+        FpOp::Sqrt => "sqrt",
+        FpOp::Sgnj => "sgnj",
+        FpOp::Sgnjn => "sgnjn",
+        FpOp::Sgnjx => "sgnjx",
+    }
+}
+
+fn prec_name(prec: FpPrec) -> &'static str {
+    match prec {
+        FpPrec::S => "s",
+        FpPrec::D => "d",
+    }
+}
+
+fn fp_mem_suffix(prec: FpPrec) -> &'static str {
+    match prec {
+        FpPrec::S => "w",
+        FpPrec::D => "d",
+    }
+}
+
+fn width_name(w: MemWidth) -> &'static str {
+    match w {
+        MemWidth::B => "b",
+        MemWidth::H => "h",
+        MemWidth::W => "w",
+        MemWidth::D => "d",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(i: Instr, pc: u32) {
+        let w = encode(&i, pc).unwrap();
+        let back = decode(w, pc).unwrap();
+        assert_eq!(i, back, "word {w:#010x}");
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        rt(
+            Instr::Op {
+                op: AluOp::Mul,
+                rd: XReg::new(3),
+                rs1: XReg::new(4),
+                rs2: XReg::new(5),
+            },
+            0,
+        );
+        rt(
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: XReg::new(1),
+                rs1: XReg::new(2),
+                imm: -42,
+            },
+            0,
+        );
+        rt(
+            Instr::OpImm {
+                op: AluOp::Sra,
+                rd: XReg::new(1),
+                rs1: XReg::new(2),
+                imm: 17,
+            },
+            0,
+        );
+        rt(
+            Instr::Load {
+                rd: XReg::new(7),
+                rs1: XReg::new(8),
+                imm: 12,
+                width: MemWidth::W,
+                signed: false,
+            },
+            0,
+        );
+        rt(
+            Instr::Store {
+                rs2: XReg::new(9),
+                rs1: XReg::new(10),
+                imm: -8,
+                width: MemWidth::D,
+            },
+            0,
+        );
+        rt(
+            Instr::Branch {
+                op: BranchOp::Ltu,
+                rs1: XReg::new(1),
+                rs2: XReg::new(2),
+                target: 5,
+            },
+            20,
+        );
+        rt(
+            Instr::Jal {
+                rd: XReg::RA,
+                target: 100,
+            },
+            3,
+        );
+        rt(Instr::Nop, 0);
+        rt(Instr::Halt, 0);
+        rt(Instr::VmFence, 0);
+    }
+
+    #[test]
+    fn fp_round_trips() {
+        rt(
+            Instr::FpOp {
+                op: FpOp::Sgnjx,
+                prec: FpPrec::S,
+                rd: FReg::new(1),
+                rs1: FReg::new(2),
+                rs2: FReg::new(2),
+            },
+            0,
+        );
+        rt(
+            Instr::FpFma {
+                prec: FpPrec::D,
+                rd: FReg::new(1),
+                rs1: FReg::new(2),
+                rs2: FReg::new(3),
+                rs3: FReg::new(4),
+            },
+            0,
+        );
+        rt(
+            Instr::FpCmp {
+                op: FpCmpOp::Lt,
+                prec: FpPrec::S,
+                rd: XReg::new(5),
+                rs1: FReg::new(6),
+                rs2: FReg::new(7),
+            },
+            0,
+        );
+        rt(
+            Instr::FpLoad {
+                rd: FReg::new(1),
+                rs1: XReg::new(2),
+                imm: 16,
+                prec: FpPrec::S,
+            },
+            0,
+        );
+        rt(
+            Instr::FpStore {
+                rs2: FReg::new(1),
+                rs1: XReg::new(2),
+                imm: -4,
+                prec: FpPrec::D,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn vector_round_trips() {
+        rt(
+            Instr::VSetVl {
+                rd: XReg::new(1),
+                avl: AvlSrc::Reg(XReg::new(2)),
+                sew: Sew::E32,
+            },
+            0,
+        );
+        rt(
+            Instr::VSetVl {
+                rd: XReg::new(1),
+                avl: AvlSrc::Imm(16),
+                sew: Sew::E64,
+            },
+            0,
+        );
+        rt(
+            Instr::VLoad {
+                vd: VReg::new(3),
+                base: XReg::new(4),
+                mode: VMemMode::Indexed(VReg::new(5)),
+                masked: true,
+            },
+            0,
+        );
+        rt(
+            Instr::VStore {
+                vs3: VReg::new(3),
+                base: XReg::new(4),
+                mode: VMemMode::Strided(XReg::new(6)),
+                masked: false,
+            },
+            0,
+        );
+        rt(
+            Instr::VArith {
+                op: VArithOp::FMacc,
+                vd: VReg::new(1),
+                src1: VSrc::F(FReg::new(2)),
+                vs2: VReg::new(3),
+                masked: false,
+            },
+            0,
+        );
+        rt(
+            Instr::VArith {
+                op: VArithOp::Sll,
+                vd: VReg::new(1),
+                src1: VSrc::I(-3),
+                vs2: VReg::new(3),
+                masked: true,
+            },
+            0,
+        );
+        rt(
+            Instr::VCmp {
+                op: VCmpOp::FLt,
+                vd: VReg::MASK,
+                vs2: VReg::new(2),
+                src1: VSrc::V(VReg::new(3)),
+                masked: false,
+            },
+            0,
+        );
+        rt(
+            Instr::VRed {
+                op: VRedOp::FSum,
+                vd: VReg::new(1),
+                vs2: VReg::new(2),
+                vs1: VReg::new(3),
+                masked: true,
+            },
+            0,
+        );
+        rt(
+            Instr::VPopc {
+                rd: XReg::new(1),
+                vs2: VReg::MASK,
+            },
+            0,
+        );
+        rt(
+            Instr::VRgather {
+                vd: VReg::new(1),
+                vs2: VReg::new(2),
+                vs1: VReg::new(3),
+            },
+            0,
+        );
+        rt(
+            Instr::VId {
+                vd: VReg::new(9),
+                masked: true,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn imm_out_of_range_errors() {
+        let i = Instr::OpImm {
+            op: AluOp::Add,
+            rd: XReg::new(1),
+            rs1: XReg::new(2),
+            imm: 40_000,
+        };
+        assert!(matches!(
+            encode(&i, 0),
+            Err(EncodeError::ImmOutOfRange { bits: 12, .. })
+        ));
+    }
+
+    #[test]
+    fn unrecognized_word_errors() {
+        assert!(decode(0xFFFF_FFFF, 0).is_err());
+    }
+
+    #[test]
+    fn disasm_smoke() {
+        let i = Instr::VArith {
+            op: VArithOp::FMacc,
+            vd: VReg::new(1),
+            src1: VSrc::V(VReg::new(2)),
+            vs2: VReg::new(3),
+            masked: false,
+        };
+        assert_eq!(i.to_string(), "vfmacc.vv v1, v3, v2");
+        let i = Instr::Load {
+            rd: XReg::new(1),
+            rs1: XReg::new(2),
+            imm: 8,
+            width: MemWidth::W,
+            signed: true,
+        };
+        assert_eq!(i.to_string(), "lw x1, 8(x2)");
+    }
+}

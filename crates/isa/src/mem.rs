@@ -1,0 +1,164 @@
+//! Byte-addressable memory abstraction used by the golden executor.
+//!
+//! The functional executor is generic over [`Memory`] so it can run against
+//! the cycle-level simulated DRAM in `bvl-mem` as well as the plain
+//! [`VecMemory`] used by unit tests and workload characterization.
+
+/// A little-endian byte-addressable memory.
+///
+/// Reads of unwritten locations return zero bytes; implementations decide
+/// how to back the address space (flat vector, sparse pages, ...).
+pub trait Memory {
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the range is outside the backed address
+    /// space.
+    fn read(&self, addr: u64, buf: &mut [u8]);
+
+    /// Writes `buf` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the range is outside the backed address
+    /// space.
+    fn write(&mut self, addr: u64, buf: &[u8]);
+
+    /// Reads an unsigned little-endian value of `size` bytes (1, 2, 4 or 8).
+    fn read_uint(&self, addr: u64, size: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf[..size as usize]);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes the low `size` bytes of `value` little-endian.
+    fn write_uint(&mut self, addr: u64, size: u64, value: u64) {
+        let bytes = value.to_le_bytes();
+        self.write(addr, &bytes[..size as usize]);
+    }
+
+    /// Reads an `f32` stored at `addr`.
+    fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read_uint(addr, 4) as u32)
+    }
+
+    /// Writes an `f32` at `addr`.
+    fn write_f32(&mut self, addr: u64, v: f32) {
+        self.write_uint(addr, 4, v.to_bits() as u64);
+    }
+
+    /// Reads an `f64` stored at `addr`.
+    fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_uint(addr, 8))
+    }
+
+    /// Writes an `f64` at `addr`.
+    fn write_f64(&mut self, addr: u64, v: f64) {
+        self.write_uint(addr, 8, v.to_bits());
+    }
+}
+
+/// A flat, eagerly-allocated memory for tests and functional runs.
+#[derive(Clone, Debug, Default)]
+pub struct VecMemory {
+    bytes: Vec<u8>,
+}
+
+impl VecMemory {
+    /// Creates a zero-initialized memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        VecMemory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Total backed size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the memory backs zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Grows the backed space to at least `size` bytes.
+    pub fn grow_to(&mut self, size: usize) {
+        if size > self.bytes.len() {
+            self.bytes.resize(size, 0);
+        }
+    }
+}
+
+impl Memory for VecMemory {
+    fn read(&self, addr: u64, buf: &mut [u8]) {
+        let a = addr as usize;
+        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+    }
+
+    fn write(&mut self, addr: u64, buf: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + buf.len()].copy_from_slice(buf);
+    }
+}
+
+/// Blanket impl so `&mut M` can be used wherever `M: Memory` is expected
+/// (mirrors `std::io::Read` for `&mut R`).
+impl<M: Memory + ?Sized> Memory for &mut M {
+    fn read(&self, addr: u64, buf: &mut [u8]) {
+        (**self).read(addr, buf);
+    }
+
+    fn write(&mut self, addr: u64, buf: &[u8]) {
+        (**self).write(addr, buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_round_trip() {
+        let mut m = VecMemory::new(64);
+        m.write_uint(8, 4, 0xDEAD_BEEF);
+        assert_eq!(m.read_uint(8, 4), 0xDEAD_BEEF);
+        assert_eq!(m.read_uint(8, 8), 0xDEAD_BEEF); // high bytes still zero
+        m.write_uint(16, 8, u64::MAX);
+        assert_eq!(m.read_uint(16, 8), u64::MAX);
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let mut m = VecMemory::new(64);
+        m.write_f32(0, 3.5);
+        assert_eq!(m.read_f32(0), 3.5);
+        m.write_f64(8, -1.25e100);
+        assert_eq!(m.read_f64(8), -1.25e100);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = VecMemory::new(16);
+        m.write_uint(0, 4, 0x0102_0304);
+        let mut b = [0u8; 4];
+        m.read(0, &mut b);
+        assert_eq!(b, [0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let m = VecMemory::new(32);
+        assert_eq!(m.read_uint(24, 8), 0);
+    }
+
+    #[test]
+    fn grow_preserves_contents() {
+        let mut m = VecMemory::new(8);
+        m.write_uint(0, 8, 42);
+        m.grow_to(1024);
+        assert_eq!(m.read_uint(0, 8), 42);
+        assert_eq!(m.len(), 1024);
+    }
+}

@@ -1,0 +1,214 @@
+//! Static per-instruction timing metadata shared by all timing models.
+//!
+//! Functional-unit classes and execution latencies live here so the little
+//! core, the big core, the VLITTLE engine and the baseline vector machines
+//! all price the *same operation* identically — performance differences
+//! between systems then come only from their microarchitectural structure
+//! (issue width, decoupling, bandwidth), as in the paper's methodology.
+
+use crate::instr::{AluOp, FpOp, Instr, VArithOp, VRedOp};
+
+/// Functional-unit class an instruction occupies while executing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FuClass {
+    /// Single-cycle integer ALU.
+    Alu,
+    /// Integer multiply/divide unit (long latency).
+    MulDiv,
+    /// Floating-point unit (long latency).
+    Fpu,
+    /// Memory port (latency comes from the cache model).
+    Mem,
+    /// Branch/jump resolution.
+    Branch,
+    /// Vector instruction (priced by the owning vector engine).
+    Vector,
+    /// No functional unit (nop, fences handled structurally).
+    None,
+}
+
+/// Execution latency (cycles) and FU class for a scalar instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ScalarMeta {
+    /// Functional unit occupied.
+    pub fu: FuClass,
+    /// Result-ready latency in cycles (memory ops report the *non-memory*
+    /// portion; the cache adds the rest).
+    pub latency: u32,
+}
+
+/// Latency of an integer ALU op.
+pub const LAT_ALU: u32 = 1;
+/// Latency of an integer multiply.
+pub const LAT_MUL: u32 = 4;
+/// Latency of an integer divide/remainder.
+pub const LAT_DIV: u32 = 12;
+/// Latency of simple FP ops (add/sub/min/max/sign/convert/move).
+pub const LAT_FP_SIMPLE: u32 = 4;
+/// Latency of an FP multiply.
+pub const LAT_FP_MUL: u32 = 4;
+/// Latency of an FP fused multiply-add.
+pub const LAT_FP_FMA: u32 = 5;
+/// Latency of an FP divide.
+pub const LAT_FP_DIV: u32 = 12;
+/// Latency of an FP square root.
+pub const LAT_FP_SQRT: u32 = 16;
+/// Address-generation + issue latency of a memory op (cache adds the rest).
+pub const LAT_MEM_ISSUE: u32 = 1;
+
+/// Returns the FU class and latency of a scalar instruction.
+///
+/// Vector instructions report [`FuClass::Vector`] with zero latency — the
+/// owning vector engine prices them.
+pub fn scalar_meta(instr: &Instr) -> ScalarMeta {
+    if instr.is_vector() {
+        return ScalarMeta {
+            fu: FuClass::Vector,
+            latency: 0,
+        };
+    }
+    match instr {
+        Instr::Op { op, .. } | Instr::OpImm { op, .. } => {
+            if op.is_muldiv() {
+                ScalarMeta {
+                    fu: FuClass::MulDiv,
+                    latency: match op {
+                        AluOp::Mul => LAT_MUL,
+                        _ => LAT_DIV,
+                    },
+                }
+            } else {
+                ScalarMeta {
+                    fu: FuClass::Alu,
+                    latency: LAT_ALU,
+                }
+            }
+        }
+        Instr::Lui { .. } => ScalarMeta {
+            fu: FuClass::Alu,
+            latency: LAT_ALU,
+        },
+        Instr::Load { .. } | Instr::Store { .. } | Instr::FpLoad { .. } | Instr::FpStore { .. } => {
+            ScalarMeta {
+                fu: FuClass::Mem,
+                latency: LAT_MEM_ISSUE,
+            }
+        }
+        Instr::Branch { .. } | Instr::Jal { .. } | Instr::Jalr { .. } => ScalarMeta {
+            fu: FuClass::Branch,
+            latency: LAT_ALU,
+        },
+        Instr::FpOp { op, .. } => ScalarMeta {
+            fu: FuClass::Fpu,
+            latency: match op {
+                FpOp::Mul => LAT_FP_MUL,
+                FpOp::Div => LAT_FP_DIV,
+                FpOp::Sqrt => LAT_FP_SQRT,
+                _ => LAT_FP_SIMPLE,
+            },
+        },
+        Instr::FpFma { .. } => ScalarMeta {
+            fu: FuClass::Fpu,
+            latency: LAT_FP_FMA,
+        },
+        Instr::FpCmp { .. }
+        | Instr::FpCvtFromInt { .. }
+        | Instr::FpCvtToInt { .. }
+        | Instr::FpMvFromInt { .. }
+        | Instr::FpMvToInt { .. } => ScalarMeta {
+            fu: FuClass::Fpu,
+            latency: LAT_FP_SIMPLE,
+        },
+        // vsetvl computes min(avl, VLMAX): one ALU cycle in the scalar
+        // core (see `Instr::is_vector`).
+        Instr::VSetVl { .. } => ScalarMeta {
+            fu: FuClass::Alu,
+            latency: LAT_ALU,
+        },
+        Instr::Nop => ScalarMeta {
+            fu: FuClass::None,
+            latency: LAT_ALU,
+        },
+        Instr::Halt | Instr::VmFence => ScalarMeta {
+            fu: FuClass::None,
+            latency: LAT_ALU,
+        },
+        // Vector variants are handled by the early return.
+        _ => ScalarMeta {
+            fu: FuClass::Vector,
+            latency: 0,
+        },
+    }
+}
+
+/// Per-element execution latency of a vector arithmetic op in an execution
+/// lane (shared by the VLITTLE engine and the baseline vector machines).
+pub fn vector_op_latency(op: VArithOp) -> u32 {
+    use VArithOp::*;
+    match op {
+        Add | Sub | Min | Max | And | Or | Xor | Sll | Srl | Sra | Merge => LAT_ALU,
+        Mul => LAT_MUL,
+        Div | Divu | Rem => LAT_DIV,
+        FAdd | FSub | FMin | FMax | FNeg | FAbs => LAT_FP_SIMPLE,
+        FMul => LAT_FP_MUL,
+        FMacc => LAT_FP_FMA,
+        FDiv => LAT_FP_DIV,
+        FSqrt => LAT_FP_SQRT,
+    }
+}
+
+/// Per-element latency of a reduction step.
+pub fn reduction_step_latency(op: VRedOp) -> u32 {
+    if op.is_fp() {
+        LAT_FP_SIMPLE
+    } else {
+        LAT_ALU
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{VReg, XReg};
+
+    #[test]
+    fn alu_is_single_cycle() {
+        let i = Instr::Op {
+            op: AluOp::Add,
+            rd: XReg::new(1),
+            rs1: XReg::new(2),
+            rs2: XReg::new(3),
+        };
+        let m = scalar_meta(&i);
+        assert_eq!(m.fu, FuClass::Alu);
+        assert_eq!(m.latency, 1);
+    }
+
+    #[test]
+    fn div_is_long_latency() {
+        let i = Instr::Op {
+            op: AluOp::Div,
+            rd: XReg::new(1),
+            rs1: XReg::new(2),
+            rs2: XReg::new(3),
+        };
+        let m = scalar_meta(&i);
+        assert_eq!(m.fu, FuClass::MulDiv);
+        assert_eq!(m.latency, LAT_DIV);
+    }
+
+    #[test]
+    fn vector_ops_defer_to_engine() {
+        let i = Instr::VPopc {
+            rd: XReg::new(1),
+            vs2: VReg::MASK,
+        };
+        assert_eq!(scalar_meta(&i).fu, FuClass::Vector);
+    }
+
+    #[test]
+    fn fp_latency_ordering() {
+        assert!(vector_op_latency(VArithOp::FDiv) > vector_op_latency(VArithOp::FMul));
+        assert!(vector_op_latency(VArithOp::FMul) > vector_op_latency(VArithOp::Add));
+    }
+}

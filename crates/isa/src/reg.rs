@@ -1,0 +1,120 @@
+//! Architectural register newtypes.
+//!
+//! The simulator manipulates three architectural register files: 32 scalar
+//! integer registers (`x0`–`x31`, with `x0` hard-wired to zero), 32 scalar
+//! floating-point registers (`f0`–`f31`), and 32 vector registers
+//! (`v0`–`v31`, with `v0` doubling as the mask register per RVV 1.0).
+//! Newtypes keep the three spaces statically distinct (C-NEWTYPE).
+
+use std::fmt;
+
+/// Number of architectural registers in each register file.
+pub const NUM_REGS: usize = 32;
+
+macro_rules! define_reg {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Creates a register from its architectural index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index >= 32`.
+            pub const fn new(index: u8) -> Self {
+                assert!(index < NUM_REGS as u8, "register index out of range");
+                Self(index)
+            }
+
+            /// Returns the architectural index (0–31).
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Iterates over all 32 architectural registers.
+            pub fn all() -> impl Iterator<Item = Self> {
+                (0..NUM_REGS as u8).map(Self)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(r: $name) -> usize {
+                r.index()
+            }
+        }
+    };
+}
+
+define_reg!(
+    /// A scalar integer register `x0`–`x31`. `x0` reads as zero and ignores
+    /// writes.
+    XReg,
+    "x"
+);
+define_reg!(
+    /// A scalar floating-point register `f0`–`f31`.
+    FReg,
+    "f"
+);
+define_reg!(
+    /// A vector register `v0`–`v31`. `v0` holds the mask for masked
+    /// operations (RVV 1.0).
+    VReg,
+    "v"
+);
+
+impl XReg {
+    /// The hard-wired zero register `x0`.
+    pub const ZERO: XReg = XReg(0);
+    /// Conventional return-address register `x1`.
+    pub const RA: XReg = XReg(1);
+    /// Conventional stack-pointer register `x2`.
+    pub const SP: XReg = XReg(2);
+}
+
+impl VReg {
+    /// The mask register `v0`.
+    pub const MASK: VReg = VReg(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for i in 0..32u8 {
+            assert_eq!(XReg::new(i).index(), i as usize);
+            assert_eq!(FReg::new(i).index(), i as usize);
+            assert_eq!(VReg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn out_of_range_panics() {
+        let _ = XReg::new(32);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(XReg::new(5).to_string(), "x5");
+        assert_eq!(FReg::new(31).to_string(), "f31");
+        assert_eq!(VReg::MASK.to_string(), "v0");
+    }
+
+    #[test]
+    fn all_yields_32_distinct() {
+        let v: Vec<XReg> = XReg::all().collect();
+        assert_eq!(v.len(), 32);
+        assert_eq!(v[0], XReg::ZERO);
+    }
+}

@@ -1,0 +1,144 @@
+//! Vector-configuration state (RVV 1.0 `vtype`/`vl` subset).
+//!
+//! Next-generation vector ISAs are *vector-length agnostic*: software asks
+//! for an application vector length with `vsetvl` and the hardware grants
+//! `min(requested, VLMAX)` where `VLMAX = VLEN / SEW` for the machine's
+//! hardware vector length `VLEN`. The same binary therefore runs on the
+//! 128-bit integrated unit, the 512-bit VLITTLE engine and the 2048-bit
+//! decoupled engine — exactly the property the paper leans on.
+
+use std::fmt;
+
+/// Selected element width (the RVV `vsew` field).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Sew {
+    /// 8-bit elements.
+    E8,
+    /// 16-bit elements.
+    E16,
+    /// 32-bit elements (the width used by all of the paper's workloads).
+    #[default]
+    E32,
+    /// 64-bit elements.
+    E64,
+}
+
+impl Sew {
+    /// Element width in bits.
+    pub const fn bits(self) -> u32 {
+        match self {
+            Sew::E8 => 8,
+            Sew::E16 => 16,
+            Sew::E32 => 32,
+            Sew::E64 => 64,
+        }
+    }
+
+    /// Element width in bytes.
+    pub const fn bytes(self) -> u64 {
+        (self.bits() / 8) as u64
+    }
+
+    /// A bit mask covering one element (`u64::MAX` for [`Sew::E64`]).
+    pub const fn mask(self) -> u64 {
+        match self {
+            Sew::E64 => u64::MAX,
+            _ => (1u64 << self.bits()) - 1,
+        }
+    }
+
+    /// Sign-extends an element-sized value to 64 bits.
+    pub const fn sign_extend(self, v: u64) -> u64 {
+        match self {
+            Sew::E8 => v as u8 as i8 as i64 as u64,
+            Sew::E16 => v as u16 as i16 as i64 as u64,
+            Sew::E32 => v as u32 as i32 as i64 as u64,
+            Sew::E64 => v,
+        }
+    }
+
+    /// All supported element widths, narrowest first.
+    pub const ALL: [Sew; 4] = [Sew::E8, Sew::E16, Sew::E32, Sew::E64];
+}
+
+impl fmt::Display for Sew {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.bits())
+    }
+}
+
+/// The dynamic vector-configuration state of a hart: granted `vl` and the
+/// active element width.
+///
+/// Constructed by executing a `vsetvl`; queried by every subsequent vector
+/// instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct VectorConfig {
+    /// Granted vector length in elements.
+    pub vl: u32,
+    /// Active element width.
+    pub sew: Sew,
+}
+
+impl VectorConfig {
+    /// Computes the configuration granted by `vsetvl avl, sew` on a machine
+    /// with hardware vector length `vlen_bits`.
+    ///
+    /// Returns `vl = min(avl, VLMAX)` with `VLMAX = vlen_bits / sew`.
+    pub fn grant(avl: u64, sew: Sew, vlen_bits: u32) -> Self {
+        let vlmax = (vlen_bits / sew.bits()) as u64;
+        VectorConfig {
+            vl: avl.min(vlmax) as u32,
+            sew,
+        }
+    }
+
+    /// `VLMAX` for a machine with the given hardware vector length at this
+    /// configuration's element width.
+    pub fn vlmax(vlen_bits: u32, sew: Sew) -> u32 {
+        vlen_bits / sew.bits()
+    }
+}
+
+impl fmt::Display for VectorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vl={} {}", self.vl, self.sew)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vlmax_matches_paper_configs() {
+        // 128-bit integrated unit: 4 x 32-bit elements.
+        assert_eq!(VectorConfig::vlmax(128, Sew::E32), 4);
+        // 512-bit VLITTLE engine: 16 x 32-bit elements.
+        assert_eq!(VectorConfig::vlmax(512, Sew::E32), 16);
+        // 2048-bit decoupled engine: 64 x 32-bit elements.
+        assert_eq!(VectorConfig::vlmax(2048, Sew::E32), 64);
+    }
+
+    #[test]
+    fn grant_clamps_to_vlmax() {
+        let cfg = VectorConfig::grant(1000, Sew::E32, 512);
+        assert_eq!(cfg.vl, 16);
+        let cfg = VectorConfig::grant(3, Sew::E32, 512);
+        assert_eq!(cfg.vl, 3);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(Sew::E8.sign_extend(0x80), 0xFFFF_FFFF_FFFF_FF80);
+        assert_eq!(Sew::E32.sign_extend(0x7FFF_FFFF), 0x7FFF_FFFF);
+        assert_eq!(Sew::E32.sign_extend(0x8000_0000), 0xFFFF_FFFF_8000_0000);
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(Sew::E8.mask(), 0xFF);
+        assert_eq!(Sew::E32.mask(), 0xFFFF_FFFF);
+        assert_eq!(Sew::E64.mask(), u64::MAX);
+    }
+}

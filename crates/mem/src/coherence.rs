@@ -1,0 +1,221 @@
+//! Invalidation-based MSI directory kept beside the shared L2.
+//!
+//! A simplified stand-in for the paper's AMBA 5 CHI coherent interconnect:
+//! the directory is the authority on which L1 holds each line and in what
+//! state. L1 caches themselves only track presence + dirtiness; the
+//! hierarchy consults the directory on every L1 access that reaches the
+//! shared level and applies the returned actions (invalidate sharers,
+//! collect a dirty copy from the owner).
+//!
+//! This is the mechanism behind the paper's mode-switch behaviour (section
+//! III-E): after entering vector mode a line cached in the "wrong" bank is
+//! migrated by exactly this invalidate-and-refill path the first time the
+//! VMU touches it.
+
+use std::collections::HashMap;
+
+/// Maximum number of tracked L1 caches.
+pub const MAX_CACHES: usize = 32;
+
+/// The sharing state of one line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Bitmask of caches holding the line.
+    pub sharers: u32,
+    /// Cache holding the line in modified state, if any.
+    pub owner: Option<u8>,
+}
+
+/// Actions the hierarchy must perform to satisfy an access coherently.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoherenceActions {
+    /// Caches that must invalidate their copy.
+    pub invalidate: Vec<u8>,
+    /// Cache that must surrender a dirty copy (writeback-forward).
+    pub fetch_dirty_from: Option<u8>,
+}
+
+impl CoherenceActions {
+    /// True when the access proceeds with no coherence traffic.
+    pub fn is_empty(&self) -> bool {
+        self.invalidate.is_empty() && self.fetch_dirty_from.is_none()
+    }
+}
+
+/// The MSI directory.
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirEntry>,
+    /// Coherence messages issued (for stats / latency accounting).
+    messages: u64,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total coherence messages (invalidations + dirty fetches) issued.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Current sharing state of a line (absent lines are unshared).
+    pub fn entry(&self, line: u64) -> DirEntry {
+        self.entries.get(&line).copied().unwrap_or_default()
+    }
+
+    /// Registers a *read* by `cache`; returns required actions.
+    ///
+    /// A modified copy elsewhere is collected (writeback-forward) and the
+    /// former owner downgrades to sharer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache >= MAX_CACHES`.
+    pub fn on_read(&mut self, line: u64, cache: u8) -> CoherenceActions {
+        assert!((cache as usize) < MAX_CACHES);
+        let e = self.entries.entry(line).or_default();
+        let mut actions = CoherenceActions::default();
+        if let Some(owner) = e.owner {
+            if owner != cache {
+                actions.fetch_dirty_from = Some(owner);
+                self.messages += 1;
+                e.owner = None;
+            }
+        }
+        e.sharers |= 1 << cache;
+        actions
+    }
+
+    /// Registers a *write* by `cache`; every other copy is invalidated and
+    /// a dirty copy elsewhere is collected first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache >= MAX_CACHES`.
+    pub fn on_write(&mut self, line: u64, cache: u8) -> CoherenceActions {
+        assert!((cache as usize) < MAX_CACHES);
+        let e = self.entries.entry(line).or_default();
+        let mut actions = CoherenceActions::default();
+        if let Some(owner) = e.owner {
+            if owner != cache {
+                actions.fetch_dirty_from = Some(owner);
+                self.messages += 1;
+            }
+        }
+        for c in 0..MAX_CACHES as u8 {
+            if c != cache && e.sharers & (1 << c) != 0 {
+                actions.invalidate.push(c);
+                self.messages += 1;
+            }
+        }
+        e.sharers = 1 << cache;
+        e.owner = Some(cache);
+        actions
+    }
+
+    /// Registers that `cache` evicted (or was invalidated for) `line`.
+    pub fn on_evict(&mut self, line: u64, cache: u8) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.sharers &= !(1 << cache);
+            if e.owner == Some(cache) {
+                e.owner = None;
+            }
+            if e.sharers == 0 && e.owner.is_none() {
+                self.entries.remove(&line);
+            }
+        }
+    }
+
+    /// True if any cache other than `cache` holds the line.
+    pub fn held_elsewhere(&self, line: u64, cache: u8) -> bool {
+        let e = self.entry(line);
+        e.sharers & !(1u32 << cache) != 0
+    }
+
+    /// Number of tracked lines (for tests / occupancy stats).
+    pub fn tracked_lines(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_read_share_peacefully() {
+        let mut d = Directory::new();
+        assert!(d.on_read(0x100, 0).is_empty());
+        assert!(d.on_read(0x100, 1).is_empty());
+        let e = d.entry(0x100);
+        assert_eq!(e.sharers, 0b11);
+        assert_eq!(e.owner, None);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new();
+        d.on_read(0x100, 0);
+        d.on_read(0x100, 1);
+        let a = d.on_write(0x100, 2);
+        assert_eq!(a.invalidate, vec![0, 1]);
+        assert_eq!(a.fetch_dirty_from, None);
+        let e = d.entry(0x100);
+        assert_eq!(e.sharers, 0b100);
+        assert_eq!(e.owner, Some(2));
+    }
+
+    #[test]
+    fn read_after_write_collects_dirty_copy() {
+        let mut d = Directory::new();
+        d.on_write(0x100, 0);
+        let a = d.on_read(0x100, 1);
+        assert_eq!(a.fetch_dirty_from, Some(0));
+        assert!(a.invalidate.is_empty());
+        let e = d.entry(0x100);
+        assert_eq!(e.owner, None);
+        assert_eq!(e.sharers, 0b11);
+    }
+
+    #[test]
+    fn write_after_write_migrates_ownership() {
+        let mut d = Directory::new();
+        d.on_write(0x100, 0);
+        let a = d.on_write(0x100, 1);
+        assert_eq!(a.fetch_dirty_from, Some(0));
+        assert_eq!(a.invalidate, vec![0]);
+        assert_eq!(d.entry(0x100).owner, Some(1));
+    }
+
+    #[test]
+    fn rewrite_by_owner_is_silent() {
+        let mut d = Directory::new();
+        d.on_write(0x100, 0);
+        let a = d.on_write(0x100, 0);
+        assert!(a.is_empty());
+        assert_eq!(d.messages(), 0);
+    }
+
+    #[test]
+    fn eviction_clears_tracking() {
+        let mut d = Directory::new();
+        d.on_read(0x100, 0);
+        d.on_evict(0x100, 0);
+        assert_eq!(d.tracked_lines(), 0);
+        assert!(!d.held_elsewhere(0x100, 1));
+    }
+
+    #[test]
+    fn held_elsewhere_detects_wrong_bank_residency() {
+        // The vector-mode line-migration scenario: core 1 cached a line in
+        // scalar mode; in vector mode the line's home bank is 0.
+        let mut d = Directory::new();
+        d.on_write(0x100, 1);
+        assert!(d.held_elsewhere(0x100, 0));
+        let a = d.on_read(0x100, 0);
+        assert_eq!(a.fetch_dirty_from, Some(1));
+    }
+}

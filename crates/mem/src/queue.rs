@@ -1,0 +1,195 @@
+//! Latency-modeling queues shared by the timing components.
+
+use std::collections::VecDeque;
+
+/// A queue whose entries become visible only after a fixed delay, modeling
+/// a pipelined path of known depth (e.g. the VCU's broadcast bus or a
+/// cache's hit pipeline).
+#[derive(Clone, Debug)]
+pub struct DelayQueue<T> {
+    entries: VecDeque<(u64, T)>, // (ready_cycle, payload)
+    latency: u64,
+}
+
+impl<T> DelayQueue<T> {
+    /// Creates a queue with the given pipeline latency in cycles.
+    pub fn new(latency: u64) -> Self {
+        DelayQueue {
+            entries: VecDeque::new(),
+            latency,
+        }
+    }
+
+    /// The configured latency.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Inserts `item` at cycle `now`; it becomes poppable at
+    /// `now + latency`.
+    pub fn push(&mut self, now: u64, item: T) {
+        self.entries.push_back((now + self.latency, item));
+    }
+
+    /// Inserts with an extra delay on top of the base latency.
+    pub fn push_with_extra(&mut self, now: u64, extra: u64, item: T) {
+        self.entries.push_back((now + self.latency + extra, item));
+    }
+
+    /// Pops the oldest entry if it is ready at cycle `now`.
+    pub fn pop_ready(&mut self, now: u64) -> Option<T> {
+        if self.entries.front().is_some_and(|(t, _)| *t <= now) {
+            self.entries.pop_front().map(|(_, v)| v)
+        } else {
+            None
+        }
+    }
+
+    /// Peeks at the oldest entry if it is ready at cycle `now`.
+    pub fn peek_ready(&self, now: u64) -> Option<&T> {
+        self.entries
+            .front()
+            .filter(|(t, _)| *t <= now)
+            .map(|(_, v)| v)
+    }
+
+    /// Number of queued entries (ready or not).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// A bounded FIFO with occupancy-based backpressure, modeling a hardware
+/// queue of fixed depth (UopQ, DataQ, command queues, ...).
+#[derive(Clone, Debug)]
+pub struct BoundedQueue<T> {
+    entries: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Attempts to enqueue; returns `false` (rejecting the item) when full.
+    pub fn try_push(&mut self, item: T) -> bool {
+        if self.entries.len() >= self.capacity {
+            false
+        } else {
+            self.entries.push_back(item);
+            true
+        }
+    }
+
+    /// Dequeues the oldest entry.
+    pub fn pop(&mut self) -> Option<T> {
+        self.entries.pop_front()
+    }
+
+    /// Peeks the oldest entry.
+    pub fn front(&self) -> Option<&T> {
+        self.entries.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter()
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_queue_respects_latency() {
+        let mut q = DelayQueue::new(3);
+        q.push(10, "a");
+        assert!(q.pop_ready(12).is_none());
+        assert_eq!(q.pop_ready(13), Some("a"));
+    }
+
+    #[test]
+    fn delay_queue_preserves_order() {
+        let mut q = DelayQueue::new(1);
+        q.push(0, 1);
+        q.push(0, 2);
+        assert_eq!(q.pop_ready(5), Some(1));
+        assert_eq!(q.pop_ready(5), Some(2));
+        assert_eq!(q.pop_ready(5), None);
+    }
+
+    #[test]
+    fn delay_queue_head_of_line_blocks() {
+        let mut q = DelayQueue::new(0);
+        q.push_with_extra(0, 10, "slow");
+        q.push(0, "fast");
+        // "fast" is ready but behind "slow" — FIFO order is preserved.
+        assert!(q.pop_ready(5).is_none());
+        assert_eq!(q.pop_ready(10), Some("slow"));
+        assert_eq!(q.pop_ready(10), Some("fast"));
+    }
+
+    #[test]
+    fn bounded_queue_backpressure() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.try_push(1));
+        assert!(q.try_push(2));
+        assert!(!q.try_push(3));
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3));
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

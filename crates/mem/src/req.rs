@@ -1,0 +1,118 @@
+//! Memory request/response types and port identifiers.
+
+use std::fmt;
+
+/// Kind of access, used for the paper's traffic breakdowns (Figures 5–6).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// Instruction fetch.
+    IFetch,
+    /// Data access.
+    Data,
+}
+
+/// Identifies which agent issued a request (and where its response goes).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PortId {
+    /// A little core's L1D port (`core` = cluster index).
+    LittleData(u8),
+    /// A little core's L1I (front-end fetch) port.
+    LittleFetch(u8),
+    /// The big core's L1D port.
+    BigData,
+    /// The integrated vector unit's port — shares the big core's L1D (and
+    /// therefore its port bandwidth), but responses route separately.
+    Ivu,
+    /// The big core's L1I port.
+    BigFetch,
+    /// The VLITTLE vector memory unit, addressing L1D bank `0..n`.
+    Vmu(u8),
+    /// The decoupled vector engine's high-bandwidth L2 port.
+    DveL2,
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortId::LittleData(c) => write!(f, "L{c}.d"),
+            PortId::LittleFetch(c) => write!(f, "L{c}.i"),
+            PortId::BigData => write!(f, "big.d"),
+            PortId::Ivu => write!(f, "ivu"),
+            PortId::BigFetch => write!(f, "big.i"),
+            PortId::Vmu(b) => write!(f, "vmu.{b}"),
+            PortId::DveL2 => write!(f, "dve.l2"),
+        }
+    }
+}
+
+/// One memory request travelling through the hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemReq {
+    /// Caller-assigned identifier, echoed in the response.
+    pub id: u64,
+    /// Byte address of the access.
+    pub addr: u64,
+    /// Access size in bytes (line-sized for vector/fetch traffic).
+    pub size: u64,
+    /// True for stores/writebacks.
+    pub is_store: bool,
+    /// Fetch vs data.
+    pub kind: AccessKind,
+    /// Issuing agent.
+    pub port: PortId,
+}
+
+/// Response delivered back to the issuing port.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemResp {
+    /// The identifier of the completed request.
+    pub id: u64,
+    /// Address of the completed request.
+    pub addr: u64,
+    /// True if the completed request was a store.
+    pub is_store: bool,
+    /// The issuing agent the response is for.
+    pub port: PortId,
+}
+
+impl MemReq {
+    /// The response acknowledging this request.
+    pub fn response(&self) -> MemResp {
+        MemResp {
+            id: self.id,
+            addr: self.addr,
+            is_store: self.is_store,
+            port: self.port,
+        }
+    }
+
+    /// The line-aligned base address for `line_bytes`-sized lines.
+    pub fn line_addr(&self, line_bytes: u64) -> u64 {
+        self.addr & !(line_bytes - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_alignment() {
+        let r = MemReq {
+            id: 1,
+            addr: 0x1234,
+            size: 4,
+            is_store: false,
+            kind: AccessKind::Data,
+            port: PortId::BigData,
+        };
+        assert_eq!(r.line_addr(64), 0x1200);
+        assert_eq!(r.response().id, 1);
+    }
+
+    #[test]
+    fn port_display() {
+        assert_eq!(PortId::LittleData(2).to_string(), "L2.d");
+        assert_eq!(PortId::Vmu(3).to_string(), "vmu.3");
+    }
+}

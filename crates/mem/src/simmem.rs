@@ -1,0 +1,189 @@
+//! The shared functional memory image and workload-data allocator.
+//!
+//! All simulated cores (and the golden executors inside them) read and
+//! write one [`SimMemory`]. The timing hierarchy in [`crate::hier`] only
+//! models *when* accesses complete; the bytes themselves live here.
+
+use bvl_isa::mem::Memory;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Default backing size (64 MiB) — enough for every workload at the
+/// default scales.
+pub const DEFAULT_SIZE: usize = 64 << 20;
+
+/// A flat byte memory with a bump allocator for laying out workload data.
+#[derive(Clone, Debug)]
+pub struct SimMemory {
+    bytes: Vec<u8>,
+    /// Next free address for [`SimMemory::alloc`]. Starts above a reserved
+    /// low region so null-ish addresses fault loudly in tests.
+    brk: u64,
+}
+
+impl SimMemory {
+    /// Creates a zeroed memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        SimMemory {
+            bytes: vec![0; size],
+            brk: 0x1000,
+        }
+    }
+
+    /// Total backed bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the memory backs zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Allocates `size` bytes aligned to `align` and returns the base
+    /// address. Purely a bump allocator; there is no free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or the region is exhausted.
+    pub fn alloc(&mut self, size: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.brk + align - 1) & !(align - 1);
+        let end = base + size;
+        assert!(
+            (end as usize) <= self.bytes.len(),
+            "simulated memory exhausted: need {end:#x}, have {:#x}",
+            self.bytes.len()
+        );
+        self.brk = end;
+        base
+    }
+
+    /// Allocates and fills a `u32` array, returning its base address.
+    pub fn alloc_u32(&mut self, data: &[u32]) -> u64 {
+        let base = self.alloc(data.len() as u64 * 4, 64);
+        for (i, v) in data.iter().enumerate() {
+            self.write_uint(base + i as u64 * 4, 4, u64::from(*v));
+        }
+        base
+    }
+
+    /// Allocates and fills an `f32` array, returning its base address.
+    pub fn alloc_f32(&mut self, data: &[f32]) -> u64 {
+        let base = self.alloc(data.len() as u64 * 4, 64);
+        for (i, v) in data.iter().enumerate() {
+            self.write_f32(base + i as u64 * 4, *v);
+        }
+        base
+    }
+
+    /// Allocates and fills a `u64` array, returning its base address.
+    pub fn alloc_u64(&mut self, data: &[u64]) -> u64 {
+        let base = self.alloc(data.len() as u64 * 8, 64);
+        for (i, v) in data.iter().enumerate() {
+            self.write_uint(base + i as u64 * 8, 8, *v);
+        }
+        base
+    }
+
+    /// Reads back a `u32` array.
+    pub fn read_u32_array(&self, base: u64, len: usize) -> Vec<u32> {
+        (0..len)
+            .map(|i| self.read_uint(base + i as u64 * 4, 4) as u32)
+            .collect()
+    }
+
+    /// Reads back an `f32` array.
+    pub fn read_f32_array(&self, base: u64, len: usize) -> Vec<f32> {
+        (0..len).map(|i| self.read_f32(base + i as u64 * 4)).collect()
+    }
+}
+
+impl Default for SimMemory {
+    fn default() -> Self {
+        SimMemory::new(DEFAULT_SIZE)
+    }
+}
+
+impl Memory for SimMemory {
+    fn read(&self, addr: u64, buf: &mut [u8]) {
+        let a = addr as usize;
+        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+    }
+
+    fn write(&mut self, addr: u64, buf: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + buf.len()].copy_from_slice(buf);
+    }
+}
+
+/// A shared handle to one [`SimMemory`], cloneable across the cores of a
+/// simulated system (single-threaded simulation; `Rc<RefCell<_>>`).
+#[derive(Clone, Debug, Default)]
+pub struct SharedMem(Rc<RefCell<SimMemory>>);
+
+impl SharedMem {
+    /// Wraps a memory image in a shared handle.
+    pub fn new(mem: SimMemory) -> Self {
+        SharedMem(Rc::new(RefCell::new(mem)))
+    }
+
+    /// Runs `f` with a shared borrow of the memory.
+    pub fn with<R>(&self, f: impl FnOnce(&SimMemory) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Runs `f` with an exclusive borrow of the memory.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut SimMemory) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+}
+
+impl Memory for SharedMem {
+    fn read(&self, addr: u64, buf: &mut [u8]) {
+        self.0.borrow().read(addr, buf);
+    }
+
+    fn write(&mut self, addr: u64, buf: &[u8]) {
+        self.0.borrow_mut().write(addr, buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut m = SimMemory::new(1 << 20);
+        let a = m.alloc(10, 64);
+        assert_eq!(a % 64, 0);
+        let b = m.alloc(10, 64);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 10);
+    }
+
+    #[test]
+    fn array_round_trips() {
+        let mut m = SimMemory::new(1 << 20);
+        let base = m.alloc_u32(&[1, 2, 3]);
+        assert_eq!(m.read_u32_array(base, 3), vec![1, 2, 3]);
+        let fb = m.alloc_f32(&[1.5, -2.5]);
+        assert_eq!(m.read_f32_array(fb, 2), vec![1.5, -2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated memory exhausted")]
+    fn alloc_exhaustion_panics() {
+        let mut m = SimMemory::new(1 << 16);
+        let _ = m.alloc(1 << 20, 8);
+    }
+
+    #[test]
+    fn shared_mem_aliases() {
+        let h1 = SharedMem::new(SimMemory::new(1 << 16));
+        let mut h2 = h1.clone();
+        h2.write_uint(0x2000, 4, 77);
+        assert_eq!(h1.read_uint(0x2000, 4), 77);
+    }
+}

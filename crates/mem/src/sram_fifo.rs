@@ -1,0 +1,149 @@
+//! L1I SRAM arrays repurposed as circular data FIFOs.
+//!
+//! In vector mode the little cores' front-ends are disabled, leaving their
+//! L1 instruction caches' SRAM data arrays idle. The paper (section III-E)
+//! turns each of them into a circular FIFO buffering cache-line-sized load
+//! and store data for the VMSUs, *without* touching the cache control
+//! logic. Each SRAM has a single read/write port, so the VMSU must
+//! arbitrate between enqueue and dequeue in any one cycle — this model
+//! enforces exactly that structural hazard.
+
+use crate::queue::BoundedQueue;
+
+/// A single-ported SRAM-backed FIFO of line-sized entries.
+#[derive(Clone, Debug)]
+pub struct SramFifo<T> {
+    slots: BoundedQueue<T>,
+    last_port_cycle: Option<u64>,
+    port_conflicts: u64,
+}
+
+impl<T> SramFifo<T> {
+    /// Creates a FIFO with `capacity` line-sized slots.
+    ///
+    /// A 32 KiB L1I with 64 B lines yields 512 slots, split between load
+    /// and store queues by the VMSU configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        SramFifo {
+            slots: BoundedQueue::new(capacity),
+            last_port_cycle: None,
+            port_conflicts: 0,
+        }
+    }
+
+    /// Capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True when full.
+    pub fn is_full(&self) -> bool {
+        self.slots.is_full()
+    }
+
+    /// Cycles in which an enqueue and a dequeue competed for the port.
+    pub fn port_conflicts(&self) -> u64 {
+        self.port_conflicts
+    }
+
+    fn take_port(&mut self, now: u64) -> bool {
+        if self.last_port_cycle == Some(now) {
+            self.port_conflicts += 1;
+            false
+        } else {
+            self.last_port_cycle = Some(now);
+            true
+        }
+    }
+
+    /// True if the single port is still free this cycle.
+    pub fn port_free(&self, now: u64) -> bool {
+        self.last_port_cycle != Some(now)
+    }
+
+    /// Attempts to enqueue at cycle `now`; fails if the FIFO is full or the
+    /// port was already used this cycle.
+    pub fn try_enqueue(&mut self, now: u64, item: T) -> bool {
+        if self.slots.is_full() || !self.port_free(now) {
+            if !self.port_free(now) {
+                self.port_conflicts += 1;
+            }
+            return false;
+        }
+        let taken = self.take_port(now);
+        debug_assert!(taken);
+        let pushed = self.slots.try_push(item);
+        debug_assert!(pushed);
+        true
+    }
+
+    /// Attempts to dequeue at cycle `now`; fails if empty or the port was
+    /// already used this cycle.
+    pub fn try_dequeue(&mut self, now: u64) -> Option<T> {
+        if self.slots.is_empty() || !self.port_free(now) {
+            if !self.port_free(now) && !self.slots.is_empty() {
+                self.port_conflicts += 1;
+            }
+            return None;
+        }
+        let taken = self.take_port(now);
+        debug_assert!(taken);
+        self.slots.pop()
+    }
+
+    /// Peeks the oldest entry (no port use — head registers are outside
+    /// the SRAM).
+    pub fn front(&self) -> Option<&T> {
+        self.slots.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_port_per_cycle() {
+        let mut f = SramFifo::new(4);
+        assert!(f.try_enqueue(0, 1));
+        // Port busy: dequeue in the same cycle fails.
+        assert_eq!(f.try_dequeue(0), None);
+        assert_eq!(f.port_conflicts(), 1);
+        // Next cycle it drains.
+        assert_eq!(f.try_dequeue(1), Some(1));
+    }
+
+    #[test]
+    fn capacity_backpressure() {
+        let mut f = SramFifo::new(2);
+        assert!(f.try_enqueue(0, 1));
+        assert!(f.try_enqueue(1, 2));
+        assert!(!f.try_enqueue(2, 3));
+        assert!(f.is_full());
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut f = SramFifo::new(4);
+        f.try_enqueue(0, "a");
+        f.try_enqueue(1, "b");
+        assert_eq!(f.front(), Some(&"a"));
+        assert_eq!(f.try_dequeue(2), Some("a"));
+        assert_eq!(f.try_dequeue(3), Some("b"));
+        assert_eq!(f.try_dequeue(4), None);
+    }
+}

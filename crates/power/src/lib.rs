@@ -1,0 +1,268 @@
+#![warn(missing_docs)]
+//! # bvl-power — DVFS power model and Pareto analysis
+//!
+//! Implements the paper's Section VII methodology: per-cluster average
+//! power at each voltage/frequency level (Table VII, measured on an Odroid
+//! XU+E by prior work), a Tarantula-derived 1.4× ratio for the decoupled
+//! vector engine, system power composition, energy, and Pareto-frontier
+//! extraction for Figures 10 and 11.
+//!
+//! The paper reproduces Table VII from its reference \[67\]; the archival text of the
+//! table is partially illegible, so the level values here are
+//! reconstructed to match the legible anchors (big core: 0.591 W at
+//! 1.0 GHz, 0.841 W at 1.2 GHz, 1.205 W at 1.4 GHz) with the same
+//! super-linear growth for the remaining entries. Figures 9–11 depend
+//! only on the *relative* shape of these curves.
+
+use serde::Serialize;
+
+/// One voltage/frequency operating point.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct VfLevel {
+    /// Level name as in Table VII (`b0`..`b3`, `l0`..`l3`).
+    pub name: &'static str,
+    /// Clock frequency in GHz.
+    pub ghz: f64,
+    /// Average power of one core at this level, watts.
+    pub watts: f64,
+}
+
+/// Big-core levels `b0..b3` (Table VII).
+pub const BIG_LEVELS: [VfLevel; 4] = [
+    VfLevel {
+        name: "b0",
+        ghz: 0.8,
+        watts: 0.458,
+    },
+    VfLevel {
+        name: "b1",
+        ghz: 1.0,
+        watts: 0.591,
+    },
+    VfLevel {
+        name: "b2",
+        ghz: 1.2,
+        watts: 0.841,
+    },
+    VfLevel {
+        name: "b3",
+        ghz: 1.4,
+        watts: 1.205,
+    },
+];
+
+/// Little-core levels `l0..l3` (Table VII).
+pub const LITTLE_LEVELS: [VfLevel; 4] = [
+    VfLevel {
+        name: "l0",
+        ghz: 0.6,
+        watts: 0.062,
+    },
+    VfLevel {
+        name: "l1",
+        ghz: 0.8,
+        watts: 0.088,
+    },
+    VfLevel {
+        name: "l2",
+        ghz: 1.0,
+        watts: 0.130,
+    },
+    VfLevel {
+        name: "l3",
+        ghz: 1.2,
+        watts: 0.192,
+    },
+];
+
+/// Tarantula's decoupled vector engine drew ~40% more power than its
+/// out-of-order core (paper Section VII-A).
+pub const DVE_POWER_RATIO: f64 = 1.4;
+
+/// Power composition of one system (which clusters burn power).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemPower {
+    /// One little core.
+    OneLittle,
+    /// One big core (with or without the integrated unit — the paper
+    /// treats the IVU as power-neutral relative to the big core).
+    OneBig,
+    /// Big + decoupled vector engine at the big core's level.
+    BigPlusDve,
+    /// Big + `n` little cores (also `1bIV-4L` and `1b-4VL`: the paper
+    /// assumes these match `1b-4L`).
+    BigPlusLittles(u32),
+}
+
+impl SystemPower {
+    /// Average system power at the given cluster levels, watts.
+    pub fn watts(self, big: VfLevel, little: VfLevel) -> f64 {
+        match self {
+            SystemPower::OneLittle => little.watts,
+            SystemPower::OneBig => big.watts,
+            SystemPower::BigPlusDve => big.watts * (1.0 + DVE_POWER_RATIO),
+            SystemPower::BigPlusLittles(n) => big.watts + f64::from(n) * little.watts,
+        }
+    }
+}
+
+/// A performance/power sample (one V/F combination of one system).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct PerfPowerPoint {
+    /// Label, e.g. `"1b-4VL (b1,l3)"`.
+    pub label: String,
+    /// Execution time (lower is better), any consistent unit.
+    pub time: f64,
+    /// Average power in watts.
+    pub power: f64,
+}
+
+impl PerfPowerPoint {
+    /// Energy = power × time.
+    pub fn energy(&self) -> f64 {
+        self.time * self.power
+    }
+
+    /// True if `other` is at least as good on both axes and better on one.
+    pub fn dominated_by(&self, other: &PerfPowerPoint) -> bool {
+        other.time <= self.time
+            && other.power <= self.power
+            && (other.time < self.time || other.power < self.power)
+    }
+}
+
+/// Extracts the Pareto-optimal subset (minimal time and power), sorted by
+/// time ascending — the dotted frontier curves of Figures 10 and 11.
+///
+/// ```
+/// use bvl_power::{pareto_frontier, PerfPowerPoint};
+///
+/// let points = vec![
+///     PerfPowerPoint { label: "fast".into(), time: 1.0, power: 2.0 },
+///     PerfPowerPoint { label: "dominated".into(), time: 2.0, power: 3.0 },
+///     PerfPowerPoint { label: "frugal".into(), time: 3.0, power: 1.0 },
+/// ];
+/// let frontier = pareto_frontier(&points);
+/// assert_eq!(frontier.len(), 2);
+/// assert_eq!(frontier[0].label, "fast");
+/// ```
+pub fn pareto_frontier(points: &[PerfPowerPoint]) -> Vec<PerfPowerPoint> {
+    let mut frontier: Vec<PerfPowerPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| p.dominated_by(q)))
+        .cloned()
+        .collect();
+    frontier.sort_by(|a, b| a.time.total_cmp(&b.time));
+    frontier.dedup_by(|a, b| a.time == b.time && a.power == b.power);
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_grow_superlinearly() {
+        for levels in [&BIG_LEVELS, &LITTLE_LEVELS] {
+            for w in levels.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                assert!(b.ghz > a.ghz);
+                // Power grows faster than frequency (V scales too).
+                assert!(
+                    b.watts / a.watts > b.ghz / a.ghz,
+                    "{} -> {} not superlinear",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_vii_anchors() {
+        assert_eq!(BIG_LEVELS[1].watts, 0.591);
+        assert_eq!(BIG_LEVELS[2].watts, 0.841);
+        assert_eq!(BIG_LEVELS[3].watts, 1.205);
+    }
+
+    #[test]
+    fn little_cluster_is_cheap() {
+        // Four littles at full tilt still cost less than one big at 1 GHz
+        // — the premise of the paper's power trade (Section VII-B).
+        let four_littles = 4.0 * LITTLE_LEVELS[3].watts;
+        assert!(four_littles < BIG_LEVELS[1].watts * 1.5);
+    }
+
+    #[test]
+    fn system_power_composition() {
+        let (b, l) = (BIG_LEVELS[1], LITTLE_LEVELS[2]);
+        assert_eq!(SystemPower::OneLittle.watts(b, l), l.watts);
+        assert_eq!(SystemPower::OneBig.watts(b, l), b.watts);
+        assert!(SystemPower::BigPlusDve.watts(b, l) > 2.0 * b.watts);
+        let bl = SystemPower::BigPlusLittles(4).watts(b, l);
+        assert!((bl - (b.watts + 4.0 * l.watts)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_removes_dominated_points() {
+        let pts = vec![
+            PerfPowerPoint {
+                label: "fast+hot".into(),
+                time: 1.0,
+                power: 2.0,
+            },
+            PerfPowerPoint {
+                label: "slow+cool".into(),
+                time: 2.0,
+                power: 1.0,
+            },
+            PerfPowerPoint {
+                label: "dominated".into(),
+                time: 2.5,
+                power: 2.5,
+            },
+            PerfPowerPoint {
+                label: "also-dominated".into(),
+                time: 1.5,
+                power: 2.5,
+            },
+        ];
+        let f = pareto_frontier(&pts);
+        let labels: Vec<&str> = f.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["fast+hot", "slow+cool"]);
+    }
+
+    #[test]
+    fn pareto_is_idempotent() {
+        let pts = vec![
+            PerfPowerPoint {
+                label: "a".into(),
+                time: 1.0,
+                power: 3.0,
+            },
+            PerfPowerPoint {
+                label: "b".into(),
+                time: 2.0,
+                power: 2.0,
+            },
+            PerfPowerPoint {
+                label: "c".into(),
+                time: 3.0,
+                power: 1.0,
+            },
+        ];
+        let f1 = pareto_frontier(&pts);
+        let f2 = pareto_frontier(&f1);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn energy() {
+        let p = PerfPowerPoint {
+            label: "x".into(),
+            time: 2.0,
+            power: 3.0,
+        };
+        assert_eq!(p.energy(), 6.0);
+    }
+}

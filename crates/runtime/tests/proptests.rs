@@ -1,0 +1,92 @@
+//! Property-based tests for the work-stealing runtime: exactly-once
+//! delivery under arbitrary worker interleavings, overhead accounting,
+//! and parallel-for range coverage.
+
+use bvl_runtime::{parallel_for_tasks, Fetched, RuntimeParams, Task, WorkStealing};
+use bvl_isa::reg::XReg;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every seeded task is handed out exactly once no matter how workers
+    /// interleave their fetches.
+    #[test]
+    fn exactly_once_delivery(
+        n_tasks in 1usize..200,
+        workers in 1usize..8,
+        order in proptest::collection::vec(0usize..8, 0..600),
+    ) {
+        let mut ws = WorkStealing::new(workers, RuntimeParams::default());
+        ws.seed_tasks(
+            (0..n_tasks)
+                .map(|i| Task {
+                    scalar_pc: i as u32,
+                    vector_pc: None,
+                    args: Vec::new(),
+                })
+                .collect(),
+        );
+        let mut got = vec![false; n_tasks];
+        // Follow the random interleaving, then round-robin to drain.
+        let schedule = order
+            .into_iter()
+            .map(|w| w % workers)
+            .chain((0..workers).cycle().take(n_tasks * workers * 4 + 16));
+        for w in schedule {
+            match ws.fetch(w) {
+                Fetched::Task { index, .. } => {
+                    prop_assert!(!got[index], "task {index} delivered twice");
+                    got[index] = true;
+                }
+                Fetched::Empty { .. } => {}
+                Fetched::Finished => {
+                    if ws.drained() {
+                        break;
+                    }
+                }
+            }
+        }
+        prop_assert!(got.iter().all(|&g| g), "not all tasks delivered");
+        prop_assert_eq!(ws.stats().tasks_run, n_tasks as u64);
+    }
+
+    /// Scheduling overhead grows monotonically with the number of fetches.
+    #[test]
+    fn overhead_accounting(n_tasks in 1usize..50) {
+        let mut ws = WorkStealing::new(2, RuntimeParams::default());
+        ws.seed_tasks(
+            (0..n_tasks)
+                .map(|i| Task {
+                    scalar_pc: i as u32,
+                    vector_pc: None,
+                    args: Vec::new(),
+                })
+                .collect(),
+        );
+        let mut last = 0;
+        for w in (0..2).cycle().take(n_tasks * 8) {
+            let _ = ws.fetch(w);
+            let oh = ws.stats().overhead_cycles;
+            prop_assert!(oh >= last);
+            last = oh;
+            if ws.drained() {
+                break;
+            }
+        }
+        prop_assert!(last >= ws.stats().tasks_run * RuntimeParams::default().pop_cost);
+    }
+
+    /// `parallel_for_tasks` tiles `[0, n)` exactly: contiguous, ordered,
+    /// non-overlapping, fully covering.
+    #[test]
+    fn parallel_for_covers(n in 1u64..10_000, chunk in 1u64..512) {
+        let tasks = parallel_for_tasks(n, chunk, 0, None, XReg::new(10), XReg::new(11), &[]);
+        let mut expect_start = 0;
+        for t in &tasks {
+            let (s, e) = (t.args[0].1, t.args[1].1);
+            prop_assert_eq!(s, expect_start);
+            prop_assert!(e > s && e - s <= chunk);
+            expect_start = e;
+        }
+        prop_assert_eq!(expect_start, n);
+    }
+}

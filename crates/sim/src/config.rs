@@ -1,0 +1,148 @@
+//! System selection and simulation parameters.
+
+use bvl_vengine::EngineParams;
+
+/// The seven evaluated systems (paper Table III).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SystemKind {
+    /// One little core.
+    L1,
+    /// One big core.
+    B1,
+    /// Big core with the integrated 128-bit vector unit.
+    BIv,
+    /// Big + four little cores, no vector support.
+    B4L,
+    /// Big with integrated vector unit + four little cores.
+    BIv4L,
+    /// Big + decoupled 2048-bit vector engine.
+    BDv,
+    /// big.VLITTLE: big + four reconfigurable little cores.
+    B4Vl,
+}
+
+impl SystemKind {
+    /// All systems, in the paper's Figure 4 order.
+    pub const ALL: [SystemKind; 7] = [
+        SystemKind::L1,
+        SystemKind::B1,
+        SystemKind::BIv,
+        SystemKind::B4L,
+        SystemKind::BIv4L,
+        SystemKind::BDv,
+        SystemKind::B4Vl,
+    ];
+
+    /// The paper's label for this system.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SystemKind::L1 => "1L",
+            SystemKind::B1 => "1b",
+            SystemKind::BIv => "1bIV",
+            SystemKind::B4L => "1b-4L",
+            SystemKind::BIv4L => "1bIV-4L",
+            SystemKind::BDv => "1bDV",
+            SystemKind::B4Vl => "1b-4VL",
+        }
+    }
+
+    /// Number of little cores in the cluster.
+    pub const fn num_little(self) -> usize {
+        match self {
+            SystemKind::L1 => 1,
+            SystemKind::B1 | SystemKind::BIv | SystemKind::BDv => 0,
+            SystemKind::B4L | SystemKind::BIv4L | SystemKind::B4Vl => 4,
+        }
+    }
+
+    /// Whether a big core is present.
+    pub const fn has_big(self) -> bool {
+        !matches!(self, SystemKind::L1)
+    }
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-cluster clock frequencies in GHz (paper Table VII levels).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClockConfig {
+    /// Big-cluster frequency.
+    pub big_ghz: f64,
+    /// Little-cluster frequency (also clocks attached vector engines built
+    /// from the little cluster; the IVU/DVE follow the big core).
+    pub little_ghz: f64,
+    /// Uncore (caches/NoC/DRAM) frequency.
+    pub uncore_ghz: f64,
+}
+
+impl Default for ClockConfig {
+    fn default() -> Self {
+        // Section V isolates microarchitecture by clocking everything at
+        // 1 GHz.
+        ClockConfig {
+            big_ghz: 1.0,
+            little_ghz: 1.0,
+            uncore_ghz: 1.0,
+        }
+    }
+}
+
+impl ClockConfig {
+    /// Clock period in femtoseconds.
+    pub fn period_fs(ghz: f64) -> u64 {
+        assert!(ghz > 0.0, "frequency must be positive");
+        (1.0e6 / ghz).round() as u64
+    }
+}
+
+/// Everything configurable about one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimParams {
+    /// Cluster clocks.
+    pub clocks: ClockConfig,
+    /// VLITTLE engine geometry/queues (used by `1b-4VL` only). The
+    /// Figure 7 chime/packing ablations and the Figure 8 queue sweep plug
+    /// in here.
+    pub engine: EngineParams,
+    /// Hard cap on simulated uncore cycles before the run aborts.
+    pub max_uncore_cycles: u64,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            clocks: ClockConfig::default(),
+            engine: EngineParams::paper_default(),
+            max_uncore_cycles: 400_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(SystemKind::B4Vl.label(), "1b-4VL");
+        assert_eq!(SystemKind::ALL.len(), 7);
+    }
+
+    #[test]
+    fn periods() {
+        assert_eq!(ClockConfig::period_fs(1.0), 1_000_000);
+        assert_eq!(ClockConfig::period_fs(2.0), 500_000);
+        assert_eq!(ClockConfig::period_fs(0.8), 1_250_000);
+    }
+
+    #[test]
+    fn cluster_shapes() {
+        assert_eq!(SystemKind::L1.num_little(), 1);
+        assert!(!SystemKind::L1.has_big());
+        assert_eq!(SystemKind::B4Vl.num_little(), 4);
+    }
+}

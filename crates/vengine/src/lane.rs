@@ -1,0 +1,485 @@
+//! A little core's back-end operating as a vector lane.
+//!
+//! In vector mode the little core's fetch/decode stages are off; micro-ops
+//! from the VCU enter at the issue stage and flow through the existing
+//! back-end in order (paper section III-C). The lane keeps a scoreboard
+//! over its slice of the vector registers — physical scalar registers,
+//! indexed `(chime, vreg)` — and prices packed sub-word elements:
+//! *simple* integer micro-ops process a packed register in one cycle,
+//! while long-latency micro-ops (mul/div and all FP) serialize the packed
+//! elements over multiple cycles.
+//!
+//! Every cycle is attributed to one Figure 7 category: `busy`, `simd`
+//! (waiting for a lock-step micro-op from the VCU), `raw_mem`, `raw_llfu`,
+//! `struct`, `xelem` or `misc`.
+
+use crate::regmap::RegMap;
+use crate::uop::{Uop, UopKind};
+use crate::vmu::Vmu;
+use crate::vxu::Vxu;
+use bvl_core::types::{CoreStats, StallKind};
+use bvl_isa::meta::{reduction_step_latency, vector_op_latency, LAT_ALU, LAT_DIV};
+use bvl_isa::instr::VArithOp;
+use std::collections::VecDeque;
+
+/// Why a register value is still pending (for stall attribution).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PendKind {
+    /// Produced by a memory writeback.
+    Mem,
+    /// Produced by a long-latency FU.
+    Llfu,
+    /// Produced by the VXU.
+    Xelem,
+    /// Produced by a single-cycle op.
+    Alu,
+}
+
+/// What a lane reports back to the engine when a micro-op completes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaneEvent {
+    /// Index elements for an indexed load were streamed to the VMIU.
+    IdxSent {
+        /// VMU transaction.
+        mem_id: u64,
+    },
+    /// Store data (and addresses, if indexed) streamed to the VSU.
+    StoreSent {
+        /// VMU transaction.
+        mem_id: u64,
+    },
+    /// This lane's `vxread` contribution entered the ring.
+    VxReadDone {
+        /// VXU transaction.
+        vx_id: u64,
+    },
+    /// This lane consumed ring output (`vxwrite`/`vxreduce` finished).
+    VxConsumed {
+        /// VXU transaction.
+        vx_id: u64,
+    },
+    /// This lane's load-writeback micro-op consumed VLU data.
+    LoadWbDone {
+        /// VMU transaction.
+        mem_id: u64,
+    },
+}
+
+/// A lane event plus the cycle it takes effect.
+#[derive(Clone, Copy, Debug)]
+pub struct TimedEvent {
+    /// Effect cycle.
+    pub at: u64,
+    /// The event.
+    pub event: LaneEvent,
+}
+
+/// Read-only engine state a lane consults while issuing.
+pub struct LaneEnv<'a> {
+    /// The vector memory unit (load-data readiness).
+    pub vmu: &'a Vmu,
+    /// The cross-element unit (ring readiness).
+    pub vxu: &'a Vxu,
+    /// True if the VCU still holds micro-ops (distinguishes `simd` from
+    /// `misc` when the lane's queue is empty).
+    pub vcu_busy: bool,
+}
+
+/// One vector lane.
+#[derive(Debug)]
+pub struct Lane {
+    core: u8,
+    regmap: RegMap,
+    inq: VecDeque<Uop>,
+    inq_depth: usize,
+    ready: [[u64; 32]; 2],
+    pend: [[PendKind; 32]; 2],
+    /// Single-issue occupancy: the cycle the issue slot frees up.
+    issue_free_at: u64,
+    /// Unpipelined divide unit.
+    div_busy_until: u64,
+    stats: CoreStats,
+}
+
+impl Lane {
+    /// Creates lane `core` with the given geometry and input-queue depth.
+    pub fn new(core: u8, regmap: RegMap, inq_depth: usize) -> Self {
+        Lane {
+            core,
+            regmap,
+            inq: VecDeque::new(),
+            inq_depth,
+            ready: [[0; 32]; 2],
+            pend: [[PendKind::Alu; 32]; 2],
+            issue_free_at: 0,
+            div_busy_until: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// This lane's core index.
+    pub fn core(&self) -> u8 {
+        self.core
+    }
+
+    /// Accumulated statistics (Figure 7 breakdown).
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// True if the lane can accept one more micro-op this cycle.
+    pub fn can_accept(&self) -> bool {
+        self.inq.len() < self.inq_depth
+    }
+
+    /// Delivers a broadcast micro-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (the VCU must check
+    /// [`Lane::can_accept`] on every lane before broadcasting).
+    pub fn receive(&mut self, uop: Uop) {
+        assert!(self.can_accept(), "lane {} uop queue overflow", self.core);
+        self.inq.push_back(uop);
+    }
+
+    /// True when the lane holds no work.
+    pub fn idle(&self) -> bool {
+        self.inq.is_empty()
+    }
+
+    fn chime_idx(chime: u8) -> usize {
+        usize::from(chime.min(1))
+    }
+
+    fn srcs_ready(&self, uop: &Uop, now: u64) -> Result<(), StallKind> {
+        let k = Self::chime_idx(uop.chime);
+        for src in uop.sources() {
+            let r = self.ready[k][src as usize];
+            if r > now {
+                return Err(match self.pend[k][src as usize] {
+                    PendKind::Mem => StallKind::RawMem,
+                    PendKind::Llfu | PendKind::Alu => StallKind::RawLlfu,
+                    PendKind::Xelem => StallKind::Xelem,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn set_dest(&mut self, chime: u8, reg: u8, at: u64, kind: PendKind) {
+        let k = Self::chime_idx(chime);
+        self.ready[k][reg as usize] = at;
+        self.pend[k][reg as usize] = kind;
+    }
+
+    /// Advances the lane one cycle, returning completion events.
+    pub fn tick(&mut self, now: u64, env: &LaneEnv<'_>) -> Vec<TimedEvent> {
+        // Still occupied by a multi-cycle micro-op: that's useful work.
+        if now < self.issue_free_at {
+            self.stats.account(StallKind::Busy);
+            return Vec::new();
+        }
+        let Some(uop) = self.inq.front() else {
+            self.stats.account(if env.vcu_busy {
+                StallKind::Simd
+            } else {
+                StallKind::Misc
+            });
+            return Vec::new();
+        };
+
+        // RAW hazards on this lane's register slice.
+        if let Err(kind) = self.srcs_ready(uop, now) {
+            self.stats.account(kind);
+            return Vec::new();
+        }
+
+        let elems = self
+            .regmap
+            .elems_on(self.core, uop.chime, uop.vl, uop.sew);
+        let mut events = Vec::new();
+
+        match uop.kind.clone() {
+            UopKind::Arith { op, dst, .. } => {
+                let (occ, lat) = self.arith_cost(op, elems);
+                if op == VArithOp::Div || op == VArithOp::Divu || op == VArithOp::Rem {
+                    if self.div_busy_until > now {
+                        self.stats.account(StallKind::Struct);
+                        return Vec::new();
+                    }
+                    self.div_busy_until = now + occ + u64::from(lat);
+                }
+                self.issue_free_at = now + occ;
+                let kind = if vector_op_latency(op) > LAT_ALU {
+                    PendKind::Llfu
+                } else {
+                    PendKind::Alu
+                };
+                self.set_dest(uop.chime, dst, now + occ - 1 + u64::from(lat), kind);
+            }
+            UopKind::LoadWb { mem_id, dst } => {
+                if !env.vmu.load_ready(mem_id, now) {
+                    self.stats.account(StallKind::RawMem);
+                    return Vec::new();
+                }
+                self.issue_free_at = now + 1;
+                self.set_dest(uop.chime, dst, now + 1, PendKind::Mem);
+                events.push(TimedEvent {
+                    at: now + 1,
+                    event: LaneEvent::LoadWbDone { mem_id },
+                });
+            }
+            UopKind::StoreRd { mem_id, .. } => {
+                let occ = u64::from(elems.max(1));
+                self.issue_free_at = now + occ;
+                events.push(TimedEvent {
+                    at: now + occ,
+                    event: LaneEvent::StoreSent { mem_id },
+                });
+            }
+            UopKind::IdxRd { mem_id, .. } => {
+                let occ = u64::from(elems.max(1));
+                self.issue_free_at = now + occ;
+                events.push(TimedEvent {
+                    at: now + occ,
+                    event: LaneEvent::IdxSent { mem_id },
+                });
+            }
+            UopKind::VxRead { vx_id, .. } => {
+                let occ = u64::from(elems.max(1));
+                self.issue_free_at = now + occ;
+                events.push(TimedEvent {
+                    at: now + occ,
+                    event: LaneEvent::VxReadDone { vx_id },
+                });
+            }
+            UopKind::VxWrite { vx_id, dst } => {
+                if !env.vxu.ready(vx_id, now) {
+                    self.stats.account(StallKind::Xelem);
+                    return Vec::new();
+                }
+                let occ = u64::from(elems.max(1));
+                self.issue_free_at = now + occ;
+                self.set_dest(uop.chime, dst, now + occ, PendKind::Xelem);
+                events.push(TimedEvent {
+                    at: now + occ,
+                    event: LaneEvent::VxConsumed { vx_id },
+                });
+            }
+            UopKind::VxReduce { vx_id, op, dst } => {
+                if !env.vxu.ready(vx_id, now) {
+                    self.stats.account(StallKind::Xelem);
+                    return Vec::new();
+                }
+                // One element arrives per cycle from the ring; each is fed
+                // to the FU. Total vl elements plus the final step latency.
+                let occ = u64::from(uop.vl.max(1)) + u64::from(reduction_step_latency(op));
+                self.issue_free_at = now + occ;
+                self.set_dest(uop.chime, dst, now + occ, PendKind::Xelem);
+                events.push(TimedEvent {
+                    at: now + occ,
+                    event: LaneEvent::VxConsumed { vx_id },
+                });
+            }
+        }
+
+        self.inq.pop_front();
+        self.stats.retired += 1;
+        self.stats.account(StallKind::Busy);
+        events
+    }
+
+    /// (occupancy cycles, result latency) of an arithmetic micro-op on
+    /// `elems` packed elements.
+    fn arith_cost(&self, op: VArithOp, elems: u32) -> (u64, u32) {
+        let lat = vector_op_latency(op);
+        if lat <= LAT_ALU || !self.regmap.packed {
+            // Simple ops process the whole packed register in one cycle
+            // (paper: small ALU changes); unpacked registers hold one
+            // element anyway.
+            (1, lat)
+        } else {
+            // Long-latency ops serialize packed elements (paper: avoid
+            // non-trivial area in the little cores).
+            (u64::from(elems.max(1)), lat)
+        }
+    }
+
+    /// Worst-case divide latency exposure (used by tests).
+    pub fn div_busy_until(&self) -> u64 {
+        self.div_busy_until
+    }
+
+    /// The divide-unit latency constant (re-exported for tests).
+    pub const DIV_LATENCY: u32 = LAT_DIV;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vmu::VmuParams;
+    use crate::vxu::VxuParams;
+    use bvl_isa::vcfg::Sew;
+
+    fn env<'a>(vmu: &'a Vmu, vxu: &'a Vxu, busy: bool) -> LaneEnv<'a> {
+        LaneEnv {
+            vmu,
+            vxu,
+            vcu_busy: busy,
+        }
+    }
+
+    fn uop(chime: u8, kind: UopKind) -> Uop {
+        Uop {
+            seq: 1,
+            chime,
+            vl: 16,
+            sew: Sew::E32,
+            masked: false,
+            kind,
+        }
+    }
+
+    fn add_uop(chime: u8, dst: u8, srcs: Vec<u8>) -> Uop {
+        uop(
+            chime,
+            UopKind::Arith {
+                op: VArithOp::Add,
+                srcs,
+                dst,
+            },
+        )
+    }
+
+    fn fixtures() -> (Vmu, Vxu) {
+        (Vmu::new(4, VmuParams::default()), Vxu::new(VxuParams::default()))
+    }
+
+    #[test]
+    fn empty_lane_attributes_simd_vs_misc() {
+        let (vmu, vxu) = fixtures();
+        let mut lane = Lane::new(0, RegMap::paper_default(), 2);
+        lane.tick(0, &env(&vmu, &vxu, true));
+        lane.tick(1, &env(&vmu, &vxu, false));
+        assert_eq!(lane.stats().of(StallKind::Simd), 1);
+        assert_eq!(lane.stats().of(StallKind::Misc), 1);
+    }
+
+    #[test]
+    fn simple_add_is_single_cycle() {
+        let (vmu, vxu) = fixtures();
+        let mut lane = Lane::new(0, RegMap::paper_default(), 2);
+        lane.receive(add_uop(0, 3, vec![1, 2]));
+        lane.receive(add_uop(0, 4, vec![1, 2]));
+        lane.tick(0, &env(&vmu, &vxu, true));
+        lane.tick(1, &env(&vmu, &vxu, true));
+        assert_eq!(lane.stats().retired, 2);
+        assert_eq!(lane.stats().of(StallKind::Busy), 2);
+    }
+
+    #[test]
+    fn dependent_fmul_stalls_raw_llfu() {
+        let (vmu, vxu) = fixtures();
+        let mut lane = Lane::new(0, RegMap::paper_default(), 2);
+        lane.receive(uop(
+            0,
+            UopKind::Arith {
+                op: VArithOp::FMul,
+                srcs: vec![1, 2],
+                dst: 3,
+            },
+        ));
+        lane.receive(add_uop(0, 4, vec![3, 1])); // reads v3
+        let mut t = 0;
+        while lane.stats().retired < 2 {
+            lane.tick(t, &env(&vmu, &vxu, true));
+            t += 1;
+            assert!(t < 100);
+        }
+        assert!(lane.stats().of(StallKind::RawLlfu) > 0);
+        // FMul serializes 2 packed elements: occupancy 2 on this lane.
+        assert!(t > 3);
+    }
+
+    #[test]
+    fn packed_simple_op_processes_in_one_cycle_but_fp_serializes() {
+        let (vmu, vxu) = fixtures();
+        let map = RegMap::paper_default(); // 2 elems/reg at e32
+        let mut lane = Lane::new(0, map, 2);
+        // Independent FMul then Add: FMul occupies 2 cycles (packed
+        // serialization); Add issues after.
+        lane.receive(uop(
+            0,
+            UopKind::Arith {
+                op: VArithOp::FMul,
+                srcs: vec![1, 2],
+                dst: 3,
+            },
+        ));
+        lane.receive(add_uop(0, 5, vec![1, 2]));
+        lane.tick(0, &env(&vmu, &vxu, true)); // FMul issues, occ 2
+        lane.tick(1, &env(&vmu, &vxu, true)); // busy (occupied)
+        assert_eq!(lane.stats().retired, 1);
+        lane.tick(2, &env(&vmu, &vxu, true)); // Add issues
+        assert_eq!(lane.stats().retired, 2);
+    }
+
+    #[test]
+    fn load_writeback_waits_for_vlu_data() {
+        let (vmu, vxu) = fixtures();
+        let mut lane = Lane::new(0, RegMap::paper_default(), 2);
+        lane.receive(uop(0, UopKind::LoadWb { mem_id: 9, dst: 1 }));
+        lane.tick(0, &env(&vmu, &vxu, true));
+        assert_eq!(lane.stats().of(StallKind::RawMem), 1);
+        assert_eq!(lane.stats().retired, 0);
+    }
+
+    #[test]
+    fn vxwrite_waits_for_ring() {
+        let (vmu, mut vxu) = fixtures();
+        let mut lane = Lane::new(0, RegMap::paper_default(), 2);
+        vxu.begin(5, 1, 4);
+        lane.receive(uop(0, UopKind::VxWrite { vx_id: 5, dst: 2 }));
+        lane.tick(0, &env(&vmu, &vxu, true));
+        assert_eq!(lane.stats().of(StallKind::Xelem), 1);
+        vxu.read_done(5, 0);
+        // ready at 0 + 4 + 2 = 6.
+        let evs = lane.tick(6, &env(&vmu, &vxu, true));
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(evs[0].event, LaneEvent::VxConsumed { vx_id: 5 }));
+    }
+
+    #[test]
+    fn store_read_streams_one_element_per_cycle() {
+        let (vmu, vxu) = fixtures();
+        let mut lane = Lane::new(0, RegMap::paper_default(), 2);
+        let mut u = uop(
+            0,
+            UopKind::StoreRd {
+                mem_id: 3,
+                src: 1,
+                idx: None,
+            },
+        );
+        u.vl = 8; // 2 elements on this lane's chime-0 register
+        lane.receive(u);
+        let evs = lane.tick(0, &env(&vmu, &vxu, true));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].at, 2); // 2 elements, 1/cycle
+    }
+
+    #[test]
+    fn zero_element_uop_completes_immediately() {
+        let (vmu, vxu) = fixtures();
+        // Lane 3, vl = 2: no elements land here, but the lock-step uop
+        // still passes through (and VxRead must still report).
+        let mut lane = Lane::new(3, RegMap::paper_default(), 2);
+        let mut u = uop(0, UopKind::VxRead { vx_id: 1, src: 4 });
+        u.vl = 2;
+        lane.receive(u);
+        let evs = lane.tick(0, &env(&vmu, &vxu, true));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(lane.stats().retired, 1);
+    }
+}

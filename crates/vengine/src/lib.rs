@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # bvl-vengine — the VLITTLE decoupled vector engine
+//!
+//! The paper's primary contribution (section III): a cluster of little
+//! cores reconfigured on demand into a decoupled vector engine. This crate
+//! models every added component:
+//!
+//! * [`regmap`] — mapping of vector-register elements onto the little
+//!   cores' scalar integer and floating-point physical registers, with
+//!   multiple element groups (*chimes*) and packed sub-word elements
+//!   (Figure 2).
+//! * [`uop`] — the micro-operations the VCU broadcasts to the lanes.
+//! * [`vcu`] — the vector control unit: UopQ/DataQ, per-chime micro-op
+//!   expansion, the pipelined broadcast bus, and lock-step issue.
+//! * [`lane`] — a little core's back-end operating as a vector lane:
+//!   in-order micro-op issue, per-chime register scoreboard, packed-element
+//!   serialization on long-latency units, and the paper's Figure 7 stall
+//!   taxonomy.
+//! * [`vxu`] — the cross-element unit: a pipelined unidirectional ring
+//!   processing one permutation/reduction at a time.
+//! * [`vmu`] — the vector memory unit: VMIU (line-request generation and
+//!   index coalescing), per-bank VMSUs (store-address CAM and repurposed
+//!   L1I-SRAM data FIFOs), VLU (load data delivery) and VSU (store line
+//!   assembly).
+//! * [`engine`] — [`VLittleEngine`], composing the above behind the
+//!   [`bvl_core::VectorEngine`] interface consumed by the big core.
+//!
+//! The engine's hardware vector length follows its profile: with four
+//! lanes, two chimes and packed 32-bit elements it is 512 bits — exactly
+//! the paper's `1b-4VL` configuration.
+
+pub mod engine;
+pub mod lane;
+pub mod regmap;
+pub mod uop;
+pub mod vcu;
+pub mod vmu;
+pub mod vxu;
+
+pub use engine::{EngineParams, VLittleEngine};
+pub use regmap::{ElemLoc, RegFile, RegMap};

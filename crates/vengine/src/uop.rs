@@ -1,0 +1,177 @@
+//! Micro-operations broadcast by the VCU to the vector lanes.
+//!
+//! Each vector instruction expands into one micro-op per element group
+//! (*chime*) it touches, plus memory commands routed to the VMU (paper
+//! section III-B/III-C). A micro-op carries enough information for a lane
+//! to price it: the operation class, its source/destination vector
+//! registers (scoreboard tracking is per `(chime, vreg)`), the vector
+//! length and element width in effect, and identifiers linking it to VMU
+//! or VXU transactions.
+
+use bvl_isa::instr::{VArithOp, VRedOp};
+use bvl_isa::vcfg::Sew;
+
+/// What a lane does with a micro-op.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UopKind {
+    /// Element-wise compute (arithmetic, compares, mask ops, splats,
+    /// copies, `vid`): sources must be ready, occupies the lane's FU.
+    Arith {
+        /// Latency/serialization class.
+        op: VArithOp,
+        /// Source vector registers read (same chime).
+        srcs: Vec<u8>,
+        /// Destination vector register.
+        dst: u8,
+    },
+    /// Write back load data delivered by the VLU into `dst`.
+    LoadWb {
+        /// VMU transaction id.
+        mem_id: u64,
+        /// Destination vector register.
+        dst: u8,
+    },
+    /// Read store data from `src` and stream it to the VSU, one element
+    /// per cycle. For indexed stores this also carries the per-element
+    /// addresses (paper: cores execute them like scalar stores).
+    StoreRd {
+        /// VMU transaction id.
+        mem_id: u64,
+        /// Data source vector register.
+        src: u8,
+        /// Index source register for indexed stores (RAW-checked).
+        idx: Option<u8>,
+    },
+    /// Read index values from `src` and stream them to the VMIU (indexed
+    /// loads), one element per cycle.
+    IdxRd {
+        /// VMU transaction id.
+        mem_id: u64,
+        /// Index vector register.
+        src: u8,
+    },
+    /// Send this lane's elements of `src` to the VXU ring.
+    VxRead {
+        /// VXU transaction id.
+        vx_id: u64,
+        /// Source vector register.
+        src: u8,
+    },
+    /// Receive permuted elements from the VXU and write `dst`.
+    VxWrite {
+        /// VXU transaction id.
+        vx_id: u64,
+        /// Destination vector register.
+        dst: u8,
+    },
+    /// Reduce elements arriving from the VXU (first lane only); writes
+    /// element 0 of `dst`.
+    VxReduce {
+        /// VXU transaction id.
+        vx_id: u64,
+        /// Reduction operation (prices the per-element step).
+        op: VRedOp,
+        /// Destination vector register.
+        dst: u8,
+    },
+}
+
+/// One micro-op as received by a lane.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Uop {
+    /// Originating instruction's big-core sequence number.
+    pub seq: u64,
+    /// Element group this micro-op covers.
+    pub chime: u8,
+    /// Vector length of the instruction.
+    pub vl: u32,
+    /// Element width of the instruction.
+    pub sew: Sew,
+    /// Whether the instruction executes under mask `v0` (reads the extra
+    /// mask register — no extra port needed, paper section III-C).
+    pub masked: bool,
+    /// The operation.
+    pub kind: UopKind,
+}
+
+impl Uop {
+    /// The destination vector register this micro-op writes, if any.
+    pub fn dest(&self) -> Option<u8> {
+        match &self.kind {
+            UopKind::Arith { dst, .. }
+            | UopKind::LoadWb { dst, .. }
+            | UopKind::VxWrite { dst, .. }
+            | UopKind::VxReduce { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// The source vector registers this micro-op reads.
+    pub fn sources(&self) -> Vec<u8> {
+        match &self.kind {
+            UopKind::Arith { srcs, dst, op } => {
+                let mut s = srcs.clone();
+                // FMacc also reads its destination (accumulator).
+                if *op == VArithOp::FMacc {
+                    s.push(*dst);
+                }
+                s
+            }
+            UopKind::StoreRd { src, idx, .. } => {
+                let mut s = vec![*src];
+                if let Some(i) = idx {
+                    s.push(*i);
+                }
+                s
+            }
+            UopKind::IdxRd { src, .. } | UopKind::VxRead { src, .. } => vec![*src],
+            UopKind::VxReduce { dst, .. } => vec![*dst],
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uop(kind: UopKind) -> Uop {
+        Uop {
+            seq: 1,
+            chime: 0,
+            vl: 8,
+            sew: Sew::E32,
+            masked: false,
+            kind,
+        }
+    }
+
+    #[test]
+    fn fmacc_reads_its_destination() {
+        let u = uop(UopKind::Arith {
+            op: VArithOp::FMacc,
+            srcs: vec![2, 3],
+            dst: 4,
+        });
+        assert_eq!(u.sources(), vec![2, 3, 4]);
+        assert_eq!(u.dest(), Some(4));
+    }
+
+    #[test]
+    fn store_reads_data_and_index() {
+        let u = uop(UopKind::StoreRd {
+            mem_id: 7,
+            src: 5,
+            idx: Some(6),
+        });
+        assert_eq!(u.sources(), vec![5, 6]);
+        assert_eq!(u.dest(), None);
+    }
+
+    #[test]
+    fn load_writeback_writes_only() {
+        let u = uop(UopKind::LoadWb { mem_id: 1, dst: 9 });
+        assert!(u.sources().is_empty());
+        assert_eq!(u.dest(), Some(9));
+    }
+}

@@ -1,0 +1,187 @@
+//! The vector cross-element unit (VXU): a pipelined unidirectional ring.
+//!
+//! Paper section III-D: `vxread` micro-ops push source elements into the
+//! ring; once all sources have arrived the VXU shifts every element one
+//! hop per cycle, delivering requested elements to the lanes executing
+//! `vxwrite`/`vxreduce`. Shifting all elements takes `N` cycles for `N`
+//! source elements, plus the ring's pipeline depth. To avoid deadlock the
+//! VXU processes **one cross-element instruction at a time**; the VCU
+//! holds subsequent ones (lanes see `xelem` stalls).
+
+/// VXU timing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct VxuParams {
+    /// Ring pipeline depth (entry + exit registers).
+    pub pipeline: u64,
+    /// Model an idealized crossbar instead of the unidirectional ring:
+    /// all elements are delivered after the pipeline depth alone, with no
+    /// per-element shifting (the paper's section III-D notes a crossbar
+    /// as the lower-latency / higher-area alternative — this is the
+    /// design-choice ablation).
+    pub crossbar: bool,
+}
+
+impl Default for VxuParams {
+    fn default() -> Self {
+        VxuParams {
+            pipeline: 2,
+            crossbar: false,
+        }
+    }
+}
+
+/// VXU statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VxuStats {
+    /// Cross-element transactions processed.
+    pub transactions: u64,
+    /// Total source elements shifted.
+    pub elements: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Tx {
+    id: u64,
+    total_elems: u32,
+    reads_remaining: u32,
+    all_reads_done_at: Option<u64>,
+}
+
+/// The cross-element ring model.
+#[derive(Clone, Debug)]
+pub struct Vxu {
+    params: VxuParams,
+    tx: Option<Tx>,
+    stats: VxuStats,
+}
+
+impl Default for Vxu {
+    fn default() -> Self {
+        Vxu::new(VxuParams::default())
+    }
+}
+
+impl Vxu {
+    /// Creates a VXU.
+    pub fn new(params: VxuParams) -> Self {
+        Vxu {
+            params,
+            tx: None,
+            stats: VxuStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &VxuStats {
+        &self.stats
+    }
+
+    /// True while a transaction occupies the ring.
+    pub fn busy(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Reserves the ring for transaction `id` expecting `reads` per-lane
+    /// `vxread` completions covering `total_elems` source elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is already occupied (the VCU must serialize).
+    pub fn begin(&mut self, id: u64, reads: u32, total_elems: u32) {
+        assert!(self.tx.is_none(), "VXU processes one transaction at a time");
+        self.stats.transactions += 1;
+        self.stats.elements += u64::from(total_elems);
+        self.tx = Some(Tx {
+            id,
+            total_elems,
+            reads_remaining: reads,
+            all_reads_done_at: None,
+        });
+    }
+
+    /// Records one `vxread` micro-op completing at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction with this id is active.
+    pub fn read_done(&mut self, id: u64, now: u64) {
+        let tx = self.tx.as_mut().expect("active transaction");
+        assert_eq!(tx.id, id, "read for a different transaction");
+        assert!(tx.reads_remaining > 0, "too many reads");
+        tx.reads_remaining -= 1;
+        if tx.reads_remaining == 0 {
+            tx.all_reads_done_at = Some(now);
+        }
+    }
+
+    /// True once shifted results for transaction `id` are deliverable at
+    /// cycle `now` (all reads done + N-element shift + pipeline; an
+    /// idealized crossbar skips the shift).
+    pub fn ready(&self, id: u64, now: u64) -> bool {
+        match self.tx {
+            Some(tx) if tx.id == id => match tx.all_reads_done_at {
+                Some(done) => {
+                    let shift = if self.params.crossbar {
+                        0
+                    } else {
+                        u64::from(tx.total_elems)
+                    };
+                    now >= done + shift + self.params.pipeline
+                }
+                None => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Releases the ring after the consuming micro-ops finish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not the active transaction.
+    pub fn complete(&mut self, id: u64) {
+        let tx = self.tx.take().expect("active transaction");
+        assert_eq!(tx.id, id, "completing a different transaction");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_transaction_lifecycle() {
+        let mut v = Vxu::new(VxuParams::default());
+        assert!(!v.busy());
+        v.begin(1, 2, 8);
+        assert!(v.busy());
+        assert!(!v.ready(1, 100));
+        v.read_done(1, 10);
+        assert!(!v.ready(1, 100)); // one read still pending
+        v.read_done(1, 12);
+        // ready at 12 + 8 elements + 2 pipeline = 22.
+        assert!(!v.ready(1, 21));
+        assert!(v.ready(1, 22));
+        v.complete(1);
+        assert!(!v.busy());
+        assert_eq!(v.stats().transactions, 1);
+        assert_eq!(v.stats().elements, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "one transaction at a time")]
+    fn double_begin_panics() {
+        let mut v = Vxu::new(VxuParams::default());
+        v.begin(1, 1, 4);
+        v.begin(2, 1, 4);
+    }
+
+    #[test]
+    fn shift_time_scales_with_elements() {
+        let mut v = Vxu::new(VxuParams::default());
+        v.begin(3, 1, 16);
+        v.read_done(3, 0);
+        assert!(!v.ready(3, 17));
+        assert!(v.ready(3, 18));
+    }
+}

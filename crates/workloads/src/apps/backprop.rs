@@ -1,0 +1,192 @@
+//! `backprop` — forward classification on a fully connected layer
+//! (Rodinia; a machine-learning mobile workload per the paper).
+//!
+//! `out[j] = act( Σ_i in[i] * w[i][j] )` with the rational activation
+//! `act(x) = x / (1 + |x|)` (a standard fast sigmoid that keeps the FP
+//! instruction mix — fma, fabs, fadd, fdiv — without a transcendental
+//! library). Vectorized over output neurons `j`: the weight matrix is
+//! stored row-major `w[i][j]`, so each input `i` contributes a unit-stride
+//! row scaled by `in[i]` — the same FMA pattern Rodinia's kernel has.
+
+use crate::gen;
+use crate::workload::{regs, Phase, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_isa::reg::{VReg, XReg};
+use bvl_isa::vcfg::Sew;
+use bvl_mem::SimMemory;
+use bvl_runtime::parallel_for_tasks;
+use std::rc::Rc;
+
+/// Input-layer width.
+const N_IN: u64 = 64;
+
+/// Builds `backprop` at `scale` (`scale.n / 8` output neurons).
+pub fn build(scale: Scale) -> Workload {
+    let n_out = (scale.n / 8).max(64);
+    let in_data = gen::f32_vec(scale.seed, N_IN as usize, -1.0, 1.0);
+    let w_data = gen::f32_vec(scale.seed ^ 4, (N_IN * n_out) as usize, -0.5, 0.5);
+
+    let mut mem = SimMemory::default();
+    let input = mem.alloc_f32(&in_data);
+    let weights = mem.alloc_f32(&w_data);
+    let out = mem.alloc(n_out * 4, 64);
+
+    let expect: Vec<f32> = (0..n_out as usize)
+        .map(|j| {
+            let mut acc = 0f32;
+            for i in 0..N_IN as usize {
+                acc = in_data[i].mul_add(w_data[i * n_out as usize + j], acc);
+            }
+            acc / (1.0 + acc.abs())
+        })
+        .collect();
+
+    let mut asm = Assembler::new();
+    let (start, end, vl) = (regs::START, regs::END, regs::VL);
+    let t = regs::T;
+    let bs = regs::B;
+    let ft = regs::FT;
+    let one = mem.alloc_f32(&[1.0]);
+    let row_bytes = (n_out * 4) as i64;
+
+    // ---- scalar range task over output neurons [start, end)
+    asm.label("scalar_task");
+    asm.li(t[5], one as i64);
+    asm.flw(ft[5], t[5], 0); // 1.0
+    asm.mv(t[0], start); // j
+    asm.label("s_j");
+    asm.bge(t[0], end, "s_done");
+    asm.fmv_w_x(ft[0], XReg::ZERO); // acc = 0
+    asm.li(bs[0], input as i64);
+    asm.li(bs[1], weights as i64);
+    asm.slli(t[2], t[0], 2);
+    asm.add(bs[1], bs[1], t[2]); // &w[0][j]
+    asm.li(t[1], N_IN as i64);
+    asm.label("s_i");
+    asm.flw(ft[1], bs[0], 0);
+    asm.flw(ft[2], bs[1], 0);
+    asm.fmadd_s(ft[0], ft[1], ft[2], ft[0]);
+    asm.addi(bs[0], bs[0], 4);
+    asm.li(t[3], row_bytes);
+    asm.add(bs[1], bs[1], t[3]);
+    asm.addi(t[1], t[1], -1);
+    asm.bne(t[1], XReg::ZERO, "s_i");
+    // act(acc) = acc / (1 + |acc|)
+    asm.fabs_s(ft[1], ft[0]);
+    asm.fadd_s(ft[1], ft[1], ft[5]);
+    asm.fdiv_s(ft[0], ft[0], ft[1]);
+    asm.li(bs[2], out as i64);
+    asm.add(bs[2], bs[2], t[2]);
+    asm.fsw(ft[0], bs[2], 0);
+    asm.addi(t[0], t[0], 1);
+    asm.j("s_j");
+    asm.label("s_done");
+    asm.halt();
+
+    // ---- vectorized range task: j-tiles of VL output neurons
+    asm.label("vector_task");
+    asm.li(t[5], one as i64);
+    asm.flw(ft[5], t[5], 0);
+    asm.mv(t[0], start); // j tile base
+    asm.label("v_tile");
+    asm.bge(t[0], end, "v_done");
+    asm.sub(t[6], end, t[0]);
+    asm.vsetvli(vl, t[6], Sew::E32);
+    asm.vmv_v_x(VReg::new(1), XReg::ZERO); // acc tile
+    asm.li(bs[0], input as i64);
+    asm.li(bs[1], weights as i64);
+    asm.slli(t[2], t[0], 2);
+    asm.add(bs[1], bs[1], t[2]); // &w[0][j_tile]
+    asm.li(t[1], N_IN as i64);
+    asm.label("v_i");
+    asm.flw(ft[1], bs[0], 0); // in[i]
+    asm.vle(VReg::new(2), bs[1]); // w[i][tile]
+    asm.vfmacc_vf(VReg::new(1), ft[1], VReg::new(2));
+    asm.addi(bs[0], bs[0], 4);
+    asm.li(t[3], row_bytes);
+    asm.add(bs[1], bs[1], t[3]);
+    asm.addi(t[1], t[1], -1);
+    asm.bne(t[1], XReg::ZERO, "v_i");
+    // activation: v3 = |acc| + 1; out = acc / v3
+    asm.varith(
+        bvl_isa::instr::VArithOp::FAbs,
+        VReg::new(3),
+        bvl_isa::instr::VSrc::V(VReg::new(1)),
+        VReg::new(1),
+        false,
+    );
+    asm.varith(
+        bvl_isa::instr::VArithOp::FAdd,
+        VReg::new(3),
+        bvl_isa::instr::VSrc::F(ft[5]),
+        VReg::new(3),
+        false,
+    );
+    // vd = vs2 / src1 ordering: FDiv computes b / a with b = vs2.
+    asm.varith(
+        bvl_isa::instr::VArithOp::FDiv,
+        VReg::new(4),
+        bvl_isa::instr::VSrc::V(VReg::new(3)),
+        VReg::new(1),
+        false,
+    );
+    asm.li(bs[2], out as i64);
+    asm.add(bs[2], bs[2], t[2]);
+    asm.vse(VReg::new(4), bs[2]);
+    asm.add(t[0], t[0], vl);
+    asm.j("v_tile");
+    asm.label("v_done");
+    asm.vmfence();
+    asm.halt();
+
+    // ---- whole-run entries
+    asm.label("serial");
+    asm.li(start, 0);
+    asm.li(end, n_out as i64);
+    asm.j("scalar_task");
+    asm.label("vector");
+    asm.li(start, 0);
+    asm.li(end, n_out as i64);
+    asm.j("vector_task");
+
+    let program = Rc::new(asm.assemble().expect("backprop assembles"));
+    let scalar_pc = program.label("scalar_task").expect("label");
+    let vector_pc = program.label("vector_task").expect("label");
+    let chunk = (n_out / 16).max(32);
+    let tasks = parallel_for_tasks(n_out, chunk, scalar_pc, Some(vector_pc), regs::START, regs::END, &[]);
+
+    Workload {
+        name: "backprop",
+        class: WorkloadClass::DataParallelApp,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: Some(program.label("vector").expect("label")),
+        program,
+        mem,
+        phases: vec![Phase::new(tasks)],
+        check: Box::new(move |m| {
+            let got = m.read_f32_array(out, expect.len());
+            for (i, (&g, &e)) in got.iter().zip(&expect).enumerate() {
+                if g.to_bits() != e.to_bits() {
+                    return Err(format!("backprop mismatch at {i}: got {g} want {e}"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testutil;
+
+    #[test]
+    fn entries_agree_with_reference() {
+        testutil::check_both_entries(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn tasks_cover_outputs() {
+        testutil::check_tasks(|| build(Scale::tiny()));
+    }
+}

@@ -1,0 +1,323 @@
+//! `jacobi2d` — 5-point stencil relaxation (RiVec; data analytics).
+//!
+//! Double-buffered Jacobi iterations on a `(dim+2)²` grid with a halo:
+//! `dst[i][j] = 0.25·(src[i-1][j] + src[i+1][j] + src[i][j-1] + src[i][j+1])`.
+//! Vectorized over row elements (four shifted unit-stride loads per tile).
+//! The task decomposition has one phase per iteration — rows are split
+//! across workers and the source/destination buffer bases travel as task
+//! arguments, so the double buffering is race-free.
+
+use crate::gen;
+use crate::workload::{regs, Phase, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_isa::reg::{VReg, XReg};
+use bvl_isa::vcfg::Sew;
+use bvl_mem::SimMemory;
+use bvl_runtime::parallel_for_tasks;
+use std::rc::Rc;
+
+/// Builds `jacobi2d` at `scale` (a `scale.dim`² interior, `scale.iters`
+/// iterations).
+pub fn build(scale: Scale) -> Workload {
+    let d = scale.dim;
+    let w = d + 2; // grid width with halo
+    let iters = scale.iters;
+    let init = gen::f32_vec(scale.seed ^ 20, (w * w) as usize, 0.0, 1.0);
+
+    let mut mem = SimMemory::default();
+    let buf_a = mem.alloc_f32(&init);
+    let buf_b = mem.alloc_f32(&init); // halo must match in both buffers
+    let quarter = mem.alloc_f32(&[0.25]);
+
+    // Reference.
+    let mut cur = init.clone();
+    let mut nxt = init.clone();
+    for _ in 0..iters {
+        for i in 1..=d as usize {
+            for j in 1..=d as usize {
+                let wd = w as usize;
+                let sum = cur[(i - 1) * wd + j] + cur[(i + 1) * wd + j];
+                let sum = sum + cur[i * wd + j - 1];
+                let sum = sum + cur[i * wd + j + 1];
+                nxt[i * wd + j] = sum * 0.25;
+            }
+        }
+        std::mem::swap(&mut cur, &mut nxt);
+    }
+    let expect = cur;
+    let final_base = if iters.is_multiple_of(2) { buf_a } else { buf_b };
+
+    let mut asm = Assembler::new();
+    let (start, end, vl) = (regs::START, regs::END, regs::VL);
+    let (src_arg, dst_arg) = (regs::ARG2, regs::ARG3);
+    let t = regs::T;
+    let bs = regs::B;
+    let ft = regs::FT;
+    let row_bytes = (w * 4) as i64;
+
+    // ---- scalar row-range task: rows [start, end) (1-based interior),
+    //      src base in ARG2, dst base in ARG3.
+    asm.label("scalar_task");
+    asm.li(t[5], quarter as i64);
+    asm.flw(ft[5], t[5], 0);
+    asm.mv(t[0], start); // i
+    asm.label("s_i");
+    asm.bge(t[0], end, "s_done");
+    // row pointers: up/cur/down in src; out in dst (start at column 1)
+    asm.li(t[3], row_bytes);
+    asm.mul(t[4], t[0], t[3]);
+    asm.add(bs[0], src_arg, t[4]); // &src[i][0]
+    asm.add(bs[2], dst_arg, t[4]);
+    asm.addi(bs[0], bs[0], 4); // column 1
+    asm.addi(bs[2], bs[2], 4);
+    asm.li(t[1], d as i64); // columns
+    asm.label("s_j");
+    asm.sub(t[2], bs[0], t[3]);
+    asm.flw(ft[0], t[2], 0); // up
+    asm.add(t[2], bs[0], t[3]);
+    asm.flw(ft[1], t[2], 0); // down
+    asm.fadd_s(ft[0], ft[0], ft[1]);
+    asm.flw(ft[1], bs[0], -4); // left
+    asm.fadd_s(ft[0], ft[0], ft[1]);
+    asm.flw(ft[1], bs[0], 4); // right
+    asm.fadd_s(ft[0], ft[0], ft[1]);
+    asm.fmul_s(ft[0], ft[0], ft[5]);
+    asm.fsw(ft[0], bs[2], 0);
+    asm.addi(bs[0], bs[0], 4);
+    asm.addi(bs[2], bs[2], 4);
+    asm.addi(t[1], t[1], -1);
+    asm.bne(t[1], XReg::ZERO, "s_j");
+    asm.addi(t[0], t[0], 1);
+    asm.j("s_i");
+    asm.label("s_done");
+    asm.halt();
+
+    // ---- vectorized row-range task
+    asm.label("vector_task");
+    asm.li(t[5], quarter as i64);
+    asm.flw(ft[5], t[5], 0);
+    asm.mv(t[0], start);
+    asm.label("v_i");
+    asm.bge(t[0], end, "v_done");
+    asm.li(t[3], row_bytes);
+    asm.mul(t[4], t[0], t[3]);
+    asm.add(bs[0], src_arg, t[4]);
+    asm.addi(bs[0], bs[0], 4); // &src[i][1]
+    asm.add(bs[2], dst_arg, t[4]);
+    asm.addi(bs[2], bs[2], 4);
+    asm.li(t[1], d as i64); // remaining columns
+    asm.label("v_strip");
+    asm.vsetvli(vl, t[1], Sew::E32);
+    asm.sub(t[2], bs[0], t[3]);
+    asm.vle(VReg::new(1), t[2]); // up
+    asm.add(t[2], bs[0], t[3]);
+    asm.vle(VReg::new(2), t[2]); // down
+    asm.vfadd_vv(VReg::new(1), VReg::new(1), VReg::new(2));
+    asm.addi(t[2], bs[0], -4);
+    asm.vle(VReg::new(2), t[2]); // left
+    asm.vfadd_vv(VReg::new(1), VReg::new(1), VReg::new(2));
+    asm.addi(t[2], bs[0], 4);
+    asm.vle(VReg::new(2), t[2]); // right
+    asm.vfadd_vv(VReg::new(1), VReg::new(1), VReg::new(2));
+    asm.vfmul_vf(VReg::new(1), VReg::new(1), ft[5]);
+    asm.vse(VReg::new(1), bs[2]);
+    asm.slli(t[2], vl, 2);
+    asm.add(bs[0], bs[0], t[2]);
+    asm.add(bs[2], bs[2], t[2]);
+    asm.sub(t[1], t[1], vl);
+    asm.bne(t[1], XReg::ZERO, "v_strip");
+    asm.addi(t[0], t[0], 1);
+    asm.j("v_i");
+    asm.label("v_done");
+    asm.vmfence();
+    asm.halt();
+
+    // ---- whole-run entries: loop iterations, swapping buffers.
+    for (entry, task) in [("serial", "scalar_task"), ("vector", "vector_task")] {
+        asm.label(entry);
+        asm.li(t[7], iters as i64);
+        asm.li(src_arg, buf_a as i64);
+        asm.li(dst_arg, buf_b as i64);
+        let loop_l = format!("{entry}_it");
+        let done_l = format!("{entry}_fin");
+        asm.label(loop_l.clone());
+        asm.beq(t[7], XReg::ZERO, done_l.clone());
+        asm.li(start, 1);
+        asm.li(end, (d + 1) as i64);
+        // inline call: jal to task, but tasks end in halt. Instead emit the
+        // sweep via jal/ret convention: jump into a non-halting copy.
+        asm.jal(XReg::RA, format!("{task}_body"));
+        // swap buffers
+        asm.mv(t[6], src_arg);
+        asm.mv(src_arg, dst_arg);
+        asm.mv(dst_arg, t[6]);
+        asm.addi(t[7], t[7], -1);
+        asm.j(loop_l);
+        asm.label(done_l);
+        if entry == "vector" {
+            asm.vmfence();
+        }
+        asm.halt();
+    }
+
+    // Callable bodies: same code shape, returning via jalr instead of
+    // halting. To avoid emitting each sweep twice, the task labels above
+    // are thin wrappers; the bodies live here and the task entries are
+    // regenerated as body+halt by the assembler's label plumbing. For
+    // clarity we simply emit the body variants separately.
+    emit_body(&mut asm, "scalar_task_body", false, src_arg, dst_arg, d, w, quarter);
+    emit_body(&mut asm, "vector_task_body", true, src_arg, dst_arg, d, w, quarter);
+
+    let program = Rc::new(asm.assemble().expect("jacobi2d assembles"));
+    let scalar_pc = program.label("scalar_task").expect("label");
+    let vector_pc = program.label("vector_task").expect("label");
+
+    // Task phases: one per iteration, rows split, buffers alternating.
+    let chunk = (d / 8).max(2);
+    let mut phases = Vec::new();
+    for it in 0..iters {
+        let (s, dst) = if it % 2 == 0 { (buf_a, buf_b) } else { (buf_b, buf_a) };
+        let mut tasks = parallel_for_tasks(
+            d + 1,
+            chunk,
+            scalar_pc,
+            Some(vector_pc),
+            regs::START,
+            regs::END,
+            &[(src_arg, s), (dst_arg, dst)],
+        );
+        // Rows are 1-based: drop the [0, ...) prefix by shifting ranges.
+        for task in &mut tasks {
+            if task.args[0].1 == 0 {
+                task.args[0].1 = 1;
+            }
+        }
+        phases.push(Phase::new(tasks));
+    }
+
+    Workload {
+        name: "jacobi2d",
+        class: WorkloadClass::DataParallelApp,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: Some(program.label("vector").expect("label")),
+        program,
+        mem,
+        phases,
+        check: Box::new(move |m| {
+            let wd = w as usize;
+            let got = m.read_f32_array(final_base, wd * wd);
+            for i in 1..=d as usize {
+                for j in 1..=d as usize {
+                    let (g, e) = (got[i * wd + j], expect[i * wd + j]);
+                    if g.to_bits() != e.to_bits() {
+                        return Err(format!("jacobi2d mismatch at ({i},{j}): got {g} want {e}"));
+                    }
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// Emits a callable (jalr-returning) sweep body. Identical computation to
+/// the task variants; used by the whole-run entries' iteration loop.
+#[allow(clippy::too_many_arguments)]
+fn emit_body(
+    asm: &mut Assembler,
+    label: &str,
+    vector: bool,
+    src_arg: XReg,
+    dst_arg: XReg,
+    d: u64,
+    w: u64,
+    quarter: u64,
+) {
+    let (start, end, vl) = (regs::START, regs::END, regs::VL);
+    let t = regs::T;
+    let bs = regs::B;
+    let ft = regs::FT;
+    let row_bytes = (w * 4) as i64;
+    let l = |s: &str| format!("{label}${s}");
+
+    asm.label(label);
+    asm.li(t[5], quarter as i64);
+    asm.flw(ft[5], t[5], 0);
+    asm.mv(t[0], start);
+    asm.label(l("i"));
+    asm.bge(t[0], end, l("done"));
+    asm.li(t[3], row_bytes);
+    asm.mul(t[4], t[0], t[3]);
+    asm.add(bs[0], src_arg, t[4]);
+    asm.addi(bs[0], bs[0], 4);
+    asm.add(bs[2], dst_arg, t[4]);
+    asm.addi(bs[2], bs[2], 4);
+    asm.li(t[1], d as i64);
+    asm.label(l("j"));
+    if vector {
+        asm.vsetvli(vl, t[1], Sew::E32);
+        asm.sub(t[2], bs[0], t[3]);
+        asm.vle(VReg::new(1), t[2]);
+        asm.add(t[2], bs[0], t[3]);
+        asm.vle(VReg::new(2), t[2]);
+        asm.vfadd_vv(VReg::new(1), VReg::new(1), VReg::new(2));
+        asm.addi(t[2], bs[0], -4);
+        asm.vle(VReg::new(2), t[2]);
+        asm.vfadd_vv(VReg::new(1), VReg::new(1), VReg::new(2));
+        asm.addi(t[2], bs[0], 4);
+        asm.vle(VReg::new(2), t[2]);
+        asm.vfadd_vv(VReg::new(1), VReg::new(1), VReg::new(2));
+        asm.vfmul_vf(VReg::new(1), VReg::new(1), ft[5]);
+        asm.vse(VReg::new(1), bs[2]);
+        asm.slli(t[2], vl, 2);
+        asm.add(bs[0], bs[0], t[2]);
+        asm.add(bs[2], bs[2], t[2]);
+        asm.sub(t[1], t[1], vl);
+    } else {
+        asm.sub(t[2], bs[0], t[3]);
+        asm.flw(ft[0], t[2], 0);
+        asm.add(t[2], bs[0], t[3]);
+        asm.flw(ft[1], t[2], 0);
+        asm.fadd_s(ft[0], ft[0], ft[1]);
+        asm.flw(ft[1], bs[0], -4);
+        asm.fadd_s(ft[0], ft[0], ft[1]);
+        asm.flw(ft[1], bs[0], 4);
+        asm.fadd_s(ft[0], ft[0], ft[1]);
+        asm.fmul_s(ft[0], ft[0], ft[5]);
+        asm.fsw(ft[0], bs[2], 0);
+        asm.addi(bs[0], bs[0], 4);
+        asm.addi(bs[2], bs[2], 4);
+        asm.addi(t[1], t[1], -1);
+    }
+    asm.bne(t[1], XReg::ZERO, l("j"));
+    asm.addi(t[0], t[0], 1);
+    asm.j(l("i"));
+    asm.label(l("done"));
+    // A vector-region boundary inside the iteration loop: make sure the
+    // stores of this sweep are visible before the next iteration reads.
+    if vector {
+        asm.vmfence();
+    }
+    asm.jalr(XReg::ZERO, XReg::RA, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testutil;
+
+    #[test]
+    fn entries_agree_with_reference() {
+        testutil::check_both_entries(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn per_iteration_phases_match_reference() {
+        testutil::check_tasks(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn one_phase_per_iteration() {
+        let w = build(Scale::tiny());
+        assert_eq!(w.phases.len() as u64, Scale::tiny().iters);
+    }
+}

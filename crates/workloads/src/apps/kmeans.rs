@@ -1,0 +1,212 @@
+//! `kmeans` — nearest-centroid assignment (Rodinia; ML clustering).
+//!
+//! For each point, finds the closest of `K` centroids by squared Euclidean
+//! distance and records its index. Points are stored structure-of-arrays
+//! (one unit-stride array per dimension), which is how Rodinia's kernel is
+//! vectorized: distances for a whole tile of points are computed per
+//! centroid, then masked merges keep the running best — exercising vector
+//! compares, the mask register and `vmerge`.
+
+use crate::gen;
+use crate::workload::{regs, Phase, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_isa::instr::{VArithOp, VSrc};
+use bvl_isa::reg::{VReg, XReg};
+use bvl_isa::vcfg::Sew;
+use bvl_mem::SimMemory;
+use bvl_runtime::parallel_for_tasks;
+use std::rc::Rc;
+
+/// Point dimensionality.
+const DIM: usize = 4;
+/// Number of centroids.
+const K: usize = 8;
+/// "Infinity" initial best distance.
+const BIG: f32 = 1e30;
+
+/// Builds `kmeans` at `scale` (`scale.n / 4` points).
+pub fn build(scale: Scale) -> Workload {
+    let n = (scale.n / 4).max(256);
+    // SoA coordinates.
+    let coords: Vec<Vec<f32>> = (0..DIM)
+        .map(|d| gen::f32_vec(scale.seed ^ (d as u64 + 5), n as usize, -100.0, 100.0))
+        .collect();
+    let cents: Vec<Vec<f32>> = (0..K)
+        .map(|k| gen::f32_vec(scale.seed ^ (k as u64 + 50), DIM, -100.0, 100.0))
+        .collect();
+
+    let mut mem = SimMemory::default();
+    let coord_bases: Vec<u64> = coords.iter().map(|c| mem.alloc_f32(c)).collect();
+    // Centroids flattened [k][d].
+    let cent_flat: Vec<f32> = cents.iter().flatten().copied().collect();
+    let cent_base = mem.alloc_f32(&cent_flat);
+    let assign = mem.alloc(n * 4, 64);
+    let big_const = mem.alloc_f32(&[BIG]);
+
+    // Reference (same op order: k ascending, fused d2 accumulation,
+    // strict less-than).
+    let expect: Vec<u32> = (0..n as usize)
+        .map(|i| {
+            let mut best = 0u32;
+            let mut bestd = BIG;
+            for (k, cent) in cents.iter().enumerate() {
+                let mut d2 = 0f32;
+                for d in 0..DIM {
+                    let diff = coords[d][i] - cent[d];
+                    d2 = diff.mul_add(diff, d2);
+                }
+                if d2 < bestd {
+                    bestd = d2;
+                    best = k as u32;
+                }
+            }
+            best
+        })
+        .collect();
+
+    let mut asm = Assembler::new();
+    let (start, end, vl) = (regs::START, regs::END, regs::VL);
+    let t = regs::T;
+    let bs = regs::B;
+    let ft = regs::FT;
+
+    // ---- scalar range task over points [start, end)
+    asm.label("scalar_task");
+    asm.li(t[5], big_const as i64);
+    asm.flw(ft[5], t[5], 0); // BIG
+    asm.mv(t[0], start); // i
+    asm.label("s_i");
+    asm.bge(t[0], end, "s_done");
+    asm.fmv_s(ft[4], ft[5]); // bestd = BIG
+    asm.li(t[4], 0); // best = 0
+    asm.li(t[1], 0); // k
+    asm.li(bs[1], cent_base as i64);
+    asm.label("s_k");
+    asm.fmv_w_x(ft[0], XReg::ZERO); // d2 = 0
+    asm.slli(t[2], t[0], 2);
+    for (d, cb) in coord_bases.iter().enumerate() {
+        asm.li(bs[0], *cb as i64);
+        asm.add(bs[0], bs[0], t[2]);
+        asm.flw(ft[1], bs[0], 0); // p[d][i]
+        asm.flw(ft[2], bs[1], (d * 4) as i64); // c[k][d]
+        asm.fsub_s(ft[1], ft[1], ft[2]);
+        asm.fmadd_s(ft[0], ft[1], ft[1], ft[0]);
+    }
+    // if d2 < bestd { bestd = d2; best = k }
+    asm.flt_s(t[3], ft[0], ft[4]);
+    asm.beq(t[3], XReg::ZERO, "s_nokeep");
+    asm.fmv_s(ft[4], ft[0]);
+    asm.mv(t[4], t[1]);
+    asm.label("s_nokeep");
+    asm.addi(t[1], t[1], 1);
+    asm.addi(bs[1], bs[1], (DIM * 4) as i64);
+    asm.li(t[3], K as i64);
+    asm.blt(t[1], t[3], "s_k");
+    // assign[i] = best
+    asm.li(bs[2], assign as i64);
+    asm.add(bs[2], bs[2], t[2]);
+    asm.sw(t[4], bs[2], 0);
+    asm.addi(t[0], t[0], 1);
+    asm.j("s_i");
+    asm.label("s_done");
+    asm.halt();
+
+    // ---- vectorized range task: point tiles of VL
+    // v1 = bestd, v2 = best, v3 = d2, v4 = diff/load scratch
+    asm.label("vector_task");
+    asm.li(t[5], big_const as i64);
+    asm.flw(ft[5], t[5], 0);
+    asm.mv(t[0], start);
+    asm.label("v_tile");
+    asm.bge(t[0], end, "v_done");
+    asm.sub(t[6], end, t[0]);
+    asm.vsetvli(vl, t[6], Sew::E32);
+    asm.vfmv_v_f(VReg::new(1), ft[5]); // bestd = BIG
+    asm.vmv_v_x(VReg::new(2), XReg::ZERO); // best = 0
+    asm.li(t[1], 0); // k
+    asm.li(bs[1], cent_base as i64);
+    asm.slli(t[2], t[0], 2); // byte offset of tile
+    asm.label("v_k");
+    asm.vmv_v_x(VReg::new(3), XReg::ZERO); // d2 = 0
+    for (d, cb) in coord_bases.iter().enumerate() {
+        asm.li(bs[0], *cb as i64);
+        asm.add(bs[0], bs[0], t[2]);
+        asm.vle(VReg::new(4), bs[0]); // p[d][tile]
+        asm.flw(ft[1], bs[1], (d * 4) as i64); // c[k][d]
+        // diff = p - c  (FSub: vs2 - src1)
+        asm.varith(VArithOp::FSub, VReg::new(4), VSrc::F(ft[1]), VReg::new(4), false);
+        // d2 += diff * diff
+        asm.vfmacc_vv(VReg::new(3), VReg::new(4), VReg::new(4));
+    }
+    // mask = d2 < bestd
+    asm.vmflt_vv(VReg::MASK, VReg::new(3), VReg::new(1));
+    // bestd = mask ? d2 : bestd
+    asm.vmerge_vvm(VReg::new(1), VReg::new(1), VReg::new(3));
+    // best = mask ? k : best
+    asm.vmv_v_x(VReg::new(5), t[1]);
+    asm.vmerge_vvm(VReg::new(2), VReg::new(2), VReg::new(5));
+    asm.addi(t[1], t[1], 1);
+    asm.addi(bs[1], bs[1], (DIM * 4) as i64);
+    asm.li(t[3], K as i64);
+    asm.blt(t[1], t[3], "v_k");
+    // store assignments
+    asm.li(bs[2], assign as i64);
+    asm.add(bs[2], bs[2], t[2]);
+    asm.vse(VReg::new(2), bs[2]);
+    asm.add(t[0], t[0], vl);
+    asm.j("v_tile");
+    asm.label("v_done");
+    asm.vmfence();
+    asm.halt();
+
+    // ---- whole-run entries
+    asm.label("serial");
+    asm.li(start, 0);
+    asm.li(end, n as i64);
+    asm.j("scalar_task");
+    asm.label("vector");
+    asm.li(start, 0);
+    asm.li(end, n as i64);
+    asm.j("vector_task");
+
+    let program = Rc::new(asm.assemble().expect("kmeans assembles"));
+    let scalar_pc = program.label("scalar_task").expect("label");
+    let vector_pc = program.label("vector_task").expect("label");
+    let chunk = (n / 16).max(32);
+    let tasks = parallel_for_tasks(n, chunk, scalar_pc, Some(vector_pc), regs::START, regs::END, &[]);
+
+    Workload {
+        name: "kmeans",
+        class: WorkloadClass::DataParallelApp,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: Some(program.label("vector").expect("label")),
+        program,
+        mem,
+        phases: vec![Phase::new(tasks)],
+        check: Box::new(move |m| {
+            let got = m.read_u32_array(assign, expect.len());
+            if got == expect {
+                Ok(())
+            } else {
+                let i = got.iter().zip(&expect).position(|(g, e)| g != e).unwrap_or(0);
+                Err(format!("kmeans mismatch at {i}: got {} want {}", got[i], expect[i]))
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testutil;
+
+    #[test]
+    fn entries_agree_with_reference() {
+        testutil::check_both_entries(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn tasks_cover_points() {
+        testutil::check_tasks(|| build(Scale::tiny()));
+    }
+}

@@ -1,0 +1,261 @@
+//! `lavamd` — boxed particle interactions (Rodinia; molecular dynamics).
+//!
+//! Particles live in boxes; within each box every particle accumulates a
+//! pairwise force from every other particle:
+//! `s = 1/(1 + d²)`, `F += Δ·s` — the soft interaction kernel keeps
+//! Rodinia's FP shape (subtract, two FMAs, divide) without the `exp` call.
+//! Vectorized over the partner particles `j` with **ordered sum
+//! reductions** (`vfredosum`) per particle — the reduction-heavy workload
+//! the paper's Figure 7 shows dominated by long-latency and cross-element
+//! stalls.
+
+use crate::gen;
+use crate::workload::{regs, Phase, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_isa::instr::{VArithOp, VSrc};
+use bvl_isa::reg::{FReg, VReg, XReg};
+use bvl_isa::vcfg::Sew;
+use bvl_mem::SimMemory;
+use bvl_runtime::parallel_for_tasks;
+use std::rc::Rc;
+
+/// Particles per box.
+const BOX: u64 = 32;
+
+/// Builds `lavamd` at `scale` (`scale.n / 256` boxes of 32 particles).
+pub fn build(scale: Scale) -> Workload {
+    let boxes = (scale.n / 256).max(8);
+    let n = boxes * BOX;
+    let xs = gen::f32_vec(scale.seed ^ 60, n as usize, -5.0, 5.0);
+    let ys = gen::f32_vec(scale.seed ^ 61, n as usize, -5.0, 5.0);
+
+    let mut mem = SimMemory::default();
+    let xb = mem.alloc_f32(&xs);
+    let yb = mem.alloc_f32(&ys);
+    let fxb = mem.alloc(n * 4, 64);
+    let fyb = mem.alloc(n * 4, 64);
+    let one_c = mem.alloc_f32(&[1.0]);
+
+    // Reference: j ascending within the box, ordered accumulation.
+    let mut efx = vec![0f32; n as usize];
+    let mut efy = vec![0f32; n as usize];
+    for b in 0..boxes as usize {
+        let base = b * BOX as usize;
+        for i in 0..BOX as usize {
+            let (pi_x, pi_y) = (xs[base + i], ys[base + i]);
+            let (mut fx, mut fy) = (0f32, 0f32);
+            for j in 0..BOX as usize {
+                let dx = xs[base + j] - pi_x;
+                let dy = ys[base + j] - pi_y;
+                let d2 = dy.mul_add(dy, dx * dx);
+                let s = 1.0 / (1.0 + d2);
+                fx += dx * s;
+                fy += dy * s;
+            }
+            efx[base + i] = fx;
+            efy[base + i] = fy;
+        }
+    }
+
+    let mut asm = Assembler::new();
+    let (start, end, vl) = (regs::START, regs::END, regs::VL);
+    let t = regs::T;
+    let bs = regs::B;
+    let ft = regs::FT;
+    let fone = FReg::new(7);
+    let (fxi, fyi) = (FReg::new(8), FReg::new(9));
+    let (facx, facy) = (FReg::new(10), FReg::new(11));
+
+    let emit_pair = |asm: &mut Assembler| {
+        // ft0 = dx, ft1 = dy, ft2 = scratch; facx/facy accumulate.
+        asm.fsub_s(ft[0], ft[0], fxi);
+        asm.fsub_s(ft[1], ft[1], fyi);
+        asm.fmul_s(ft[2], ft[0], ft[0]);
+        asm.fmadd_s(ft[2], ft[1], ft[1], ft[2]); // d2
+        asm.fadd_s(ft[2], ft[2], fone);
+        asm.fdiv_s(ft[2], fone, ft[2]); // s
+        // Unfused multiply-then-add, matching the vectorized
+        // vfmul + vfredosum exactly (and the Rust reference).
+        asm.fmul_s(ft[0], ft[0], ft[2]);
+        asm.fadd_s(facx, facx, ft[0]); // fx += dx*s
+        asm.fmul_s(ft[1], ft[1], ft[2]);
+        asm.fadd_s(facy, facy, ft[1]); // fy += dy*s
+    };
+
+    // ---- scalar range task over boxes [start, end)
+    asm.label("scalar_task");
+    asm.li(t[5], one_c as i64);
+    asm.flw(fone, t[5], 0);
+    asm.mv(t[0], start);
+    asm.label("s_b");
+    asm.bge(t[0], end, "s_done");
+    asm.li(t[3], (BOX * 4) as i64);
+    asm.mul(t[4], t[0], t[3]);
+    asm.li(t[1], 0); // i
+    asm.label("s_i");
+    asm.li(bs[0], xb as i64);
+    asm.add(bs[0], bs[0], t[4]);
+    asm.li(bs[1], yb as i64);
+    asm.add(bs[1], bs[1], t[4]);
+    asm.slli(t[2], t[1], 2);
+    asm.add(t[5], bs[0], t[2]);
+    asm.flw(fxi, t[5], 0);
+    asm.add(t[5], bs[1], t[2]);
+    asm.flw(fyi, t[5], 0);
+    asm.fmv_w_x(facx, XReg::ZERO);
+    asm.fmv_w_x(facy, XReg::ZERO);
+    asm.li(t[2], BOX as i64);
+    asm.label("s_j");
+    asm.flw(ft[0], bs[0], 0);
+    asm.flw(ft[1], bs[1], 0);
+    emit_pair(&mut asm);
+    asm.addi(bs[0], bs[0], 4);
+    asm.addi(bs[1], bs[1], 4);
+    asm.addi(t[2], t[2], -1);
+    asm.bne(t[2], XReg::ZERO, "s_j");
+    // store forces
+    asm.slli(t[2], t[1], 2);
+    asm.li(bs[2], fxb as i64);
+    asm.add(bs[2], bs[2], t[4]);
+    asm.add(bs[2], bs[2], t[2]);
+    asm.fsw(facx, bs[2], 0);
+    asm.li(bs[2], fyb as i64);
+    asm.add(bs[2], bs[2], t[4]);
+    asm.add(bs[2], bs[2], t[2]);
+    asm.fsw(facy, bs[2], 0);
+    asm.addi(t[1], t[1], 1);
+    asm.li(t[2], BOX as i64);
+    asm.blt(t[1], t[2], "s_i");
+    asm.addi(t[0], t[0], 1);
+    asm.j("s_b");
+    asm.label("s_done");
+    asm.halt();
+
+    // ---- vectorized range task: per particle i, vectorize over j with
+    //      ordered-sum reductions. BOX = 32 spans multiple strips; the
+    //      running sums thread through the reduction init element.
+    asm.label("vector_task");
+    asm.li(t[5], one_c as i64);
+    asm.flw(fone, t[5], 0);
+    asm.mv(t[0], start);
+    asm.label("v_b");
+    asm.bge(t[0], end, "v_done");
+    asm.li(t[3], (BOX * 4) as i64);
+    asm.mul(t[4], t[0], t[3]);
+    asm.li(t[1], 0); // i
+    asm.label("v_i");
+    asm.li(bs[0], xb as i64);
+    asm.add(bs[0], bs[0], t[4]);
+    asm.li(bs[1], yb as i64);
+    asm.add(bs[1], bs[1], t[4]);
+    asm.slli(t[2], t[1], 2);
+    asm.add(t[5], bs[0], t[2]);
+    asm.flw(fxi, t[5], 0);
+    asm.add(t[5], bs[1], t[2]);
+    asm.flw(fyi, t[5], 0);
+    asm.fmv_w_x(facx, XReg::ZERO);
+    asm.fmv_w_x(facy, XReg::ZERO);
+    asm.li(t[2], BOX as i64); // remaining j
+    asm.label("v_j");
+    asm.vsetvli(vl, t[2], Sew::E32);
+    asm.vle(VReg::new(1), bs[0]); // x[j..]
+    asm.varith(VArithOp::FSub, VReg::new(1), VSrc::F(fxi), VReg::new(1), false); // dx
+    asm.vle(VReg::new(2), bs[1]); // y[j..]
+    asm.varith(VArithOp::FSub, VReg::new(2), VSrc::F(fyi), VReg::new(2), false); // dy
+    asm.vfmul_vv(VReg::new(3), VReg::new(1), VReg::new(1));
+    asm.vfmacc_vv(VReg::new(3), VReg::new(2), VReg::new(2)); // d2
+    asm.varith(VArithOp::FAdd, VReg::new(3), VSrc::F(fone), VReg::new(3), false);
+    asm.vfmv_v_f(VReg::new(4), fone);
+    asm.vfdiv_vv(VReg::new(4), VReg::new(4), VReg::new(3)); // s
+    // fx partial: vredosum(dx*s) with init = running facx
+    asm.vfmul_vv(VReg::new(5), VReg::new(1), VReg::new(4));
+    asm.fmv_x_w(t[6], facx);
+    asm.vmv_s_x(VReg::new(6), t[6]);
+    asm.vfredosum(VReg::new(7), VReg::new(5), VReg::new(6));
+    asm.vfmv_f_s(facx, VReg::new(7));
+    // fy partial
+    asm.vfmul_vv(VReg::new(5), VReg::new(2), VReg::new(4));
+    asm.fmv_x_w(t[6], facy);
+    asm.vmv_s_x(VReg::new(6), t[6]);
+    asm.vfredosum(VReg::new(7), VReg::new(5), VReg::new(6));
+    asm.vfmv_f_s(facy, VReg::new(7));
+    asm.slli(t[6], vl, 2);
+    asm.add(bs[0], bs[0], t[6]);
+    asm.add(bs[1], bs[1], t[6]);
+    asm.sub(t[2], t[2], vl);
+    asm.bne(t[2], XReg::ZERO, "v_j");
+    // store forces
+    asm.slli(t[2], t[1], 2);
+    asm.li(bs[2], fxb as i64);
+    asm.add(bs[2], bs[2], t[4]);
+    asm.add(bs[2], bs[2], t[2]);
+    asm.fsw(facx, bs[2], 0);
+    asm.li(bs[2], fyb as i64);
+    asm.add(bs[2], bs[2], t[4]);
+    asm.add(bs[2], bs[2], t[2]);
+    asm.fsw(facy, bs[2], 0);
+    asm.addi(t[1], t[1], 1);
+    asm.li(t[2], BOX as i64);
+    asm.blt(t[1], t[2], "v_i");
+    asm.addi(t[0], t[0], 1);
+    asm.j("v_b");
+    asm.label("v_done");
+    asm.vmfence();
+    asm.halt();
+
+    // ---- whole-run entries
+    asm.label("serial");
+    asm.li(start, 0);
+    asm.li(end, boxes as i64);
+    asm.j("scalar_task");
+    asm.label("vector");
+    asm.li(start, 0);
+    asm.li(end, boxes as i64);
+    asm.j("vector_task");
+
+    let program = Rc::new(asm.assemble().expect("lavamd assembles"));
+    let scalar_pc = program.label("scalar_task").expect("label");
+    let vector_pc = program.label("vector_task").expect("label");
+    let chunk = (boxes / 8).max(1);
+    let tasks = parallel_for_tasks(boxes, chunk, scalar_pc, Some(vector_pc), regs::START, regs::END, &[]);
+
+    Workload {
+        name: "lavamd",
+        class: WorkloadClass::DataParallelApp,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: Some(program.label("vector").expect("label")),
+        program,
+        mem,
+        phases: vec![Phase::new(tasks)],
+        check: Box::new(move |m| {
+            let gx = m.read_f32_array(fxb, efx.len());
+            let gy = m.read_f32_array(fyb, efy.len());
+            for i in 0..efx.len() {
+                if gx[i].to_bits() != efx[i].to_bits() || gy[i].to_bits() != efy[i].to_bits()
+                {
+                    return Err(format!(
+                        "lavamd mismatch at {i}: got ({}, {}) want ({}, {})",
+                        gx[i], gy[i], efx[i], efy[i]
+                    ));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testutil;
+
+    #[test]
+    fn entries_agree_with_reference() {
+        testutil::check_both_entries(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn tasks_cover_boxes() {
+        testutil::check_tasks(|| build(Scale::tiny()));
+    }
+}

@@ -1,0 +1,61 @@
+//! The eight data-parallel applications of Table V.
+//!
+//! | name | suite (paper) | pattern |
+//! |---|---|---|
+//! | `backprop` | Rodinia | dense layer forward pass (FMA + activation) |
+//! | `kmeans` | Rodinia | nearest-centroid assignment (distance + masks) |
+//! | `particlefilter` | Rodinia | weight evaluation + argmax reduction |
+//! | `blackscholes` | RiVec | option pricing (div/sqrt-heavy polynomials) |
+//! | `jacobi2d` | RiVec | 5-point stencil, double buffered |
+//! | `pathfinder` | Rodinia | row-wise dynamic programming (min chains) |
+//! | `lavamd` | Rodinia | boxed particle interactions (1/(1+d²) forces) |
+//! | `sw` | genomics | Smith-Waterman local alignment, anti-diagonal |
+
+pub mod backprop;
+pub mod blackscholes;
+pub mod jacobi2d;
+pub mod kmeans;
+pub mod lavamd;
+pub mod particlefilter;
+pub mod pathfinder;
+pub mod sw;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::workload::Workload;
+    use bvl_isa::exec::Machine;
+
+    /// Runs the scalar and vectorized whole-run entries functionally and
+    /// checks both against the reference.
+    pub fn check_both_entries(build: impl Fn() -> Workload) {
+        for vector in [false, true] {
+            let w = build();
+            let mut m = Machine::new(w.mem.clone(), 512);
+            let entry = if vector {
+                w.vector_entry.expect("vectorized variant")
+            } else {
+                w.serial_entry
+            };
+            m.set_pc(entry);
+            m.run(&w.program, 200_000_000).expect("entry runs to halt");
+            (w.check)(m.mem()).unwrap_or_else(|e| panic!("{} ({}): {e}", w.name, if vector { "vector" } else { "scalar" }));
+        }
+    }
+
+    /// Executes every task of every phase functionally (alternating
+    /// variants) and checks the result.
+    pub fn check_tasks(build: impl Fn() -> Workload) {
+        let w = build();
+        let mut m = Machine::new(w.mem.clone(), 512);
+        for phase in &w.phases {
+            for (i, task) in phase.tasks.iter().enumerate() {
+                for &(r, v) in &task.args {
+                    m.set_xreg(r, v);
+                }
+                m.set_pc(task.entry(i % 2 == 0));
+                m.run(&w.program, 200_000_000).expect("task runs to halt");
+            }
+        }
+        (w.check)(m.mem()).unwrap_or_else(|e| panic!("{} (tasks): {e}", w.name));
+    }
+}

@@ -1,0 +1,285 @@
+//! `pathfinder` — grid dynamic programming (Rodinia).
+//!
+//! Finds minimum-cost paths through a rows×cols grid, row by row:
+//! `dst[j] = cost[r][j] + min(src[j-1], src[j], src[j+1])` with clamped
+//! edges. Rows are inherently sequential; columns are data-parallel — the
+//! paper's classic regular-memory workload (unit-stride with ±1 shifted
+//! streams, integer mins). One task phase per row.
+
+use crate::gen;
+use crate::workload::{regs, Phase, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_isa::reg::{VReg, XReg};
+use bvl_isa::vcfg::Sew;
+use bvl_mem::SimMemory;
+use bvl_runtime::parallel_for_tasks;
+use std::rc::Rc;
+
+/// Number of DP rows.
+const ROWS: u64 = 8;
+
+/// Builds `pathfinder` at `scale` (`scale.n / 8` columns, 8 rows).
+pub fn build(scale: Scale) -> Workload {
+    let cols = (scale.n / 8).max(256);
+    let cost_data = gen::u32_vec(scale.seed ^ 30, (ROWS * cols) as usize, 1000);
+
+    let mut mem = SimMemory::default();
+    let cost = mem.alloc_u32(&cost_data);
+    // Row 0 seeds the wavefront.
+    let row0: Vec<u32> = cost_data[..cols as usize].to_vec();
+    let buf_a = mem.alloc_u32(&row0);
+    let buf_b = mem.alloc(cols * 4, 64);
+
+    // Reference.
+    let mut cur = row0.clone();
+    for r in 1..ROWS as usize {
+        let mut nxt = vec![0u32; cols as usize];
+        for j in 0..cols as usize {
+            let left = cur[j.saturating_sub(1)];
+            let mid = cur[j];
+            let right = cur[(j + 1).min(cols as usize - 1)];
+            nxt[j] = cost_data[r * cols as usize + j]
+                .wrapping_add(left.min(mid).min(right));
+        }
+        cur = nxt;
+    }
+    let expect = cur;
+    // ROWS-1 sweeps: final buffer alternates starting from buf_b.
+    let final_base = if (ROWS - 1) % 2 == 1 { buf_b } else { buf_a };
+
+    let mut asm = Assembler::new();
+    let (start, end, vl) = (regs::START, regs::END, regs::VL);
+    let (src_arg, dst_arg) = (regs::ARG2, regs::ARG3);
+    let row_arg = regs::ARG3; // row index folded into cost base instead
+    let _ = row_arg;
+    let t = regs::T;
+    let bs = regs::B;
+
+    // Task args: START/END = column range, ARG2 = src buffer base,
+    // ARG3 = dst buffer base, T[7] = cost-row base (passed as 4th arg).
+    let cost_arg = XReg::new(9);
+
+    // Emits min3 + add for one scalar column. Expects column index in
+    // t[0]; uses t[2..5].
+    // ---- scalar column-range task for one row (thin wrapper over the
+    //      returning body so the whole-run entries can reuse it)
+    asm.label("scalar_task");
+    asm.jal(XReg::RA, "scalar_body");
+    asm.halt();
+    asm.label("scalar_body");
+    asm.mv(t[0], start);
+    asm.label("s_j");
+    asm.bge(t[0], end, "s_done");
+    // left index = max(j-1, 0); right = min(j+1, cols-1)
+    asm.addi(t[1], t[0], -1);
+    asm.bge(t[1], XReg::ZERO, "s_lok");
+    asm.li(t[1], 0);
+    asm.label("s_lok");
+    asm.addi(t[2], t[0], 1);
+    asm.li(t[3], (cols - 1) as i64);
+    asm.blt(t[2], t[3], "s_rok");
+    asm.mv(t[2], t[3]);
+    asm.label("s_rok");
+    // min3
+    asm.slli(t[4], t[1], 2);
+    asm.add(t[4], t[4], src_arg);
+    asm.lw(t[1], t[4], 0); // left
+    asm.slli(t[4], t[0], 2);
+    asm.add(t[4], t[4], src_arg);
+    asm.lw(t[5], t[4], 0); // mid
+    asm.blt(t[1], t[5], "s_m1");
+    asm.mv(t[1], t[5]);
+    asm.label("s_m1");
+    asm.slli(t[4], t[2], 2);
+    asm.add(t[4], t[4], src_arg);
+    asm.lw(t[5], t[4], 0); // right
+    asm.blt(t[1], t[5], "s_m2");
+    asm.mv(t[1], t[5]);
+    asm.label("s_m2");
+    // + cost[r][j]
+    asm.slli(t[4], t[0], 2);
+    asm.add(t[4], t[4], cost_arg);
+    asm.lw(t[5], t[4], 0);
+    asm.add(t[1], t[1], t[5]);
+    asm.slli(t[4], t[0], 2);
+    asm.add(t[4], t[4], dst_arg);
+    asm.sw(t[1], t[4], 0);
+    asm.addi(t[0], t[0], 1);
+    asm.j("s_j");
+    asm.label("s_done");
+    asm.jalr(XReg::ZERO, XReg::RA, 0);
+
+    // ---- vectorized column-range task: interior vectorized, edges via
+    //      clamped first/last elements handled by shifting bases; the
+    //      first and last global columns are computed scalarly by the
+    //      whole-run caller's range construction (tasks always receive
+    //      interior-safe ranges plus edge columns handled below).
+    asm.label("vector_task");
+    asm.jal(XReg::RA, "vector_body");
+    asm.halt();
+    asm.label("vector_body");
+    // Handle edge columns in this range scalarly (j == 0 or cols-1).
+    asm.mv(t[0], start);
+    asm.label("v_j");
+    asm.bge(t[0], end, "v_done");
+    // If j is interior and at least VL-worth remains before `end-?`,
+    // vectorize [j, min(end, cols-1)). Edge columns fall through to the
+    // scalar path.
+    asm.beq(t[0], XReg::ZERO, "v_scalar_one");
+    asm.li(t[3], (cols - 1) as i64);
+    asm.bge(t[0], t[3], "v_scalar_one");
+    // interior strip until min(end, cols-1)
+    asm.mv(t[1], end);
+    asm.blt(t[1], t[3], "v_clamped");
+    asm.mv(t[1], t[3]);
+    asm.label("v_clamped");
+    asm.sub(t[2], t[1], t[0]); // interior count
+    asm.beq(t[2], XReg::ZERO, "v_scalar_one");
+    asm.vsetvli(vl, t[2], Sew::E32);
+    asm.slli(t[4], t[0], 2);
+    asm.add(bs[0], src_arg, t[4]);
+    asm.addi(t[5], bs[0], -4);
+    asm.vle(VReg::new(1), t[5]); // left
+    asm.vle(VReg::new(2), bs[0]); // mid
+    asm.vmin_vv(VReg::new(1), VReg::new(1), VReg::new(2));
+    asm.addi(t[5], bs[0], 4);
+    asm.vle(VReg::new(2), t[5]); // right
+    asm.vmin_vv(VReg::new(1), VReg::new(1), VReg::new(2));
+    asm.add(bs[1], cost_arg, t[4]);
+    asm.vle(VReg::new(2), bs[1]);
+    asm.vadd_vv(VReg::new(1), VReg::new(1), VReg::new(2));
+    asm.add(bs[2], dst_arg, t[4]);
+    asm.vse(VReg::new(1), bs[2]);
+    asm.add(t[0], t[0], vl);
+    asm.j("v_j");
+    // one scalar (edge) column, then continue
+    asm.label("v_scalar_one");
+    asm.addi(t[1], t[0], -1);
+    asm.bge(t[1], XReg::ZERO, "ve_lok");
+    asm.li(t[1], 0);
+    asm.label("ve_lok");
+    asm.addi(t[2], t[0], 1);
+    asm.li(t[3], (cols - 1) as i64);
+    asm.blt(t[2], t[3], "ve_rok");
+    asm.mv(t[2], t[3]);
+    asm.label("ve_rok");
+    asm.slli(t[4], t[1], 2);
+    asm.add(t[4], t[4], src_arg);
+    asm.lw(t[1], t[4], 0);
+    asm.slli(t[4], t[0], 2);
+    asm.add(t[4], t[4], src_arg);
+    asm.lw(t[5], t[4], 0);
+    asm.blt(t[1], t[5], "ve_m1");
+    asm.mv(t[1], t[5]);
+    asm.label("ve_m1");
+    asm.slli(t[4], t[2], 2);
+    asm.add(t[4], t[4], src_arg);
+    asm.lw(t[5], t[4], 0);
+    asm.blt(t[1], t[5], "ve_m2");
+    asm.mv(t[1], t[5]);
+    asm.label("ve_m2");
+    asm.slli(t[4], t[0], 2);
+    asm.add(t[4], t[4], cost_arg);
+    asm.lw(t[5], t[4], 0);
+    asm.add(t[1], t[1], t[5]);
+    asm.slli(t[4], t[0], 2);
+    asm.add(t[4], t[4], dst_arg);
+    asm.sw(t[1], t[4], 0);
+    asm.addi(t[0], t[0], 1);
+    asm.j("v_j");
+    asm.label("v_done");
+    asm.vmfence();
+    asm.jalr(XReg::ZERO, XReg::RA, 0);
+
+    // ---- whole-run entries: iterate rows, swapping buffers.
+    for (entry, task_pc) in [("serial", "scalar_body"), ("vector", "vector_body")] {
+        asm.label(entry);
+        asm.li(t[6], 1); // row
+        asm.li(src_arg, buf_a as i64);
+        asm.li(dst_arg, buf_b as i64);
+        let it = format!("{entry}_row");
+        let fin = format!("{entry}_fin");
+        asm.label(it.clone());
+        asm.li(t[7], ROWS as i64);
+        asm.bge(t[6], t[7], fin.clone());
+        asm.li(start, 0);
+        asm.li(end, cols as i64);
+        asm.li(cost_arg, cost as i64);
+        asm.li(t[7], (cols * 4) as i64);
+        asm.mul(t[7], t[6], t[7]);
+        asm.add(cost_arg, cost_arg, t[7]);
+        asm.jal(XReg::RA, task_pc.to_string());
+        asm.mv(t[7], src_arg);
+        asm.mv(src_arg, dst_arg);
+        asm.mv(dst_arg, t[7]);
+        asm.addi(t[6], t[6], 1);
+        asm.j(it);
+        asm.label(fin);
+        asm.halt();
+    }
+
+    let program = Rc::new(asm.assemble().expect("pathfinder assembles"));
+    let scalar_pc = program.label("scalar_task").expect("label");
+    let vector_pc = program.label("vector_task").expect("label");
+
+    // Task phases: one per DP row.
+    let chunk = (cols / 16).max(64);
+    let mut phases = Vec::new();
+    for r in 1..ROWS {
+        let (s, dst) = if (r - 1) % 2 == 0 { (buf_a, buf_b) } else { (buf_b, buf_a) };
+        let cost_row = cost + r * cols * 4;
+        phases.push(Phase::new(parallel_for_tasks(
+            cols,
+            chunk,
+            scalar_pc,
+            Some(vector_pc),
+            regs::START,
+            regs::END,
+            &[(src_arg, s), (dst_arg, dst), (cost_arg, cost_row)],
+        )));
+    }
+
+    Workload {
+        name: "pathfinder",
+        class: WorkloadClass::DataParallelApp,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: Some(program.label("vector").expect("label")),
+        program,
+        mem,
+        phases,
+        check: Box::new(move |m| {
+            let got = m.read_u32_array(final_base, expect.len());
+            if got == expect {
+                Ok(())
+            } else {
+                let i = got.iter().zip(&expect).position(|(g, e)| g != e).unwrap_or(0);
+                Err(format!(
+                    "pathfinder mismatch at {i}: got {} want {}",
+                    got[i], expect[i]
+                ))
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testutil;
+
+    #[test]
+    fn entries_agree_with_reference() {
+        testutil::check_both_entries(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn row_phases_match_reference() {
+        testutil::check_tasks(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn one_phase_per_dp_row() {
+        let w = build(Scale::tiny());
+        assert_eq!(w.phases.len() as u64, ROWS - 1);
+    }
+}

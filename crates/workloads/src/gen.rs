@@ -1,0 +1,151 @@
+//! Synthetic input generators (seeded, deterministic).
+//!
+//! Substitutes for the benchmark suites' input files: dense vectors and
+//! matrices, 2-D grids, option batches, particle tracks, DNA sequences and
+//! R-MAT-style power-law graphs — the same *shapes* the paper's inputs
+//! have, at configurable scale.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform `f32` values in `[lo, hi)`.
+pub fn f32_vec(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Uniform `u32` values in `[0, bound)`.
+pub fn u32_vec(seed: u64, n: usize, bound: u32) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+/// A random DNA sequence over {A, C, G, T} encoded as bytes 0..4.
+pub fn dna(seed: u64, n: usize) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..4u8)).collect()
+}
+
+/// A compressed-sparse-row graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// Row offsets, `vertices + 1` entries.
+    pub offsets: Vec<u32>,
+    /// Column indices (destination vertices), sorted per row.
+    pub edges: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbours(&self, v: usize) -> &[u32] {
+        let s = self.offsets[v] as usize;
+        let e = self.offsets[v + 1] as usize;
+        &self.edges[s..e]
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+}
+
+/// Generates an R-MAT-style power-law graph with `vertices` vertices and
+/// roughly `vertices * degree` directed edges, symmetrized so every edge
+/// appears in both directions (Ligra's inputs are symmetric), with
+/// self-loops and duplicates removed.
+///
+/// # Panics
+///
+/// Panics if `vertices` is not a power of two (R-MAT requirement).
+pub fn rmat(seed: u64, vertices: usize, degree: usize) -> CsrGraph {
+    assert!(vertices.is_power_of_two(), "R-MAT needs 2^k vertices");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let levels = vertices.trailing_zeros();
+    let (a, b, c) = (0.57, 0.19, 0.19); // Graph500 parameters
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(vertices * degree);
+    for _ in 0..vertices * degree {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..levels {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // upper-left
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            pairs.push((u as u32, v as u32));
+            pairs.push((v as u32, u as u32)); // symmetrize
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+
+    let mut offsets = vec![0u32; vertices + 1];
+    for &(u, _) in &pairs {
+        offsets[u as usize + 1] += 1;
+    }
+    for i in 0..vertices {
+        offsets[i + 1] += offsets[i];
+    }
+    let edges = pairs.iter().map(|&(_, v)| v).collect();
+    CsrGraph { offsets, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(f32_vec(7, 16, 0.0, 1.0), f32_vec(7, 16, 0.0, 1.0));
+        assert_eq!(u32_vec(7, 16, 100), u32_vec(7, 16, 100));
+        assert_eq!(dna(7, 64), dna(7, 64));
+        assert_eq!(rmat(7, 64, 4), rmat(7, 64, 4));
+    }
+
+    #[test]
+    fn dna_alphabet() {
+        assert!(dna(3, 1000).iter().all(|&b| b < 4));
+    }
+
+    #[test]
+    fn rmat_is_valid_csr_and_symmetric() {
+        let g = rmat(11, 128, 4);
+        assert_eq!(g.offsets.len(), 129);
+        assert_eq!(*g.offsets.last().unwrap() as usize, g.num_edges());
+        // Monotone offsets.
+        assert!(g.offsets.windows(2).all(|w| w[0] <= w[1]));
+        // Symmetry: (u,v) implies (v,u).
+        for u in 0..g.vertices() {
+            for &v in g.neighbours(u) {
+                assert!(
+                    g.neighbours(v as usize).contains(&(u as u32)),
+                    "missing reverse edge {v}->{u}"
+                );
+                assert_ne!(u as u32, v, "self loop");
+            }
+        }
+        // Power-law-ish: max degree well above average.
+        let avg = g.num_edges() / g.vertices();
+        let max = (0..g.vertices()).map(|v| g.degree(v)).max().unwrap();
+        assert!(max > 2 * avg, "degree distribution too flat: max {max}, avg {avg}");
+    }
+}

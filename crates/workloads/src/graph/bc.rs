@@ -1,0 +1,286 @@
+//! `bc` — Brandes-style betweenness centrality from one source (Ligra).
+//!
+//! Forward pass: level-synchronous shortest-path counting
+//! (`sigma[v] = Σ sigma[u]` over predecessors, one phase per BFS level);
+//! backward pass: dependency accumulation
+//! (`delta[v] = Σ sigma[v]/sigma[w] · (1 + delta[w])` over successors, one
+//! phase per level from the deepest inward). BFS levels are baked into
+//! memory (computed by the reference traversal, exactly what a prior `bfs`
+//! run produces).
+
+use crate::gen;
+use crate::graph::bfs::reference_levels;
+use crate::graph::util::{self, PhaseSpec};
+use crate::workload::{regs, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_isa::reg::XReg;
+use bvl_mem::SimMemory;
+use std::rc::Rc;
+
+fn reference(g: &gen::CsrGraph, levels: &[u32]) -> (Vec<u32>, Vec<f32>) {
+    let v = g.vertices();
+    let max_level = levels.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap_or(0);
+    let mut sigma = vec![0u32; v];
+    sigma[0] = 1;
+    for lvl in 1..=max_level {
+        let snapshot = sigma.clone();
+        for w in 0..v {
+            if levels[w] != lvl {
+                continue;
+            }
+            let mut s = 0u32;
+            for &u in g.neighbours(w) {
+                if levels[u as usize] == lvl - 1 {
+                    s = s.wrapping_add(snapshot[u as usize]);
+                }
+            }
+            sigma[w] = s;
+        }
+    }
+    let mut delta = vec![0f32; v];
+    for lvl in (0..max_level).rev() {
+        let snapshot = delta.clone();
+        for w in 0..v {
+            if levels[w] != lvl {
+                continue;
+            }
+            let mut d = 0f32;
+            for &u in g.neighbours(w) {
+                let u = u as usize;
+                if levels[u] == lvl + 1 && sigma[u] != 0 {
+                    let ratio = sigma[w] as f32 / sigma[u] as f32;
+                    d += ratio * (1.0 + snapshot[u]);
+                }
+            }
+            delta[w] = d;
+        }
+    }
+    (sigma, delta)
+}
+
+/// Builds `bc` at `scale`.
+pub fn build(scale: Scale) -> Workload {
+    let g = gen::rmat(scale.seed ^ 107, scale.vertices as usize, scale.degree as usize);
+    let levels = reference_levels(&g);
+    let max_level = levels.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap_or(0);
+    let (expect_sigma, expect_delta) = reference(&g, &levels);
+
+    let mut mem = SimMemory::default();
+    let gm = util::alloc_graph(&mut mem, &g);
+    let lvl_base = mem.alloc_u32(&levels);
+    let mut sigma_init = vec![0u32; g.vertices()];
+    sigma_init[0] = 1;
+    let sigma_base = mem.alloc_u32(&sigma_init);
+    // Snapshot buffers (the per-level clone in the reference).
+    let sigma_snap = mem.alloc_u32(&sigma_init);
+    let delta_base = mem.alloc(g.vertices() as u64 * 4, 64);
+    let delta_snap = mem.alloc(g.vertices() as u64 * 4, 64);
+    let one_c = mem.alloc_f32(&[1.0]);
+
+    let t = regs::T;
+    let bs = regs::B;
+    let ft = regs::FT;
+    let lvl_arg = regs::ARG2;
+
+    let mut asm = Assembler::new();
+    let mut specs = Vec::new();
+    for lvl in 1..=max_level {
+        // Copy phase (snapshot) then compute phase.
+        specs.push(PhaseSpec {
+            body: "copy_sigma_body",
+            args: vec![],
+        });
+        specs.push(PhaseSpec {
+            body: "sigma_body",
+            args: vec![(lvl_arg, u64::from(lvl))],
+        });
+    }
+    for lvl in (0..max_level).rev() {
+        specs.push(PhaseSpec {
+            body: "copy_delta_body",
+            args: vec![],
+        });
+        specs.push(PhaseSpec {
+            body: "delta_body",
+            args: vec![(lvl_arg, u64::from(lvl))],
+        });
+    }
+    util::emit_phase_entries(&mut asm, &specs, gm.v);
+
+    // copy bodies: snapshot <- live, vertex range.
+    for (label, src, dst) in [
+        ("copy_sigma_body", sigma_base, sigma_snap),
+        ("copy_delta_body", delta_base, delta_snap),
+    ] {
+        asm.label(label);
+        asm.mv(t[0], regs::START);
+        let l = format!("{label}$l");
+        let r = format!("{label}$r");
+        asm.label(l.clone());
+        asm.bge(t[0], regs::END, r.clone());
+        asm.slli(t[1], t[0], 2);
+        asm.li(bs[0], src as i64);
+        asm.add(bs[0], bs[0], t[1]);
+        asm.lw(t[2], bs[0], 0);
+        asm.li(bs[1], dst as i64);
+        asm.add(bs[1], bs[1], t[1]);
+        asm.sw(t[2], bs[1], 0);
+        asm.addi(t[0], t[0], 1);
+        asm.j(l);
+        asm.label(r);
+        asm.jalr(XReg::ZERO, XReg::RA, 0);
+    }
+
+    // sigma_body: for v at level `lvl`, sum snapshot sigma of
+    // level-(lvl-1) neighbours.
+    util::emit_vertex_sweep(
+        &mut asm,
+        "sigma_body",
+        &gm,
+        |asm| {
+            asm.slli(t[3], t[0], 2);
+            asm.li(t[4], lvl_base as i64);
+            asm.add(t[4], t[4], t[3]);
+            asm.lw(t[5], t[4], 0); // my level
+            asm.li(t[7], 0); // sum
+        },
+        |asm| {
+            asm.slli(t[4], t[2], 2);
+            asm.li(t[6], lvl_base as i64);
+            asm.add(t[6], t[6], t[4]);
+            asm.lw(t[6], t[6], 0);
+            asm.addi(regs::B[1], lvl_arg, -1);
+            asm.bne(t[6], regs::B[1], "bc_s$skip");
+            asm.li(t[6], sigma_snap as i64);
+            asm.add(t[6], t[6], t[4]);
+            asm.lw(t[6], t[6], 0);
+            asm.add(t[7], t[7], t[6]);
+            asm.label("bc_s$skip");
+        },
+        |asm| {
+            asm.bne(t[5], lvl_arg, "bc_s$notme");
+            asm.li(t[4], sigma_base as i64);
+            asm.add(t[4], t[4], t[3]);
+            asm.sw(t[7], t[4], 0);
+            asm.label("bc_s$notme");
+        },
+    );
+
+    // delta_body: for v at level `lvl`, accumulate from level-(lvl+1)
+    // successors: delta[v] += sigma[v]/sigma[u] * (1 + delta_snap[u]).
+    util::emit_vertex_sweep(
+        &mut asm,
+        "delta_body",
+        &gm,
+        |asm| {
+            asm.slli(t[3], t[0], 2);
+            asm.li(t[4], lvl_base as i64);
+            asm.add(t[4], t[4], t[3]);
+            asm.lw(t[5], t[4], 0); // my level
+            asm.li(t[4], sigma_base as i64);
+            asm.add(t[4], t[4], t[3]);
+            asm.lw(t[7], t[4], 0); // my sigma
+            asm.fmv_w_x(ft[0], XReg::ZERO); // acc
+            asm.li(t[4], one_c as i64);
+            asm.flw(ft[5], t[4], 0);
+        },
+        |asm| {
+            asm.slli(t[4], t[2], 2);
+            asm.li(t[6], lvl_base as i64);
+            asm.add(t[6], t[6], t[4]);
+            asm.lw(t[6], t[6], 0);
+            asm.addi(regs::B[1], lvl_arg, 1);
+            asm.bne(t[6], regs::B[1], "bc_d$skip");
+            asm.li(t[6], sigma_base as i64);
+            asm.add(t[6], t[6], t[4]);
+            asm.lw(t[6], t[6], 0); // sigma[u]
+            asm.beq(t[6], XReg::ZERO, "bc_d$skip");
+            // ratio = sigma[v] / sigma[u]
+            asm.fcvt_s_w(ft[1], t[7]);
+            asm.fcvt_s_w(ft[2], t[6]);
+            asm.fdiv_s(ft[1], ft[1], ft[2]);
+            // 1 + delta_snap[u]
+            asm.li(t[6], delta_snap as i64);
+            asm.add(t[6], t[6], t[4]);
+            asm.flw(ft[2], t[6], 0);
+            asm.fadd_s(ft[2], ft[2], ft[5]);
+            // acc += ratio * term (unfused, as in the reference)
+            asm.fmul_s(ft[1], ft[1], ft[2]);
+            asm.fadd_s(ft[0], ft[0], ft[1]);
+            asm.label("bc_d$skip");
+        },
+        |asm| {
+            asm.bne(t[5], lvl_arg, "bc_d$notme");
+            asm.li(t[4], delta_base as i64);
+            asm.add(t[4], t[4], t[3]);
+            asm.fsw(ft[0], t[4], 0);
+            asm.label("bc_d$notme");
+        },
+    );
+
+    let program = Rc::new(asm.assemble().expect("bc assembles"));
+    let chunk = (gm.v / 16).max(16);
+    let phases = util::make_phase_tasks(&program, gm.v, chunk, &specs);
+
+    Workload {
+        name: "bc",
+        class: WorkloadClass::TaskParallel,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: None,
+        program,
+        mem,
+        phases,
+        check: Box::new(move |m| {
+            let gs = m.read_u32_array(sigma_base, expect_sigma.len());
+            if gs != expect_sigma {
+                let i = gs
+                    .iter()
+                    .zip(&expect_sigma)
+                    .position(|(g, e)| g != e)
+                    .unwrap_or(0);
+                return Err(format!(
+                    "bc sigma mismatch at {i}: got {} want {}",
+                    gs[i], expect_sigma[i]
+                ));
+            }
+            let gd = m.read_f32_array(delta_base, expect_delta.len());
+            for (i, (&g, &e)) in gd.iter().zip(&expect_delta).enumerate() {
+                if g.to_bits() != e.to_bits() {
+                    return Err(format!("bc delta mismatch at {i}: got {g} want {e}"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::testutil;
+
+    #[test]
+    fn sigma_counts_shortest_paths_on_a_path_graph() {
+        // Manual 4-cycle: 0-1, 1-2, 2-3, 3-0.
+        let g = gen::CsrGraph {
+            offsets: vec![0, 2, 4, 6, 8],
+            edges: vec![1, 3, 0, 2, 1, 3, 0, 2],
+        };
+        let levels = reference_levels(&g);
+        let (sigma, _) = reference(&g, &levels);
+        assert_eq!(sigma[0], 1);
+        assert_eq!(sigma[1], 1);
+        assert_eq!(sigma[3], 1);
+        assert_eq!(sigma[2], 2); // two shortest paths to the far corner
+    }
+
+    #[test]
+    fn serial_matches_reference() {
+        testutil::check_serial(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn phases_match_reference() {
+        testutil::check_phases(|| build(Scale::tiny()));
+    }
+}

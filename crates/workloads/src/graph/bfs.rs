@@ -1,0 +1,148 @@
+//! `bfs` — breadth-first search from vertex 0 (Ligra).
+//!
+//! Level-synchronous, bottom-up style: in round `it`, every unvisited
+//! vertex adopts level `it` if any neighbour carries level `it − 1`. One
+//! barrier-delimited phase per BFS level (phase count precomputed from the
+//! reference traversal), each a vertex-range `parallel_for`.
+
+use crate::gen;
+use crate::graph::util::{self, PhaseArgs};
+use crate::workload::{regs, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_isa::reg::XReg;
+use bvl_mem::SimMemory;
+use std::rc::Rc;
+
+/// "Unvisited" sentinel level.
+const INF: u32 = u32::MAX;
+
+/// Reference BFS levels from vertex 0.
+pub(crate) fn reference_levels(g: &gen::CsrGraph) -> Vec<u32> {
+    let mut levels = vec![INF; g.vertices()];
+    levels[0] = 0;
+    let mut frontier = vec![0usize];
+    let mut lvl = 0;
+    while !frontier.is_empty() {
+        lvl += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &u in g.neighbours(v) {
+                if levels[u as usize] == INF {
+                    levels[u as usize] = lvl;
+                    next.push(u as usize);
+                }
+            }
+        }
+        frontier = next;
+    }
+    levels
+}
+
+/// Builds `bfs` at `scale`.
+pub fn build(scale: Scale) -> Workload {
+    let g = gen::rmat(scale.seed ^ 100, scale.vertices as usize, scale.degree as usize);
+    let expect = reference_levels(&g);
+    let max_level = expect.iter().filter(|&&l| l != INF).max().copied().unwrap_or(0);
+
+    let mut mem = SimMemory::default();
+    let gm = util::alloc_graph(&mut mem, &g);
+    let mut init = vec![INF; g.vertices()];
+    init[0] = 0;
+    let levels = mem.alloc_u32(&init);
+
+    let t = regs::T;
+    let bs = regs::B;
+    let it_arg = regs::ARG2;
+
+    let mut asm = Assembler::new();
+    let phase_args: PhaseArgs = (1..=max_level).map(|it| vec![(it_arg, u64::from(it))]).collect();
+    util::emit_entries(&mut asm, "body", &phase_args, gm.v);
+    util::emit_vertex_sweep(
+        &mut asm,
+        "body",
+        &gm,
+        // per-vertex: remember the current level (t[5]); t[3] = found flag.
+        // `lw` sign-extends, so INF (0xFFFF_FFFF) reads back as -1.
+        |asm| {
+            asm.li(t[3], 0);
+            asm.li(bs[1], levels as i64);
+            asm.slli(t[4], t[0], 2);
+            asm.add(bs[1], bs[1], t[4]);
+            asm.lw(t[5], bs[1], 0);
+            asm.li(t[6], -1);
+        },
+        // per-edge: found |= (levels[u] == it - 1)
+        |asm| {
+            asm.li(bs[2], levels as i64);
+            asm.slli(t[4], t[2], 2);
+            asm.add(bs[2], bs[2], t[4]);
+            asm.lw(t[4], bs[2], 0);
+            asm.addi(t[7], it_arg, -1);
+            asm.bne(t[4], t[7], "bfs$skip");
+            asm.li(t[3], 1);
+            asm.label("bfs$skip");
+        },
+        // finalize: if unvisited && found -> levels[v] = it
+        |asm| {
+            asm.bne(t[5], t[6], "bfs$visited");
+            asm.beq(t[3], XReg::ZERO, "bfs$visited");
+            asm.sw(it_arg, bs[1], 0);
+            asm.label("bfs$visited");
+        },
+    );
+
+    let program = Rc::new(asm.assemble().expect("bfs assembles"));
+    let scalar_pc = program.label("scalar_task").expect("label");
+    let chunk = (gm.v / 16).max(16);
+    let phases = util::make_phases(scalar_pc, gm.v, chunk, &phase_args);
+
+    Workload {
+        name: "bfs",
+        class: WorkloadClass::TaskParallel,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: None,
+        program,
+        mem,
+        phases,
+        check: Box::new(move |m| {
+            let got = m.read_u32_array(levels, expect.len());
+            if got == expect {
+                Ok(())
+            } else {
+                let i = got.iter().zip(&expect).position(|(g, e)| g != e).unwrap_or(0);
+                Err(format!("bfs mismatch at {i}: got {} want {}", got[i], expect[i]))
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::testutil;
+
+    #[test]
+    fn reference_levels_are_consistent() {
+        let g = gen::rmat(5, 64, 4);
+        let l = reference_levels(&g);
+        assert_eq!(l[0], 0);
+        for v in 0..g.vertices() {
+            if l[v] != INF && l[v] != 0 {
+                assert!(
+                    g.neighbours(v).iter().any(|&u| l[u as usize] == l[v] - 1),
+                    "vertex {v} has no predecessor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serial_matches_reference() {
+        testutil::check_serial(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn phases_match_reference() {
+        testutil::check_phases(|| build(Scale::tiny()));
+    }
+}

@@ -1,0 +1,143 @@
+//! `components` — connected components by label propagation (Ligra).
+//!
+//! Every vertex starts labelled with its own id; each round takes the
+//! minimum label over itself and its neighbours (double-buffered). Rounds
+//! continue until a fixpoint, with the round count precomputed from the
+//! reference propagation.
+
+use crate::gen;
+use crate::graph::util::{self, PhaseSpec};
+use crate::workload::{regs, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_mem::SimMemory;
+use std::rc::Rc;
+
+fn reference_rounds(g: &gen::CsrGraph) -> (Vec<Vec<u32>>, Vec<u32>) {
+    let v = g.vertices();
+    let mut cur: Vec<u32> = (0..v as u32).collect();
+    let mut states = vec![cur.clone()];
+    loop {
+        let mut nxt = cur.clone();
+        for (w, label) in nxt.iter_mut().enumerate() {
+            for &u in g.neighbours(w) {
+                *label = (*label).min(cur[u as usize]);
+            }
+        }
+        if nxt == cur {
+            break;
+        }
+        states.push(nxt.clone());
+        cur = nxt;
+    }
+    (states, cur)
+}
+
+/// Builds `components` at `scale`.
+pub fn build(scale: Scale) -> Workload {
+    let g = gen::rmat(scale.seed ^ 102, scale.vertices as usize, scale.degree as usize);
+    let (states, expect) = reference_rounds(&g);
+    let rounds = (states.len() - 1) as u64;
+
+    let mut mem = SimMemory::default();
+    let gm = util::alloc_graph(&mut mem, &g);
+    let init: Vec<u32> = (0..g.vertices() as u32).collect();
+    let lab_a = mem.alloc_u32(&init);
+    let lab_b = mem.alloc_u32(&init);
+
+    let t = regs::T;
+    let (src_arg, dst_arg) = (regs::ARG2, regs::ARG3);
+
+    let mut asm = Assembler::new();
+    let specs: Vec<PhaseSpec> = (0..rounds)
+        .map(|r| {
+            let (s, d) = if r % 2 == 0 { (lab_a, lab_b) } else { (lab_b, lab_a) };
+            PhaseSpec {
+                body: "cc_body",
+                args: vec![(src_arg, s), (dst_arg, d)],
+            }
+        })
+        .collect();
+    util::emit_phase_entries(&mut asm, &specs, gm.v);
+
+    util::emit_vertex_sweep(
+        &mut asm,
+        "cc_body",
+        &gm,
+        // per-vertex: best = src[v]
+        |asm| {
+            asm.slli(t[3], t[0], 2);
+            asm.add(t[4], t[3], src_arg);
+            asm.lw(t[5], t[4], 0);
+        },
+        // per-edge: best = min(best, src[u])
+        |asm| {
+            asm.slli(t[4], t[2], 2);
+            asm.add(t[4], t[4], src_arg);
+            asm.lw(t[6], t[4], 0);
+            asm.bge(t[6], t[5], "cc$keep");
+            asm.mv(t[5], t[6]);
+            asm.label("cc$keep");
+        },
+        // finalize: dst[v] = best
+        |asm| {
+            asm.add(t[4], t[3], dst_arg);
+            asm.sw(t[5], t[4], 0);
+        },
+    );
+
+    let program = Rc::new(asm.assemble().expect("components assembles"));
+    let chunk = (gm.v / 16).max(16);
+    let phases = util::make_phase_tasks(&program, gm.v, chunk, &specs);
+    let final_base = if rounds.is_multiple_of(2) { lab_a } else { lab_b };
+
+    Workload {
+        name: "components",
+        class: WorkloadClass::TaskParallel,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: None,
+        program,
+        mem,
+        phases,
+        check: Box::new(move |m| {
+            let got = m.read_u32_array(final_base, expect.len());
+            if got == expect {
+                Ok(())
+            } else {
+                let i = got.iter().zip(&expect).position(|(g, e)| g != e).unwrap_or(0);
+                Err(format!(
+                    "components mismatch at {i}: got {} want {}",
+                    got[i], expect[i]
+                ))
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::testutil;
+
+    #[test]
+    fn reference_converges_to_component_minima() {
+        let g = gen::rmat(9, 64, 4);
+        let (_, labels) = reference_rounds(&g);
+        // Every vertex's label equals the minimum label among its
+        // neighbours and itself (fixpoint property).
+        for v in 0..g.vertices() {
+            for &u in g.neighbours(v) {
+                assert_eq!(labels[v].min(labels[u as usize]), labels[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_matches_reference() {
+        testutil::check_serial(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn phases_match_reference() {
+        testutil::check_phases(|| build(Scale::tiny()));
+    }
+}

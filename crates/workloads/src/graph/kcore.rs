@@ -1,0 +1,154 @@
+//! `kcore` — k-core decomposition by iterative peeling (Ligra).
+//!
+//! A vertex stays alive while it has at least `K` alive neighbours; each
+//! round recomputes alive-degrees over double-buffered alive flags until a
+//! fixpoint. `K` is set to the graph's average degree, so a non-trivial
+//! core survives. Round count precomputed.
+
+use crate::gen;
+use crate::graph::util::{self, PhaseSpec};
+use crate::workload::{regs, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_isa::reg::XReg;
+use bvl_mem::SimMemory;
+use std::rc::Rc;
+
+fn reference(g: &gen::CsrGraph, k: u32) -> (u64, Vec<u32>) {
+    let v = g.vertices();
+    let mut alive = vec![1u32; v];
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let nxt: Vec<u32> = (0..v)
+            .map(|w| {
+                if alive[w] == 0 {
+                    return 0;
+                }
+                let d: u32 = g
+                    .neighbours(w)
+                    .iter()
+                    .map(|&u| alive[u as usize])
+                    .sum();
+                u32::from(d >= k)
+            })
+            .collect();
+        if nxt == alive {
+            break;
+        }
+        alive = nxt;
+    }
+    (rounds, alive)
+}
+
+/// Builds `kcore` at `scale`.
+pub fn build(scale: Scale) -> Workload {
+    let g = gen::rmat(scale.seed ^ 106, scale.vertices as usize, scale.degree as usize);
+    let v = g.vertices();
+    let k = ((g.num_edges() / v) as u32).max(2);
+    let (rounds, expect) = reference(&g, k);
+
+    let mut mem = SimMemory::default();
+    let gm = util::alloc_graph(&mut mem, &g);
+    let alive_a = mem.alloc_u32(&vec![1u32; v]);
+    let alive_b = mem.alloc_u32(&vec![1u32; v]);
+
+    let t = regs::T;
+    let (src_arg, dst_arg) = (regs::ARG2, regs::ARG3);
+
+    let mut asm = Assembler::new();
+    let specs: Vec<PhaseSpec> = (0..rounds)
+        .map(|r| {
+            let (s, d) = if r % 2 == 0 { (alive_a, alive_b) } else { (alive_b, alive_a) };
+            PhaseSpec {
+                body: "kcore_body",
+                args: vec![(src_arg, s), (dst_arg, d)],
+            }
+        })
+        .collect();
+    util::emit_phase_entries(&mut asm, &specs, gm.v);
+
+    util::emit_vertex_sweep(
+        &mut asm,
+        "kcore_body",
+        &gm,
+        |asm| {
+            asm.slli(t[3], t[0], 2);
+            asm.add(t[4], t[3], src_arg);
+            asm.lw(t[5], t[4], 0); // my alive flag
+            asm.li(t[7], 0); // alive-degree
+        },
+        |asm| {
+            asm.slli(t[4], t[2], 2);
+            asm.add(t[4], t[4], src_arg);
+            asm.lw(t[6], t[4], 0);
+            asm.add(t[7], t[7], t[6]);
+        },
+        |asm| {
+            // dst[v] = alive && deg >= k
+            asm.li(t[6], i64::from(k));
+            asm.li(t[4], 0);
+            asm.beq(t[5], XReg::ZERO, "kc$dead");
+            asm.blt(t[7], t[6], "kc$dead");
+            asm.li(t[4], 1);
+            asm.label("kc$dead");
+            asm.add(t[6], t[3], dst_arg);
+            asm.sw(t[4], t[6], 0);
+        },
+    );
+
+    let program = Rc::new(asm.assemble().expect("kcore assembles"));
+    let chunk = (gm.v / 16).max(16);
+    let phases = util::make_phase_tasks(&program, gm.v, chunk, &specs);
+    let final_base = if rounds % 2 == 0 { alive_a } else { alive_b };
+
+    Workload {
+        name: "kcore",
+        class: WorkloadClass::TaskParallel,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: None,
+        program,
+        mem,
+        phases,
+        check: Box::new(move |m| {
+            let got = m.read_u32_array(final_base, expect.len());
+            if got == expect {
+                Ok(())
+            } else {
+                let i = got.iter().zip(&expect).position(|(g, e)| g != e).unwrap_or(0);
+                Err(format!(
+                    "kcore mismatch at {i}: got {} want {}",
+                    got[i], expect[i]
+                ))
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::testutil;
+
+    #[test]
+    fn reference_fixpoint_property() {
+        let g = gen::rmat(15, 128, 4);
+        let k = 3;
+        let (_, alive) = reference(&g, k);
+        for v in 0..g.vertices() {
+            let d: u32 = g.neighbours(v).iter().map(|&u| alive[u as usize]).sum();
+            if alive[v] == 1 {
+                assert!(d >= k, "alive vertex {v} below k");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_matches_reference() {
+        testutil::check_serial(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn phases_match_reference() {
+        testutil::check_phases(|| build(Scale::tiny()));
+    }
+}

@@ -1,0 +1,227 @@
+//! `mis` — maximal independent set, Luby's algorithm (Ligra).
+//!
+//! Vertices carry baked random priorities. Each round is two phases over
+//! double-buffered state arrays (0 = undecided, 1 = in set, 2 = excluded):
+//! *select* — an undecided vertex enters the set if its priority beats
+//! every undecided neighbour's; *exclude* — an undecided vertex with a
+//! selected neighbour is excluded. Round count precomputed.
+
+use crate::gen;
+use crate::graph::util::{self, PhaseSpec};
+use crate::workload::{regs, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_isa::reg::XReg;
+use bvl_mem::SimMemory;
+use std::rc::Rc;
+
+fn reference(g: &gen::CsrGraph, prio: &[u32]) -> (u64, Vec<u32>) {
+    let v = g.vertices();
+    let mut state = vec![0u32; v];
+    let mut rounds = 0;
+    loop {
+        // select
+        let mut sel = state.clone();
+        for w in 0..v {
+            if state[w] != 0 {
+                continue;
+            }
+            let wins = g
+                .neighbours(w)
+                .iter()
+                .all(|&u| state[u as usize] != 0 || prio[u as usize] < prio[w]);
+            if wins {
+                sel[w] = 1;
+            }
+        }
+        // exclude
+        let mut nxt = sel.clone();
+        for w in 0..v {
+            if sel[w] != 0 {
+                continue;
+            }
+            if g.neighbours(w).iter().any(|&u| sel[u as usize] == 1) {
+                nxt[w] = 2;
+            }
+        }
+        rounds += 1;
+        let done = nxt.iter().all(|&s| s != 0);
+        state = nxt;
+        if done {
+            break;
+        }
+    }
+    (rounds, state)
+}
+
+/// Builds `mis` at `scale`.
+pub fn build(scale: Scale) -> Workload {
+    let g = gen::rmat(scale.seed ^ 104, scale.vertices as usize, scale.degree as usize);
+    let v = g.vertices();
+    // Distinct priorities: permuted indices hashed.
+    let prio: Vec<u32> = {
+        let mut p = gen::u32_vec(scale.seed ^ 105, v, u32::MAX);
+        // Break ties deterministically by mixing the vertex id into the
+        // low bits.
+        for (i, x) in p.iter_mut().enumerate() {
+            *x = (*x & !0xFFF) | (i as u32 & 0xFFF);
+        }
+        p
+    };
+    let (rounds, expect) = reference(&g, &prio);
+
+    let mut mem = SimMemory::default();
+    let gm = util::alloc_graph(&mut mem, &g);
+    let prio_base = mem.alloc_u32(&prio);
+    let st_a = mem.alloc(v as u64 * 4, 64);
+    let st_b = mem.alloc(v as u64 * 4, 64);
+
+    let t = regs::T;
+    let (src_arg, dst_arg) = (regs::ARG2, regs::ARG3);
+
+    let mut asm = Assembler::new();
+    let mut specs = Vec::new();
+    for _ in 0..rounds {
+        // Each round round-trips: select reads st_a and writes st_b, then
+        // exclude reads st_b and writes st_a — state always ends in st_a.
+        specs.push(PhaseSpec {
+            body: "select_body",
+            args: vec![(src_arg, st_a), (dst_arg, st_b)],
+        });
+        specs.push(PhaseSpec {
+            body: "exclude_body",
+            args: vec![(src_arg, st_b), (dst_arg, st_a)],
+        });
+    }
+    util::emit_phase_entries(&mut asm, &specs, gm.v);
+
+    // select: dst[v] = (src[v]==0 && wins) ? 1 : src[v]
+    util::emit_vertex_sweep(
+        &mut asm,
+        "select_body",
+        &gm,
+        |asm| {
+            asm.slli(t[3], t[0], 2);
+            asm.add(t[4], t[3], src_arg);
+            asm.lw(t[5], t[4], 0); // my state
+            asm.li(t[7], 1); // wins flag
+            asm.li(t[6], prio_base as i64);
+            asm.add(t[6], t[6], t[3]);
+            asm.lw(t[6], t[6], 0); // my priority
+        },
+        |asm| {
+            // undecided neighbour with priority >= mine -> lose
+            asm.slli(regs::B[1], t[2], 2);
+            asm.add(regs::B[2], regs::B[1], src_arg);
+            asm.lw(regs::B[2], regs::B[2], 0);
+            asm.bne(regs::B[2], XReg::ZERO, "mis_sel$dec"); // decided: skip
+            asm.li(regs::B[3], prio_base as i64);
+            asm.add(regs::B[3], regs::B[3], regs::B[1]);
+            asm.lw(regs::B[3], regs::B[3], 0);
+            asm.bltu(regs::B[3], t[6], "mis_sel$dec"); // lower prio: fine
+            asm.li(t[7], 0);
+            asm.label("mis_sel$dec");
+        },
+        |asm| {
+            asm.add(t[4], t[3], dst_arg);
+            asm.bne(t[5], XReg::ZERO, "mis_sel$copy");
+            asm.beq(t[7], XReg::ZERO, "mis_sel$copy");
+            asm.li(t[5], 1);
+            asm.label("mis_sel$copy");
+            asm.sw(t[5], t[4], 0);
+        },
+    );
+
+    // exclude: dst[v] = (src[v]==0 && any neighbour src==1) ? 2 : src[v]
+    util::emit_vertex_sweep(
+        &mut asm,
+        "exclude_body",
+        &gm,
+        |asm| {
+            asm.slli(t[3], t[0], 2);
+            asm.add(t[4], t[3], src_arg);
+            asm.lw(t[5], t[4], 0);
+            asm.li(t[7], 0); // neighbour-selected flag
+        },
+        |asm| {
+            asm.slli(regs::B[1], t[2], 2);
+            asm.add(regs::B[1], regs::B[1], src_arg);
+            asm.lw(regs::B[1], regs::B[1], 0);
+            asm.li(regs::B[2], 1);
+            asm.bne(regs::B[1], regs::B[2], "mis_ex$n");
+            asm.li(t[7], 1);
+            asm.label("mis_ex$n");
+        },
+        |asm| {
+            asm.add(t[4], t[3], dst_arg);
+            asm.bne(t[5], XReg::ZERO, "mis_ex$copy");
+            asm.beq(t[7], XReg::ZERO, "mis_ex$copy");
+            asm.li(t[5], 2);
+            asm.label("mis_ex$copy");
+            asm.sw(t[5], t[4], 0);
+        },
+    );
+
+    let program = Rc::new(asm.assemble().expect("mis assembles"));
+    let chunk = (gm.v / 16).max(16);
+    let phases = util::make_phase_tasks(&program, gm.v, chunk, &specs);
+    // After `rounds` full rounds, state lives in the buffer written by the
+    // last exclude phase: st_a if rounds odd... exclude of round r writes
+    // the buffer select read from. Round r: select a->b, exclude b->a, so
+    // every round ends back in its starting buffer: st_a always.
+    let final_base = st_a;
+
+    Workload {
+        name: "mis",
+        class: WorkloadClass::TaskParallel,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: None,
+        program,
+        mem,
+        phases,
+        check: Box::new(move |m| {
+            let got = m.read_u32_array(final_base, expect.len());
+            if got == expect {
+                Ok(())
+            } else {
+                let i = got.iter().zip(&expect).position(|(g, e)| g != e).unwrap_or(0);
+                Err(format!("mis mismatch at {i}: got {} want {}", got[i], expect[i]))
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::testutil;
+
+    #[test]
+    fn reference_is_maximal_and_independent() {
+        let g = gen::rmat(13, 64, 4);
+        let prio = gen::u32_vec(14, 64, u32::MAX);
+        let (_, state) = reference(&g, &prio);
+        for v in 0..g.vertices() {
+            assert_ne!(state[v], 0, "vertex {v} undecided");
+            if state[v] == 1 {
+                for &u in g.neighbours(v) {
+                    assert_ne!(state[u as usize], 1, "adjacent {v},{u} both in MIS");
+                }
+            } else {
+                assert!(
+                    g.neighbours(v).iter().any(|&u| state[u as usize] == 1),
+                    "excluded {v} has no selected neighbour (not maximal)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serial_matches_reference() {
+        testutil::check_serial(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn phases_match_reference() {
+        testutil::check_phases(|| build(Scale::tiny()));
+    }
+}

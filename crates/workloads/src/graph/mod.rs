@@ -1,0 +1,53 @@
+//! The eight Ligra-style task-parallel graph applications (paper Table
+//! IV): `bfs`, `pagerank`, `components`, `radii`, `mis`, `kcore`, `bc`,
+//! `trianglecount`.
+//!
+//! All run over synthetic symmetric R-MAT graphs in CSR form. Iterative
+//! algorithms are expressed as barrier-delimited `parallel_for` phases
+//! over vertex ranges (double-buffered where a phase reads what another
+//! vertex writes), with the phase count precomputed functionally — the
+//! frontier-convergence structure Ligra's `edgeMap`/`vertexMap` produce.
+//! Graph bodies are scalar only: the paper's premise is exactly that these
+//! irregular workloads do not vectorize profitably, which is why `1bDV`
+//! loses on them.
+
+pub mod bc;
+pub mod bfs;
+pub mod components;
+pub mod kcore;
+pub mod mis;
+pub mod pagerank;
+pub mod radii;
+pub mod tc;
+pub mod util;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::workload::Workload;
+    use bvl_isa::exec::Machine;
+
+    /// Runs the serial entry functionally and checks the result.
+    pub fn check_serial(build: impl Fn() -> Workload) {
+        let w = build();
+        let mut m = Machine::new(w.mem.clone(), 512);
+        m.set_pc(w.serial_entry);
+        m.run(&w.program, 500_000_000).expect("serial entry runs");
+        (w.check)(m.mem()).unwrap_or_else(|e| panic!("{} (serial): {e}", w.name));
+    }
+
+    /// Runs every phase's tasks in order and checks the result.
+    pub fn check_phases(build: impl Fn() -> Workload) {
+        let w = build();
+        let mut m = Machine::new(w.mem.clone(), 512);
+        for phase in &w.phases {
+            for task in &phase.tasks {
+                for &(r, v) in &task.args {
+                    m.set_xreg(r, v);
+                }
+                m.set_pc(task.entry(false));
+                m.run(&w.program, 500_000_000).expect("task runs");
+            }
+        }
+        (w.check)(m.mem()).unwrap_or_else(|e| panic!("{} (phases): {e}", w.name));
+    }
+}

@@ -1,0 +1,179 @@
+//! `pagerank` — power iteration (Ligra).
+//!
+//! Each iteration is two barrier-delimited phases: (1) per-vertex
+//! contribution `contrib[v] = rank[v] / deg[v]`, then (2) per-vertex
+//! gather `rank'[v] = (1−d)/V + d · Σ contrib[u]` over neighbours. Ranks
+//! double-buffer across iterations.
+
+use crate::gen;
+use crate::graph::util::{self, PhaseSpec};
+use crate::workload::{regs, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_isa::reg::{FReg, XReg};
+use bvl_mem::SimMemory;
+use std::rc::Rc;
+
+/// Damping factor.
+const D: f32 = 0.85;
+
+/// Builds `pagerank` at `scale` (`scale.iters` iterations).
+pub fn build(scale: Scale) -> Workload {
+    let g = gen::rmat(scale.seed ^ 101, scale.vertices as usize, scale.degree as usize);
+    let v = g.vertices();
+    let iters = scale.iters;
+    let init_rank = 1.0f32 / v as f32;
+    let base_term = (1.0 - D) / v as f32;
+
+    let mut mem = SimMemory::default();
+    let gm = util::alloc_graph(&mut mem, &g);
+    let rank_a = mem.alloc_f32(&vec![init_rank; v]);
+    let rank_b = mem.alloc(v as u64 * 4, 64);
+    let contrib = mem.alloc(v as u64 * 4, 64);
+    let consts = mem.alloc_f32(&[D, base_term]);
+
+    // Reference with identical op order.
+    let mut cur = vec![init_rank; v];
+    for _ in 0..iters {
+        let contribs: Vec<f32> = (0..v)
+            .map(|u| {
+                let deg = g.degree(u);
+                if deg == 0 {
+                    0.0
+                } else {
+                    cur[u] / deg as f32
+                }
+            })
+            .collect();
+        let mut nxt = vec![0f32; v];
+        for (w, n) in nxt.iter_mut().enumerate() {
+            let mut sum = 0f32;
+            for &u in g.neighbours(w) {
+                sum += contribs[u as usize];
+            }
+            *n = sum.mul_add(D, base_term);
+        }
+        cur = nxt;
+    }
+    let expect = cur;
+    let final_base = if iters.is_multiple_of(2) { rank_a } else { rank_b };
+
+    let t = regs::T;
+    let bs = regs::B;
+    let ft = regs::FT;
+    let (src_arg, dst_arg) = (regs::ARG2, regs::ARG3);
+    let (fd, fbase) = (FReg::new(7), FReg::new(8));
+
+    let mut asm = Assembler::new();
+
+    // Phase sequence: per iteration, contrib(src=rank_x) then
+    // gather(src=contrib, dst=rank_y).
+    let mut specs: Vec<PhaseSpec> = Vec::new();
+    for it in 0..iters {
+        let (ra, rb) = if it % 2 == 0 { (rank_a, rank_b) } else { (rank_b, rank_a) };
+        specs.push(PhaseSpec {
+            body: "contrib_body",
+            args: vec![(src_arg, ra), (dst_arg, contrib)],
+        });
+        specs.push(PhaseSpec {
+            body: "gather_body",
+            args: vec![(src_arg, contrib), (dst_arg, rb)],
+        });
+    }
+    util::emit_phase_entries(&mut asm, &specs, gm.v);
+
+    // contrib_body: contrib[v] = deg ? rank[v]/deg : 0 (no edge loop).
+    asm.label("contrib_body");
+    asm.mv(t[0], regs::START);
+    asm.label("cb$v");
+    asm.bge(t[0], regs::END, "cb$ret");
+    asm.li(bs[0], gm.offsets as i64);
+    asm.slli(t[1], t[0], 2);
+    asm.add(bs[0], bs[0], t[1]);
+    asm.lw(t[2], bs[0], 4);
+    asm.lw(t[3], bs[0], 0);
+    asm.sub(t[2], t[2], t[3]); // deg
+    asm.add(bs[1], src_arg, t[1]);
+    asm.flw(ft[0], bs[1], 0); // rank[v]
+    asm.fmv_w_x(ft[1], XReg::ZERO);
+    asm.beq(t[2], XReg::ZERO, "cb$zero");
+    asm.fcvt_s_w(ft[1], t[2]);
+    asm.fdiv_s(ft[1], ft[0], ft[1]);
+    asm.label("cb$zero");
+    asm.add(bs[2], dst_arg, t[1]);
+    asm.fsw(ft[1], bs[2], 0);
+    asm.addi(t[0], t[0], 1);
+    asm.j("cb$v");
+    asm.label("cb$ret");
+    asm.jalr(XReg::ZERO, XReg::RA, 0);
+
+    // gather_body: rank'[v] = fma(sum, D, base).
+    asm.li(t[5], consts as i64); // (unreachable preamble guard)
+    util::emit_vertex_sweep(
+        &mut asm,
+        "gather_body",
+        &gm,
+        |asm| {
+            asm.li(t[5], consts as i64);
+            asm.flw(fd, t[5], 0);
+            asm.flw(fbase, t[5], 4);
+            asm.fmv_w_x(ft[0], XReg::ZERO); // sum
+        },
+        |asm| {
+            asm.slli(t[4], t[2], 2);
+            asm.add(t[4], t[4], src_arg);
+            asm.flw(ft[1], t[4], 0);
+            asm.fadd_s(ft[0], ft[0], ft[1]);
+        },
+        |asm| {
+            asm.fmadd_s(ft[0], ft[0], fd, fbase);
+            asm.slli(t[4], t[0], 2);
+            asm.add(t[4], t[4], dst_arg);
+            asm.fsw(ft[0], t[4], 0);
+        },
+    );
+
+    let program = Rc::new(asm.assemble().expect("pagerank assembles"));
+    let chunk = (gm.v / 16).max(16);
+    let phases = util::make_phase_tasks(&program, gm.v, chunk, &specs);
+
+    Workload {
+        name: "pagerank",
+        class: WorkloadClass::TaskParallel,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: None,
+        program,
+        mem,
+        phases,
+        check: Box::new(move |m| {
+            let got = m.read_f32_array(final_base, expect.len());
+            for (i, (&g, &e)) in got.iter().zip(&expect).enumerate() {
+                if g.to_bits() != e.to_bits() {
+                    return Err(format!("pagerank mismatch at {i}: got {g} want {e}"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::testutil;
+
+    #[test]
+    fn serial_matches_reference() {
+        testutil::check_serial(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn phases_match_reference() {
+        testutil::check_phases(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn two_phases_per_iteration() {
+        let w = build(Scale::tiny());
+        assert_eq!(w.phases.len() as u64, 2 * Scale::tiny().iters);
+    }
+}

@@ -1,0 +1,159 @@
+//! `radii` — graph eccentricity estimation (Ligra's Radii).
+//!
+//! Runs 32 simultaneous BFS traversals from sample sources, packed as one
+//! bit per source in a `u32` visited mask per vertex (double-buffered).
+//! Each round ORs neighbour masks; a vertex whose mask grows updates its
+//! radius estimate to the round number. Rounds are precomputed.
+
+use crate::gen;
+use crate::graph::util::{self, PhaseSpec};
+use crate::workload::{regs, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_isa::reg::XReg;
+use bvl_mem::SimMemory;
+use std::rc::Rc;
+
+fn reference(g: &gen::CsrGraph) -> (u64, Vec<u32>, Vec<u32>) {
+    let v = g.vertices();
+    let sources = v.min(32);
+    let mut vis: Vec<u32> = (0..v)
+        .map(|i| if i < sources { 1u32 << i } else { 0 })
+        .collect();
+    let mut radii: Vec<u32> = (0..v)
+        .map(|i| if i < sources { 0 } else { u32::MAX })
+        .collect();
+    let mut rounds = 0u64;
+    loop {
+        rounds += 1;
+        let mut nxt = vis.clone();
+        let mut changed = false;
+        for w in 0..v {
+            let mut m = vis[w];
+            for &u in g.neighbours(w) {
+                m |= vis[u as usize];
+            }
+            if m != vis[w] {
+                radii[w] = rounds as u32;
+                changed = true;
+            }
+            nxt[w] = m;
+        }
+        vis = nxt;
+        if !changed {
+            break;
+        }
+    }
+    (rounds, vis, radii)
+}
+
+/// Builds `radii` at `scale`.
+pub fn build(scale: Scale) -> Workload {
+    let g = gen::rmat(scale.seed ^ 103, scale.vertices as usize, scale.degree as usize);
+    let v = g.vertices();
+    let sources = v.min(32);
+    let (rounds, _final_vis, expect_radii) = reference(&g);
+
+    let mut mem = SimMemory::default();
+    let gm = util::alloc_graph(&mut mem, &g);
+    let init_vis: Vec<u32> = (0..v)
+        .map(|i| if i < sources { 1u32 << i } else { 0 })
+        .collect();
+    let init_radii: Vec<u32> = (0..v)
+        .map(|i| if i < sources { 0 } else { u32::MAX })
+        .collect();
+    let vis_a = mem.alloc_u32(&init_vis);
+    let vis_b = mem.alloc_u32(&init_vis);
+    let radii = mem.alloc_u32(&init_radii);
+
+    let t = regs::T;
+    let (src_arg, dst_arg) = (regs::ARG2, regs::ARG3);
+    let round_arg = XReg::new(9);
+
+    let mut asm = Assembler::new();
+    let specs: Vec<PhaseSpec> = (0..rounds)
+        .map(|r| {
+            let (s, d) = if r % 2 == 0 { (vis_a, vis_b) } else { (vis_b, vis_a) };
+            PhaseSpec {
+                body: "radii_body",
+                args: vec![(src_arg, s), (dst_arg, d), (round_arg, r + 1)],
+            }
+        })
+        .collect();
+    util::emit_phase_entries(&mut asm, &specs, gm.v);
+
+    util::emit_vertex_sweep(
+        &mut asm,
+        "radii_body",
+        &gm,
+        // per-vertex: mask = src[v]
+        |asm| {
+            asm.slli(t[3], t[0], 2);
+            asm.add(t[4], t[3], src_arg);
+            asm.lw(t[5], t[4], 0);
+            asm.mv(t[7], t[5]); // original mask
+        },
+        // per-edge: mask |= src[u]
+        |asm| {
+            asm.slli(t[4], t[2], 2);
+            asm.add(t[4], t[4], src_arg);
+            asm.lw(t[6], t[4], 0);
+            asm.or(t[5], t[5], t[6]);
+        },
+        // finalize: dst[v] = mask; if grew -> radii[v] = round
+        |asm| {
+            asm.add(t[4], t[3], dst_arg);
+            asm.sw(t[5], t[4], 0);
+            asm.beq(t[5], t[7], "radii$same");
+            asm.li(t[4], radii as i64);
+            asm.add(t[4], t[4], t[3]);
+            asm.sw(round_arg, t[4], 0);
+            asm.label("radii$same");
+        },
+    );
+
+    let program = Rc::new(asm.assemble().expect("radii assembles"));
+    let chunk = (gm.v / 16).max(16);
+    let phases = util::make_phase_tasks(&program, gm.v, chunk, &specs);
+
+    Workload {
+        name: "radii",
+        class: WorkloadClass::TaskParallel,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: None,
+        program,
+        mem,
+        phases,
+        check: Box::new(move |m| {
+            let got = m.read_u32_array(radii, expect_radii.len());
+            if got == expect_radii {
+                Ok(())
+            } else {
+                let i = got
+                    .iter()
+                    .zip(&expect_radii)
+                    .position(|(g, e)| g != e)
+                    .unwrap_or(0);
+                Err(format!(
+                    "radii mismatch at {i}: got {} want {}",
+                    got[i], expect_radii[i]
+                ))
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::testutil;
+
+    #[test]
+    fn serial_matches_reference() {
+        testutil::check_serial(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn phases_match_reference() {
+        testutil::check_phases(|| build(Scale::tiny()));
+    }
+}

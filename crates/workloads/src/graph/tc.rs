@@ -1,0 +1,238 @@
+//! `trianglecount` — triangle counting by sorted-adjacency intersection
+//! (Ligra).
+//!
+//! For every vertex `v` and neighbour `u > v`, counts common neighbours
+//! `w > u` by merging the two sorted adjacency lists — each triangle is
+//! counted exactly once at its smallest vertex. One parallel phase over
+//! vertices plus a single-task reduction phase summing the per-vertex
+//! counts.
+
+use crate::gen;
+use crate::graph::util::{self, PhaseSpec};
+use crate::workload::{regs, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_isa::reg::XReg;
+use bvl_mem::SimMemory;
+use std::rc::Rc;
+
+fn reference(g: &gen::CsrGraph) -> (Vec<u32>, u32) {
+    let v = g.vertices();
+    let mut counts = vec![0u32; v];
+    for (a, count) in counts.iter_mut().enumerate() {
+        let na = g.neighbours(a);
+        for &b in na {
+            let b = b as usize;
+            if b <= a {
+                continue;
+            }
+            let nb = g.neighbours(b);
+            // merge: common neighbours w with w > b
+            let (mut i, mut j) = (0, 0);
+            while i < na.len() && j < nb.len() {
+                let (x, y) = (na[i], nb[j]);
+                if x <= b as u32 {
+                    i += 1;
+                } else if y <= b as u32 {
+                    j += 1;
+                } else if x == y {
+                    *count += 1;
+                    i += 1;
+                    j += 1;
+                } else if x < y {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+    }
+    let total = counts.iter().sum();
+    (counts, total)
+}
+
+/// Builds `trianglecount` at `scale`.
+pub fn build(scale: Scale) -> Workload {
+    let g = gen::rmat(scale.seed ^ 108, scale.vertices as usize, scale.degree as usize);
+    let (expect_counts, expect_total) = reference(&g);
+
+    let mut mem = SimMemory::default();
+    let gm = util::alloc_graph(&mut mem, &g);
+    let counts = mem.alloc(gm.v * 4, 64);
+    let total_out = mem.alloc(4, 4);
+
+    let t = regs::T;
+    let bs = regs::B;
+
+    let mut asm = Assembler::new();
+    let specs = vec![
+        PhaseSpec {
+            body: "tc_body",
+            args: vec![],
+        },
+        PhaseSpec {
+            body: "sum_body",
+            args: vec![],
+        },
+    ];
+    util::emit_phase_entries(&mut asm, &specs, gm.v);
+
+    // tc_body: per vertex a in [START, END): count triangles anchored at a.
+    // Register plan: t0=a, t1=i (edge idx within a's list), bs0=&edges[.]
+    // via the sweep; inside per-edge: t2=b, then a full merge loop over
+    // (na, nb) using bs[1..4]/t[3..7].
+    util::emit_vertex_sweep(
+        &mut asm,
+        "tc_body",
+        &gm,
+        |asm| {
+            asm.li(t[3], 0); // triangle count for a
+        },
+        |asm| {
+            // b = t[2]; skip unless b > a
+            asm.bge(t[0], t[2], "tc$next");
+            // i ptr = current a-list position is bs[0]; we need the whole
+            // a-list again for the merge: recompute its bounds.
+            asm.li(bs[1], gm.offsets as i64);
+            asm.slli(t[4], t[0], 2);
+            asm.add(bs[1], bs[1], t[4]);
+            asm.lw(t[5], bs[1], 0); // a start
+            asm.lw(t[6], bs[1], 4); // a end
+            asm.li(bs[1], gm.offsets as i64);
+            asm.slli(t[4], t[2], 2);
+            asm.add(bs[1], bs[1], t[4]);
+            asm.lw(t[7], bs[1], 0); // b start
+            asm.lw(t[4], bs[1], 4); // b end
+            // pointers: bs[2] = &edges[a_i], bs[3] = &edges[b_j];
+            // limits: bs[4] = &edges[a_end], bs[5] = &edges[b_end]
+            asm.li(bs[1], gm.edges as i64);
+            asm.slli(t[5], t[5], 2);
+            asm.add(bs[2], bs[1], t[5]);
+            asm.slli(t[6], t[6], 2);
+            asm.add(bs[4], bs[1], t[6]);
+            asm.slli(t[7], t[7], 2);
+            asm.add(bs[3], bs[1], t[7]);
+            asm.slli(t[4], t[4], 2);
+            asm.add(bs[5], bs[1], t[4]);
+            asm.label("tc$merge");
+            asm.bge(bs[2], bs[4], "tc$next");
+            asm.bge(bs[3], bs[5], "tc$next");
+            asm.lw(t[4], bs[2], 0); // x
+            asm.lw(t[5], bs[3], 0); // y
+            // skip elements <= b
+            asm.blt(t[2], t[4], "tc$x_ok");
+            asm.addi(bs[2], bs[2], 4);
+            asm.j("tc$merge");
+            asm.label("tc$x_ok");
+            asm.blt(t[2], t[5], "tc$y_ok");
+            asm.addi(bs[3], bs[3], 4);
+            asm.j("tc$merge");
+            asm.label("tc$y_ok");
+            asm.bne(t[4], t[5], "tc$neq");
+            asm.addi(t[3], t[3], 1); // triangle!
+            asm.addi(bs[2], bs[2], 4);
+            asm.addi(bs[3], bs[3], 4);
+            asm.j("tc$merge");
+            asm.label("tc$neq");
+            asm.blt(t[4], t[5], "tc$xlt");
+            asm.addi(bs[3], bs[3], 4);
+            asm.j("tc$merge");
+            asm.label("tc$xlt");
+            asm.addi(bs[2], bs[2], 4);
+            asm.j("tc$merge");
+            asm.label("tc$next");
+        },
+        |asm| {
+            asm.li(bs[1], counts as i64);
+            asm.slli(t[4], t[0], 2);
+            asm.add(bs[1], bs[1], t[4]);
+            asm.sw(t[3], bs[1], 0);
+        },
+    );
+
+    // sum_body: single linear reduction (runs as one task).
+    asm.label("sum_body");
+    asm.li(t[0], 0);
+    asm.li(t[1], gm.v as i64);
+    asm.li(t[2], 0);
+    asm.li(bs[0], counts as i64);
+    asm.label("sum$l");
+    asm.bge(t[0], t[1], "sum$r");
+    asm.lw(t[3], bs[0], 0);
+    asm.add(t[2], t[2], t[3]);
+    asm.addi(bs[0], bs[0], 4);
+    asm.addi(t[0], t[0], 1);
+    asm.j("sum$l");
+    asm.label("sum$r");
+    asm.li(bs[1], total_out as i64);
+    asm.sw(t[2], bs[1], 0);
+    asm.jalr(XReg::ZERO, XReg::RA, 0);
+
+    let program = Rc::new(asm.assemble().expect("tc assembles"));
+    let chunk = (gm.v / 16).max(16);
+    let mut phases = util::make_phase_tasks(&program, gm.v, chunk, &specs);
+    // The reduction is inherently single-task.
+    let sum_pc = program.label("task$sum_body").expect("label");
+    phases[1] = crate::workload::Phase::new(vec![bvl_runtime::Task {
+        scalar_pc: sum_pc,
+        vector_pc: None,
+        args: vec![],
+    }]);
+
+    Workload {
+        name: "trianglecount",
+        class: WorkloadClass::TaskParallel,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: None,
+        program,
+        mem,
+        phases,
+        check: Box::new(move |m| {
+            use bvl_isa::mem::Memory;
+            let got = m.read_u32_array(counts, expect_counts.len());
+            if got != expect_counts {
+                let i = got
+                    .iter()
+                    .zip(&expect_counts)
+                    .position(|(g, e)| g != e)
+                    .unwrap_or(0);
+                return Err(format!(
+                    "tc count mismatch at {i}: got {} want {}",
+                    got[i], expect_counts[i]
+                ));
+            }
+            let gt = m.read_uint(total_out, 4) as u32;
+            if gt != expect_total {
+                return Err(format!("tc total: got {gt} want {expect_total}"));
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::testutil;
+
+    #[test]
+    fn reference_counts_a_known_triangle() {
+        // Triangle 0-1-2 plus a pendant 3.
+        let g = gen::CsrGraph {
+            offsets: vec![0, 2, 4, 7, 8],
+            edges: vec![1, 2, 0, 2, 0, 1, 3, 2],
+        };
+        let (counts, total) = reference(&g);
+        assert_eq!(total, 1);
+        assert_eq!(counts[0], 1); // anchored at the smallest vertex
+    }
+
+    #[test]
+    fn serial_matches_reference() {
+        testutil::check_serial(|| build(Scale::tiny()));
+    }
+
+    #[test]
+    fn phases_match_reference() {
+        testutil::check_phases(|| build(Scale::tiny()));
+    }
+}

@@ -1,0 +1,207 @@
+//! `mmult` — dense single-precision matrix multiplication `C = A × B`.
+//!
+//! The compute-intensive kernel of Table IV: FMA-rich with reuse, where
+//! multiple element groups (chimes) hide FP latency (paper section V-B).
+//! Vectorized over the output-row dimension with a register-resident
+//! accumulator tile.
+
+use crate::gen;
+use crate::workload::{regs, Phase, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_isa::reg::{VReg, XReg};
+use bvl_isa::vcfg::Sew;
+use bvl_mem::SimMemory;
+use bvl_runtime::parallel_for_tasks;
+use std::rc::Rc;
+
+/// Builds `mmult` at `scale` (a `scale.dim`² matrix).
+pub fn build(scale: Scale) -> Workload {
+    let d = scale.dim;
+    let a_data = gen::f32_vec(scale.seed, (d * d) as usize, -1.0, 1.0);
+    let b_data = gen::f32_vec(scale.seed ^ 3, (d * d) as usize, -1.0, 1.0);
+
+    let mut mem = SimMemory::default();
+    let a = mem.alloc_f32(&a_data);
+    let b = mem.alloc_f32(&b_data);
+    let c = mem.alloc(d * d * 4, 64);
+
+    // Reference: same FMA order as both emitted variants (k ascending,
+    // fused rounding).
+    let mut expect = vec![0f32; (d * d) as usize];
+    for i in 0..d as usize {
+        for j in 0..d as usize {
+            let mut acc = 0f32;
+            for k in 0..d as usize {
+                acc = a_data[i * d as usize + k].mul_add(b_data[k * d as usize + j], acc);
+            }
+            expect[i * d as usize + j] = acc;
+        }
+    }
+
+    let mut asm = Assembler::new();
+    let (start, end, vl) = (regs::START, regs::END, regs::VL);
+    let t = regs::T;
+    let bs = regs::B;
+    let ft = regs::FT;
+    let row_bytes = (d * 4) as i64;
+
+    // ---- scalar range task: rows [start, end)
+    // for i in rows: for j: acc = sum_k fma(A[i][k], B[k][j])
+    asm.label("scalar_task");
+    asm.mv(t[0], start); // i
+    asm.label("s_i");
+    asm.bge(t[0], end, "s_done");
+    asm.li(t[1], 0); // j
+    asm.label("s_j");
+    asm.li(t[2], d as i64);
+    asm.bge(t[1], t[2], "s_i_next");
+    // acc = 0
+    asm.fmv_w_x(ft[0], XReg::ZERO);
+    // a_ptr = A + i*row; b_ptr = B + j*4
+    asm.li(bs[0], a as i64);
+    asm.li(t[3], row_bytes);
+    asm.mul(t[4], t[0], t[3]);
+    asm.add(bs[0], bs[0], t[4]);
+    asm.li(bs[1], b as i64);
+    asm.slli(t[5], t[1], 2);
+    asm.add(bs[1], bs[1], t[5]);
+    asm.li(t[2], d as i64); // k counter
+    asm.label("s_k");
+    asm.flw(ft[1], bs[0], 0);
+    asm.flw(ft[2], bs[1], 0);
+    asm.fmadd_s(ft[0], ft[1], ft[2], ft[0]);
+    asm.addi(bs[0], bs[0], 4);
+    asm.add(bs[1], bs[1], t[3]); // next row of B
+    asm.addi(t[2], t[2], -1);
+    asm.bne(t[2], XReg::ZERO, "s_k");
+    // C[i][j] = acc
+    asm.li(bs[2], c as i64);
+    asm.mul(t[4], t[0], t[3]);
+    asm.add(bs[2], bs[2], t[4]);
+    asm.add(bs[2], bs[2], t[5]);
+    asm.fsw(ft[0], bs[2], 0);
+    asm.addi(t[1], t[1], 1);
+    asm.j("s_j");
+    asm.label("s_i_next");
+    asm.addi(t[0], t[0], 1);
+    asm.j("s_i");
+    asm.label("s_done");
+    asm.halt();
+
+    // ---- vectorized range task: rows [start, end), j-tiles of VL
+    asm.label("vector_task");
+    asm.mv(t[0], start); // i
+    asm.label("v_i");
+    asm.bge(t[0], end, "v_done");
+    asm.li(t[1], 0); // j (element index)
+    asm.label("v_jtile");
+    asm.li(t[2], d as i64);
+    asm.sub(t[6], t[2], t[1]); // remaining columns
+    asm.beq(t[6], XReg::ZERO, "v_i_next");
+    asm.vsetvli(vl, t[6], Sew::E32);
+    asm.vmv_v_x(VReg::new(1), XReg::ZERO); // acc tile = 0.0
+    // a_ptr = A + i*row; b_ptr = B + j*4
+    asm.li(bs[0], a as i64);
+    asm.li(t[3], row_bytes);
+    asm.mul(t[4], t[0], t[3]);
+    asm.add(bs[0], bs[0], t[4]);
+    asm.li(bs[1], b as i64);
+    asm.slli(t[5], t[1], 2);
+    asm.add(bs[1], bs[1], t[5]);
+    asm.li(t[2], d as i64); // k counter
+    asm.label("v_k");
+    asm.flw(ft[1], bs[0], 0); // A[i][k]
+    asm.vle(VReg::new(2), bs[1]); // B[k][j..j+vl]
+    asm.vfmacc_vf(VReg::new(1), ft[1], VReg::new(2)); // acc += a * brow
+    asm.addi(bs[0], bs[0], 4);
+    asm.add(bs[1], bs[1], t[3]);
+    asm.addi(t[2], t[2], -1);
+    asm.bne(t[2], XReg::ZERO, "v_k");
+    // store tile
+    asm.li(bs[2], c as i64);
+    asm.mul(t[4], t[0], t[3]);
+    asm.add(bs[2], bs[2], t[4]);
+    asm.add(bs[2], bs[2], t[5]);
+    asm.vse(VReg::new(1), bs[2]);
+    asm.add(t[1], t[1], vl);
+    asm.j("v_jtile");
+    asm.label("v_i_next");
+    asm.addi(t[0], t[0], 1);
+    asm.j("v_i");
+    asm.label("v_done");
+    asm.vmfence();
+    asm.halt();
+
+    // ---- whole-run entries
+    asm.label("serial");
+    asm.li(start, 0);
+    asm.li(end, d as i64);
+    asm.j("scalar_task");
+    asm.label("vector");
+    asm.li(start, 0);
+    asm.li(end, d as i64);
+    asm.j("vector_task");
+
+    let program = Rc::new(asm.assemble().expect("mmult assembles"));
+    let scalar_pc = program.label("scalar_task").expect("label");
+    let vector_pc = program.label("vector_task").expect("label");
+    let chunk = (d / 8).max(2);
+    let tasks = parallel_for_tasks(d, chunk, scalar_pc, Some(vector_pc), regs::START, regs::END, &[]);
+
+    Workload {
+        name: "mmult",
+        class: WorkloadClass::DataParallelKernel,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: Some(program.label("vector").expect("label")),
+        program,
+        mem,
+        phases: vec![Phase::new(tasks)],
+        check: Box::new(move |m| {
+            let got = m.read_f32_array(c, (d * d) as usize);
+            for (i, (&g, &e)) in got.iter().zip(&expect).enumerate() {
+                if g.to_bits() != e.to_bits() {
+                    return Err(format!("mmult mismatch at {i}: got {g} want {e}"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvl_isa::exec::Machine;
+
+    #[test]
+    fn scalar_and_vector_entries_agree() {
+        for vector in [false, true] {
+            let w = build(Scale::tiny());
+            let mut m = Machine::new(w.mem.clone(), 512);
+            let entry = if vector {
+                w.vector_entry.expect("vectorized")
+            } else {
+                w.serial_entry
+            };
+            m.set_pc(entry);
+            m.run(&w.program, 100_000_000).expect("runs");
+            (w.check)(m.mem()).expect("checker passes");
+        }
+    }
+
+    #[test]
+    fn tasks_cover_rows() {
+        let w = build(Scale::tiny());
+        let mut m = Machine::new(w.mem.clone(), 512);
+        for phase in &w.phases {
+            for (i, task) in phase.tasks.iter().enumerate() {
+                for &(r, v) in &task.args {
+                    m.set_xreg(r, v);
+                }
+                m.set_pc(task.entry(i % 2 == 0));
+                m.run(&w.program, 100_000_000).expect("task runs");
+            }
+        }
+        (w.check)(m.mem()).expect("checker passes");
+    }
+}

@@ -1,0 +1,6 @@
+//! The three data-parallel micro-kernels of Table IV: `vvadd`, `mmult`,
+//! `saxpy`.
+
+pub mod mmult;
+pub mod saxpy;
+pub mod vvadd;

@@ -1,0 +1,181 @@
+//! `saxpy` — single-precision `y = a*x + y`.
+//!
+//! Two input streams, one FMA per element; the canonical
+//! memory-bandwidth-versus-FP-latency kernel (Table IV).
+
+use crate::gen;
+use crate::workload::{regs, Phase, Scale, Workload, WorkloadClass};
+use bvl_isa::asm::Assembler;
+use bvl_isa::reg::{VReg, XReg};
+use bvl_isa::vcfg::Sew;
+use bvl_mem::SimMemory;
+use bvl_runtime::parallel_for_tasks;
+use std::rc::Rc;
+
+/// The scalar coefficient `a`.
+const A: f32 = 2.5;
+
+/// Builds `saxpy` at `scale` (uses `scale.n` elements).
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.n;
+    let x_data = gen::f32_vec(scale.seed, n as usize, -10.0, 10.0);
+    let y_data = gen::f32_vec(scale.seed ^ 2, n as usize, -10.0, 10.0);
+
+    let mut mem = SimMemory::default();
+    let x = mem.alloc_f32(&x_data);
+    let y = mem.alloc_f32(&y_data);
+
+    let expect: Vec<f32> = x_data
+        .iter()
+        .zip(&y_data)
+        .map(|(&xi, &yi)| xi.mul_add(A, yi))
+        .collect();
+
+    let mut asm = Assembler::new();
+    let (start, end, vl) = (regs::START, regs::END, regs::VL);
+    let t = regs::T;
+    let bs = regs::B;
+    let ft = regs::FT;
+
+    // Loads the coefficient into ft[0] from a baked constant.
+    let a_const = mem.alloc_f32(&[A]);
+
+    // ---- scalar range task
+    asm.label("scalar_task");
+    asm.li(t[5], a_const as i64);
+    asm.flw(ft[0], t[5], 0);
+    asm.slli(t[0], start, 2);
+    asm.li(bs[0], x as i64);
+    asm.add(bs[0], bs[0], t[0]);
+    asm.li(bs[1], y as i64);
+    asm.add(bs[1], bs[1], t[0]);
+    asm.sub(t[1], end, start);
+    asm.beq(t[1], XReg::ZERO, "s_done");
+    asm.label("s_loop");
+    asm.flw(ft[1], bs[0], 0);
+    asm.flw(ft[2], bs[1], 0);
+    asm.fmadd_s(ft[3], ft[1], ft[0], ft[2]); // x*a + y
+    asm.fsw(ft[3], bs[1], 0);
+    asm.addi(bs[0], bs[0], 4);
+    asm.addi(bs[1], bs[1], 4);
+    asm.addi(t[1], t[1], -1);
+    asm.bne(t[1], XReg::ZERO, "s_loop");
+    asm.label("s_done");
+    asm.halt();
+
+    // ---- vectorized range task
+    asm.label("vector_task");
+    asm.li(t[5], a_const as i64);
+    asm.flw(ft[0], t[5], 0);
+    asm.slli(t[0], start, 2);
+    asm.li(bs[0], x as i64);
+    asm.add(bs[0], bs[0], t[0]);
+    asm.li(bs[1], y as i64);
+    asm.add(bs[1], bs[1], t[0]);
+    asm.sub(t[1], end, start);
+    asm.beq(t[1], XReg::ZERO, "v_done");
+    asm.label("v_strip");
+    asm.vsetvli(vl, t[1], Sew::E32);
+    asm.vle(VReg::new(1), bs[0]); // x
+    asm.vle(VReg::new(2), bs[1]); // y
+    asm.vfmacc_vf(VReg::new(2), ft[0], VReg::new(1)); // y += a*x
+    asm.vse(VReg::new(2), bs[1]);
+    asm.slli(t[0], vl, 2);
+    asm.add(bs[0], bs[0], t[0]);
+    asm.add(bs[1], bs[1], t[0]);
+    asm.sub(t[1], t[1], vl);
+    asm.bne(t[1], XReg::ZERO, "v_strip");
+    asm.label("v_done");
+    asm.vmfence();
+    asm.halt();
+
+    // ---- whole-run entries
+    asm.label("serial");
+    asm.li(start, 0);
+    asm.li(end, n as i64);
+    asm.j("scalar_task");
+    asm.label("vector");
+    asm.li(start, 0);
+    asm.li(end, n as i64);
+    asm.j("vector_task");
+
+    let program = Rc::new(asm.assemble().expect("saxpy assembles"));
+    let scalar_pc = program.label("scalar_task").expect("label");
+    let vector_pc = program.label("vector_task").expect("label");
+    let chunk = (n / 32).max(64);
+    let tasks = parallel_for_tasks(n, chunk, scalar_pc, Some(vector_pc), regs::START, regs::END, &[]);
+
+    Workload {
+        name: "saxpy",
+        class: WorkloadClass::DataParallelKernel,
+        serial_entry: program.label("serial").expect("label"),
+        vector_entry: Some(program.label("vector").expect("label")),
+        program,
+        mem,
+        phases: vec![Phase::new(tasks)],
+        check: Box::new(move |m| {
+            let got = m.read_f32_array(y, n as usize);
+            for (i, (&g, &e)) in got.iter().zip(&expect).enumerate() {
+                if g.to_bits() != e.to_bits() {
+                    return Err(format!("saxpy mismatch at {i}: got {g} want {e}"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// The RVV semantics of `vfmacc.vf` (`vd += f * vs2`) must match the
+/// scalar `fmadd` (`x*a + y`) element-for-element: the accumulator is `y`.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvl_isa::exec::Machine;
+
+    #[test]
+    fn scalar_and_vector_entries_agree() {
+        for vector in [false, true] {
+            let w = build(Scale::tiny());
+            let mut m = Machine::new(w.mem.clone(), 512);
+            let entry = if vector {
+                w.vector_entry.expect("vectorized")
+            } else {
+                w.serial_entry
+            };
+            m.set_pc(entry);
+            m.run(&w.program, 50_000_000).expect("runs");
+            (w.check)(m.mem()).expect("checker passes");
+        }
+    }
+
+    #[test]
+    fn vector_variant_works_at_other_vlens() {
+        // The same binary must run on the 128-bit IVU and the 2048-bit
+        // DVE — vector-length agnosticism end to end.
+        for vlen in [128, 2048] {
+            let w = build(Scale::tiny());
+            let mut m = Machine::new(w.mem.clone(), vlen);
+            m.set_pc(w.vector_entry.expect("vectorized"));
+            m.run(&w.program, 50_000_000).expect("runs");
+            (w.check)(m.mem()).expect("checker passes");
+        }
+    }
+
+    #[test]
+    fn tasks_cover_range() {
+        let w = build(Scale::tiny());
+        let mut m = Machine::new(w.mem.clone(), 512);
+        for phase in &w.phases {
+            for task in &phase.tasks {
+                for &(r, v) in &task.args {
+                    m.set_xreg(r, v);
+                }
+                // Alternate scalar/vector variants like a heterogeneous
+                // system would.
+                m.set_pc(task.entry(task.args[0].1 % 2 == 0));
+                m.run(&w.program, 50_000_000).expect("task runs");
+            }
+        }
+        (w.check)(m.mem()).expect("checker passes");
+    }
+}

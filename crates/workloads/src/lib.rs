@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+//! # bvl-workloads — the paper's application benchmarks
+//!
+//! Every workload of the evaluation (Tables IV and V), rebuilt as
+//! instruction streams for the simulator:
+//!
+//! * [`kernels`] — the three data-parallel kernels: `vvadd`, `mmult`,
+//!   `saxpy`.
+//! * [`apps`] — the eight data-parallel applications from Rodinia, RiVec
+//!   and the genomics suite: `backprop`, `kmeans`, `particlefilter`,
+//!   `blackscholes`, `jacobi2d`, `pathfinder`, `lavamd`, `sw`
+//!   (Smith-Waterman).
+//! * [`graph`] — the eight Ligra-style task-parallel graph applications:
+//!   `bfs`, `pagerank`, `components`, `radii`, `mis`, `kcore`, `bc`,
+//!   `trianglecount`, over synthetic R-MAT graphs in CSR form.
+//!
+//! Each workload provides a *scalar* whole-run entry, a *vectorized*
+//! whole-run entry (RVV strip-mined, the way the paper hand-vectorizes
+//! with intrinsics), a task decomposition (range tasks with scalar and,
+//! for data-parallel apps, vectorized variants — what the work-stealing
+//! runtime distributes on `1bIV-4L`), and a pure-Rust reference check so
+//! every simulated run is verified end-to-end.
+//!
+//! Inputs are synthetic (seeded [`rand`]): the paper's benchmark-suite
+//! input files are not redistributable, and the kernels' behaviour is a
+//! property of access pattern + input shape, which the generators
+//! reproduce at configurable [`Scale`].
+
+pub mod apps;
+pub mod gen;
+pub mod graph;
+pub mod kernels;
+pub mod workload;
+
+pub use workload::{Phase, Scale, Workload, WorkloadClass};
+
+/// Builds every data-parallel workload (kernels + apps) at `scale`.
+pub fn all_data_parallel(scale: Scale) -> Vec<Workload> {
+    vec![
+        kernels::vvadd::build(scale),
+        kernels::mmult::build(scale),
+        kernels::saxpy::build(scale),
+        apps::backprop::build(scale),
+        apps::kmeans::build(scale),
+        apps::particlefilter::build(scale),
+        apps::blackscholes::build(scale),
+        apps::jacobi2d::build(scale),
+        apps::pathfinder::build(scale),
+        apps::lavamd::build(scale),
+        apps::sw::build(scale),
+    ]
+}
+
+/// Builds every task-parallel (graph) workload at `scale`.
+pub fn all_task_parallel(scale: Scale) -> Vec<Workload> {
+    vec![
+        graph::bfs::build(scale),
+        graph::pagerank::build(scale),
+        graph::components::build(scale),
+        graph::radii::build(scale),
+        graph::mis::build(scale),
+        graph::kcore::build(scale),
+        graph::bc::build(scale),
+        graph::tc::build(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_suites_have_paper_counts() {
+        let s = Scale::tiny();
+        assert_eq!(all_data_parallel(s).len(), 11); // 3 kernels + 8 apps
+        assert_eq!(all_task_parallel(s).len(), 8); // 8 Ligra apps
+    }
+}

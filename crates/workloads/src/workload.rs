@@ -1,0 +1,204 @@
+//! The workload container and common emission helpers.
+
+use bvl_isa::asm::Program;
+use bvl_mem::SimMemory;
+use bvl_runtime::Task;
+use std::fmt;
+use std::rc::Rc;
+
+/// Input-size scaling knob.
+///
+/// The paper's gem5 runs take 15 minutes to 20 hours each; the default
+/// scales here are chosen so a full figure regenerates in minutes while
+/// preserving working-set-to-cache relationships. `--scale large` on the
+/// experiment binaries doubles/quadruples everything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Element count for 1-D kernels.
+    pub n: u64,
+    /// Matrix dimension for 2-D kernels.
+    pub dim: u64,
+    /// Vertices for graph workloads.
+    pub vertices: u64,
+    /// Average degree for graph workloads.
+    pub degree: u64,
+    /// Iteration count for iterative apps.
+    pub iters: u64,
+    /// RNG seed for input generation.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Tiny: unit-test sized; seconds per run.
+    pub fn tiny() -> Self {
+        Scale {
+            n: 512,
+            dim: 12,
+            vertices: 128,
+            degree: 4,
+            iters: 2,
+            seed: 0xB16_B00B5,
+        }
+    }
+
+    /// Default experiment scale.
+    pub fn default_eval() -> Self {
+        Scale {
+            n: 8192,
+            dim: 32,
+            vertices: 1024,
+            degree: 8,
+            iters: 3,
+            seed: 0xB16_B00B5,
+        }
+    }
+
+    /// Large: closer to paper working sets; minutes per run.
+    pub fn large() -> Self {
+        Scale {
+            n: 65536,
+            dim: 64,
+            vertices: 4096,
+            degree: 12,
+            iters: 4,
+            seed: 0xB16_B00B5,
+        }
+    }
+}
+
+/// Which suite a workload belongs to (Tables IV and V).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WorkloadClass {
+    /// One of the three micro-kernels.
+    DataParallelKernel,
+    /// A Rodinia/RiVec/genomics application.
+    DataParallelApp,
+    /// A Ligra-style graph application.
+    TaskParallel,
+}
+
+/// One barrier-delimited group of tasks (a `parallel_for` phase). The
+/// system runs phases in order, draining the work-stealing runtime at each
+/// boundary — how the Ligra-style apps express per-iteration frontiers.
+#[derive(Clone, Debug, Default)]
+pub struct Phase {
+    /// The phase's tasks.
+    pub tasks: Vec<Task>,
+}
+
+impl Phase {
+    /// Wraps a task list.
+    pub fn new(tasks: Vec<Task>) -> Self {
+        Phase { tasks }
+    }
+}
+
+/// A fully built workload: program text, initialized memory, entry points,
+/// task decomposition and a reference checker.
+pub struct Workload {
+    /// Short name as used in the paper's figures.
+    pub name: &'static str,
+    /// Suite membership.
+    pub class: WorkloadClass,
+    /// The program (all entry points share one text image).
+    pub program: Rc<Program>,
+    /// Initialized data image.
+    pub mem: SimMemory,
+    /// Scalar whole-run entry (used by `1L`, `1b`, and serial fallbacks).
+    pub serial_entry: u32,
+    /// RVV whole-run entry (used by `1bIV`, `1bDV`, `1b-4VL`).
+    pub vector_entry: Option<u32>,
+    /// Barrier-delimited task phases (used by the multi-core systems).
+    pub phases: Vec<Phase>,
+    /// Verifies the final memory image against the pure-Rust reference.
+    #[allow(clippy::type_complexity)]
+    pub check: Box<dyn Fn(&SimMemory) -> Result<(), String>>,
+}
+
+impl fmt::Debug for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("class", &self.class)
+            .field("program_len", &self.program.len())
+            .field("phases", &self.phases.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Workload {
+    /// Total tasks across all phases.
+    pub fn total_tasks(&self) -> usize {
+        self.phases.iter().map(|p| p.tasks.len()).sum()
+    }
+}
+
+/// Register-allocation conventions shared by all emitted workloads, so
+/// task arguments land in predictable places.
+pub mod regs {
+    use bvl_isa::reg::{FReg, XReg};
+
+    /// Task argument: range start.
+    pub const START: XReg = XReg::new(10);
+    /// Task argument: range end.
+    pub const END: XReg = XReg::new(11);
+    /// Extra task argument 0 (e.g. source/destination buffer selector).
+    pub const ARG2: XReg = XReg::new(12);
+    /// Extra task argument 1.
+    pub const ARG3: XReg = XReg::new(13);
+    /// Granted vector length.
+    pub const VL: XReg = XReg::new(14);
+    /// Scratch registers (caller-saved style).
+    pub const T: [XReg; 8] = [
+        XReg::new(15),
+        XReg::new(16),
+        XReg::new(17),
+        XReg::new(18),
+        XReg::new(19),
+        XReg::new(20),
+        XReg::new(21),
+        XReg::new(22),
+    ];
+    /// Base-address registers (baked with `li` in routine preambles).
+    pub const B: [XReg; 6] = [
+        XReg::new(23),
+        XReg::new(24),
+        XReg::new(25),
+        XReg::new(26),
+        XReg::new(27),
+        XReg::new(28),
+    ];
+    /// FP scratch registers.
+    pub const FT: [FReg; 6] = [
+        FReg::new(1),
+        FReg::new(2),
+        FReg::new(3),
+        FReg::new(4),
+        FReg::new(5),
+        FReg::new(6),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let (t, d, l) = (Scale::tiny(), Scale::default_eval(), Scale::large());
+        assert!(t.n < d.n && d.n < l.n);
+        assert!(t.vertices < d.vertices && d.vertices < l.vertices);
+    }
+
+    #[test]
+    fn reg_conventions_do_not_collide() {
+        use regs::*;
+        let mut all = vec![START.index(), END.index(), ARG2.index(), ARG3.index(), VL.index()];
+        all.extend(T.iter().map(|r| r.index()));
+        all.extend(B.iter().map(|r| r.index()));
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "register convention collision");
+    }
+}

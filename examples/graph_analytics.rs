@@ -1,0 +1,46 @@
+//! Graph-analytics scenario: the task-parallel side of the paper's
+//! argument. A decoupled vector engine cannot help BFS or PageRank — only
+//! its big core runs them — while big.VLITTLE's little cores stay
+//! available as ordinary task workers with zero reconfiguration overhead.
+//!
+//! ```sh
+//! cargo run --release --example graph_analytics
+//! ```
+
+use big_vlittle::sim::{simulate, SimParams, SystemKind};
+use big_vlittle::workloads::{graph, Scale};
+
+fn main() -> Result<(), String> {
+    let scale = Scale::default_eval();
+    let params = SimParams::default();
+
+    println!(
+        "R-MAT graph, {} vertices, avg degree {}\n",
+        scale.vertices, scale.degree
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>10}",
+        "workload", "1bDV (µs)", "1b-4VL (µs)", "advantage"
+    );
+
+    for w in [
+        graph::bfs::build(scale),
+        graph::pagerank::build(scale),
+        graph::components::build(scale),
+        graph::tc::build(scale),
+    ] {
+        // 1bDV: the big core alone — a vector engine is dead weight here.
+        let dv = simulate(SystemKind::BDv, &w, &params)?;
+        // 1b-4VL in scalar mode: all five cores execute tasks.
+        let vl = simulate(SystemKind::B4Vl, &w, &params)?;
+        println!(
+            "{:<14} {:>12.1} {:>12.1} {:>9.2}x",
+            w.name,
+            dv.wall_ns / 1000.0,
+            vl.wall_ns / 1000.0,
+            dv.wall_ns / vl.wall_ns
+        );
+    }
+    println!("\n(the paper's Figure 4 reports 1.7x for this advantage)");
+    Ok(())
+}

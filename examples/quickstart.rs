@@ -1,0 +1,41 @@
+//! Quickstart: run one kernel on the big.VLITTLE system and two
+//! baselines, print speedups and the lane-cycle breakdown.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use big_vlittle::cores::types::StallKind;
+use big_vlittle::sim::{simulate, SimParams, SystemKind};
+use big_vlittle::workloads::{kernels::saxpy, Scale};
+
+fn main() -> Result<(), String> {
+    let workload = saxpy::build(Scale::default_eval());
+    let params = SimParams::default();
+
+    println!("saxpy, {} elements\n", Scale::default_eval().n);
+    let base = simulate(SystemKind::L1, &workload, &params)?;
+    println!("{:>8}: {:>10.1} µs  (baseline)", "1L", base.wall_ns / 1000.0);
+
+    for kind in [SystemKind::BIv, SystemKind::BDv, SystemKind::B4Vl] {
+        let r = simulate(kind, &workload, &params)?;
+        println!(
+            "{:>8}: {:>10.1} µs  ({:.2}x over 1L)",
+            kind.label(),
+            r.wall_ns / 1000.0,
+            r.speedup_over(&base)
+        );
+        if kind == SystemKind::B4Vl {
+            println!("\nVLITTLE lane cycle breakdown:");
+            let total: u64 = StallKind::ALL.iter().map(|&k| r.lane_total(k)).sum();
+            for k in StallKind::ALL {
+                println!(
+                    "  {:>8}: {:5.1}%",
+                    k.label(),
+                    100.0 * r.lane_total(k) as f64 / total.max(1) as f64
+                );
+            }
+        }
+    }
+    Ok(())
+}

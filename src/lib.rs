@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! # big-vlittle — a cycle-level reproduction of big.VLITTLE (MICRO 2022)
+//!
+//! *big.VLITTLE: On-Demand Data-Parallel Acceleration for Mobile Systems
+//! on Chip* (Ta, Al-Hawaj, Cebry, Ou, Hall, Golden, Batten — Cornell)
+//! proposes reconfiguring the little cores of a mobile big.LITTLE SoC into
+//! a decoupled RISC-V-Vector engine on demand. This workspace rebuilds the
+//! paper's entire evaluation stack in Rust: ISA model and golden executor,
+//! reconfigurable cache hierarchy, in-order/out-of-order core models, the
+//! VLITTLE engine (VCU/VXU/VMU), both baseline vector machines, a
+//! work-stealing runtime, all nineteen workloads, and the experiment
+//! harness for every figure and table.
+//!
+//! This crate is the facade: it re-exports each subsystem under a short
+//! module name and hosts the runnable examples and cross-crate
+//! integration tests.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use big_vlittle::sim::{simulate, SimParams, SystemKind};
+//! use big_vlittle::workloads::{kernels::saxpy, Scale};
+//!
+//! let workload = saxpy::build(Scale::tiny());
+//! let result = simulate(SystemKind::B4Vl, &workload, &SimParams::default())?;
+//! println!("saxpy on 1b-4VL: {:.1} µs", result.wall_ns / 1000.0);
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! See `examples/` for larger scenarios and `crates/experiments/` for the
+//! figure/table regeneration binaries.
+
+/// Area model (paper Table VI).
+pub use bvl_area as area;
+/// Baseline vector machines (integrated unit, decoupled engine).
+pub use bvl_baseline as baseline;
+/// Core timing models (little in-order, big out-of-order).
+pub use bvl_core as cores;
+/// Experiment harness (figures and tables).
+pub use bvl_experiments as experiments;
+/// ISA model, assembler, golden executor.
+pub use bvl_isa as isa;
+/// Reconfigurable memory hierarchy.
+pub use bvl_mem as mem;
+/// DVFS power model and Pareto analysis (paper Table VII, Figures 9–11).
+pub use bvl_power as power;
+/// Work-stealing task-runtime model.
+pub use bvl_runtime as runtime;
+/// System compositions and the simulation loop.
+pub use bvl_sim as sim;
+/// The VLITTLE engine (VCU, VXU, VMU, register mapping).
+pub use bvl_vengine as vengine;
+/// The paper's workloads.
+pub use bvl_workloads as workloads;

@@ -1,0 +1,118 @@
+//! The paper's headline claims, asserted as directional (shape) tests at
+//! test scale. Absolute factors are recorded in EXPERIMENTS.md; these
+//! tests pin the *orderings and crossovers* so refactors cannot silently
+//! invert a result.
+
+use big_vlittle::experiments::geomean;
+use big_vlittle::sim::{simulate, SimParams, SystemKind};
+use big_vlittle::workloads::{all_data_parallel, all_task_parallel, Scale, Workload};
+
+fn wall(kind: SystemKind, w: &Workload) -> f64 {
+    simulate(kind, w, &SimParams::default())
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name, kind.label()))
+        .wall_ns
+}
+
+/// Abstract claim 1: on data-parallel workloads, big.VLITTLE beats the
+/// area-comparable big.LITTLE with integrated vector unit (paper: 1.6x).
+#[test]
+fn vlittle_beats_integrated_unit_on_data_parallel() {
+    let speedups: Vec<f64> = all_data_parallel(Scale::tiny())
+        .iter()
+        .map(|w| wall(SystemKind::BIv4L, w) / wall(SystemKind::B4Vl, w))
+        .collect();
+    let gm = geomean(&speedups);
+    assert!(
+        gm > 1.2,
+        "geomean 1b-4VL speedup over 1bIV-4L = {gm:.2} (paper: 1.6)"
+    );
+}
+
+/// Abstract claim 2: on task-parallel workloads, big.VLITTLE beats the
+/// decoupled vector engine (paper: 1.7x), because the DVE's system can
+/// only use its big core.
+#[test]
+fn vlittle_beats_dve_on_task_parallel() {
+    let speedups: Vec<f64> = all_task_parallel(Scale::tiny())
+        .iter()
+        .map(|w| wall(SystemKind::BDv, w) / wall(SystemKind::B4Vl, w))
+        .collect();
+    let gm = geomean(&speedups);
+    assert!(
+        gm > 1.3,
+        "geomean 1b-4VL speedup over 1bDV on graphs = {gm:.2} (paper: 1.7)"
+    );
+}
+
+/// Section V-A: 1bIV-4L and 1b-4VL perform identically on task-parallel
+/// workloads — in scalar mode the VLITTLE additions are bypassed with no
+/// overhead.
+#[test]
+fn vlittle_has_no_scalar_mode_overhead() {
+    for w in all_task_parallel(Scale::tiny()).iter().take(3) {
+        let a = wall(SystemKind::BIv4L, w);
+        let b = wall(SystemKind::B4Vl, w);
+        let rel = (a - b).abs() / a;
+        assert!(
+            rel < 1e-9,
+            "{}: 1bIV-4L = {a} vs 1b-4VL = {b} (should be identical)",
+            w.name
+        );
+    }
+}
+
+/// Section V-A: the DVE is the fastest data-parallel machine; big.VLITTLE
+/// sits between it and the integrated unit.
+#[test]
+fn data_parallel_ordering_dve_vlittle_ivu() {
+    let dp = all_data_parallel(Scale::tiny());
+    let gm = |k: SystemKind| {
+        geomean(
+            &dp.iter()
+                .map(|w| 1.0 / wall(k, w))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let (dve, vlittle, ivu) = (
+        gm(SystemKind::BDv),
+        gm(SystemKind::B4Vl),
+        gm(SystemKind::BIv),
+    );
+    assert!(dve > vlittle, "1bDV ({dve:e}) !> 1b-4VL ({vlittle:e})");
+    assert!(vlittle > ivu, "1b-4VL ({vlittle:e}) !> 1bIV ({ivu:e})");
+}
+
+/// Section V-B: each reconfigurable-pipeline feature helps — packed
+/// elements (1c -> 1c+sw) and the second chime (1c+sw -> 2c+sw) both
+/// reduce geomean execution time.
+#[test]
+fn chimes_and_packing_both_help() {
+    use big_vlittle::vengine::regmap::RegMap;
+    let dp = all_data_parallel(Scale::tiny());
+    let time_with = |regmap: RegMap| {
+        let mut params = SimParams::default();
+        params.engine.regmap = regmap;
+        geomean(
+            &dp.iter()
+                .map(|w| {
+                    simulate(SystemKind::B4Vl, w, &params)
+                        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+                        .wall_ns
+                })
+                .collect::<Vec<_>>(),
+        )
+    };
+    let c1 = time_with(RegMap {
+        cores: 4,
+        chimes: 1,
+        packed: false,
+    });
+    let c1sw = time_with(RegMap {
+        cores: 4,
+        chimes: 1,
+        packed: true,
+    });
+    let c2sw = time_with(RegMap::paper_default());
+    assert!(c1sw < c1, "packing did not help: {c1sw} !< {c1}");
+    assert!(c2sw < c1sw, "second chime did not help: {c2sw} !< {c1sw}");
+}
