@@ -293,16 +293,25 @@ impl SimpleVecMachine {
             }
             Instr::VRgather { .. } | Instr::VSlideUp { .. } | Instr::VSlideDown { .. } => {
                 // Crossbar-style permutation: one pass through the lanes.
-                (vl.div_ceil(u64::from(self.params.simple_throughput.max(1))) + 2, 2)
+                (
+                    vl.div_ceil(u64::from(self.params.simple_throughput.max(1))) + 2,
+                    2,
+                )
             }
-            _ => (vl.div_ceil(u64::from(self.params.simple_throughput.max(1))).max(1), 1),
+            _ => (
+                vl.div_ceil(u64::from(self.params.simple_throughput.max(1)))
+                    .max(1),
+                1,
+            ),
         }
     }
 
     fn compute_srcs(&self, cmd: &VecCmd) -> Vec<u8> {
         use Instr::*;
         match cmd.instr {
-            VArith { src1, vs2, vd, op, .. } => {
+            VArith {
+                src1, vs2, vd, op, ..
+            } => {
                 let mut v = vec![vs2.index() as u8];
                 if let bvl_isa::instr::VSrc::V(r) = src1 {
                     v.push(r.index() as u8);
@@ -332,9 +341,17 @@ impl SimpleVecMachine {
     fn compute_dest(&self, cmd: &VecCmd) -> Option<u8> {
         use Instr::*;
         match cmd.instr {
-            VArith { vd, .. } | VCmp { vd, .. } | VRed { vd, .. } | VMask { vd, .. }
-            | VRgather { vd, .. } | VSlideUp { vd, .. } | VSlideDown { vd, .. }
-            | VMvVX { vd, .. } | VFMvVF { vd, .. } | VMvVV { vd, .. } | VMvSX { vd, .. }
+            VArith { vd, .. }
+            | VCmp { vd, .. }
+            | VRed { vd, .. }
+            | VMask { vd, .. }
+            | VRgather { vd, .. }
+            | VSlideUp { vd, .. }
+            | VSlideDown { vd, .. }
+            | VMvVX { vd, .. }
+            | VFMvVF { vd, .. }
+            | VMvVV { vd, .. }
+            | VMvSX { vd, .. }
             | VId { vd, .. } => Some(vd.index() as u8),
             _ => None,
         }
@@ -365,11 +382,7 @@ impl VectorEngine for SimpleVecMachine {
     }
 
     fn mem_drained(&self) -> bool {
-        self.mem_txs.is_empty()
-            && !self
-                .cmdq
-                .iter()
-                .any(|c| c.instr.is_vector_mem())
+        self.mem_txs.is_empty() && !self.cmdq.iter().any(|c| c.instr.is_vector_mem())
     }
 
     fn idle(&self) -> bool {
@@ -407,10 +420,7 @@ impl VectorEngine for SimpleVecMachine {
                     return;
                 }
                 let srcs = self.compute_srcs(cmd);
-                if srcs
-                    .iter()
-                    .any(|&s| self.vreg_ready[s as usize] > now)
-                {
+                if srcs.iter().any(|&s| self.vreg_ready[s as usize] > now) {
                     return;
                 }
                 let (occ, lat) = self.compute_cost(cmd);
@@ -441,8 +451,8 @@ impl VectorEngine for SimpleVecMachine {
 mod tests {
     use super::*;
     use bvl_isa::exec::MemAccess;
-    use bvl_isa::vcfg::Sew;
     use bvl_isa::reg::{VReg, XReg};
+    use bvl_isa::vcfg::Sew;
     use bvl_mem::HierConfig;
 
     fn load_cmd(seq: u64, vd: u8, base: u64, n: u32) -> VecCmd {

@@ -1,39 +1,68 @@
 //! Criterion benches for the figure experiments: each bench executes the
-//! core measurement behind one paper figure at test scale, so `cargo
-//! bench` exercises every reproduction path and tracks simulator
-//! throughput regressions.
+//! core measurement behind one paper figure at test scale, routed through
+//! the shared sweep runner (`bvl_experiments::sweep`), so `cargo bench`
+//! exercises every reproduction path and tracks simulator throughput
+//! regressions.
 
-use bvl_sim::{simulate, SimParams, SystemKind};
+use bvl_experiments::sweep::{run_sweep, SweepJob};
+use bvl_experiments::ExpOpts;
+use bvl_sim::{SimParams, SystemKind};
 use bvl_vengine::regmap::RegMap;
-use bvl_workloads::{kernels::saxpy, kernels::vvadd, Scale};
+use bvl_workloads::{kernels::saxpy, kernels::vvadd, Scale, Workload};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
+
+/// Options for benching: cold (no memo reads/writes), serial, so each
+/// iteration times exactly one fresh simulation.
+fn bench_opts() -> ExpOpts {
+    let mut opts = ExpOpts::for_scale("tiny", std::env::temp_dir()).with_jobs(1);
+    opts.use_cache = false;
+    opts
+}
+
+/// Times one (system, workload, params) point through the sweep runner.
+fn bench_point(
+    b: &mut criterion::Bencher,
+    kind: SystemKind,
+    w: &Arc<Workload>,
+    params: &SimParams,
+) {
+    let opts = bench_opts();
+    let jobs = [SweepJob::new(kind, w, "tiny", params.clone())];
+    b.iter(|| black_box(run_sweep(&jobs, &opts)));
+}
 
 /// Figure 4: speedup measurement (one representative data-parallel kernel
 /// per system class).
 fn fig04(c: &mut Criterion) {
-    let w = saxpy::build(Scale::tiny());
+    let w = Arc::new(saxpy::build(Scale::tiny()));
     let params = SimParams::default();
     let mut g = c.benchmark_group("fig04_speedup");
     g.sample_size(10);
-    for kind in [SystemKind::L1, SystemKind::BIv, SystemKind::BDv, SystemKind::B4Vl] {
-        g.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(simulate(kind, &w, &params).expect("runs")));
-        });
+    for kind in [
+        SystemKind::L1,
+        SystemKind::BIv,
+        SystemKind::BDv,
+        SystemKind::B4Vl,
+    ] {
+        g.bench_function(kind.label(), |b| bench_point(b, kind, &w, &params));
     }
     g.finish();
 }
 
 /// Figures 5 & 6: traffic counting on the three comparison systems.
 fn fig05_06(c: &mut Criterion) {
-    let w = vvadd::build(Scale::tiny());
+    let w = Arc::new(vvadd::build(Scale::tiny()));
     let params = SimParams::default();
     let mut g = c.benchmark_group("fig05_06_traffic");
     g.sample_size(10);
     for kind in [SystemKind::BIv4L, SystemKind::BDv, SystemKind::B4Vl] {
         g.bench_function(kind.label(), |b| {
+            let opts = bench_opts();
+            let jobs = [SweepJob::new(kind, &w, "tiny", params.clone())];
             b.iter(|| {
-                let r = simulate(kind, &w, &params).expect("runs");
+                let r = &run_sweep(&jobs, &opts)[0];
                 black_box((r.fetch_groups, r.mem.data_reqs))
             });
         });
@@ -43,7 +72,7 @@ fn fig05_06(c: &mut Criterion) {
 
 /// Figure 7: the three VLITTLE pipeline configurations.
 fn fig07(c: &mut Criterion) {
-    let w = saxpy::build(Scale::tiny());
+    let w = Arc::new(saxpy::build(Scale::tiny()));
     let mut g = c.benchmark_group("fig07_breakdown");
     g.sample_size(10);
     for (name, chimes, packed) in [("1c", 1, false), ("1c+sw", 1, true), ("2c+sw", 2, true)] {
@@ -53,16 +82,14 @@ fn fig07(c: &mut Criterion) {
             chimes,
             packed,
         };
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(simulate(SystemKind::B4Vl, &w, &params).expect("runs")));
-        });
+        g.bench_function(name, |b| bench_point(b, SystemKind::B4Vl, &w, &params));
     }
     g.finish();
 }
 
 /// Figure 8: the VMU data-queue sweep endpoints.
 fn fig08(c: &mut Criterion) {
-    let w = vvadd::build(Scale::tiny());
+    let w = Arc::new(vvadd::build(Scale::tiny()));
     let mut g = c.benchmark_group("fig08_lsq");
     g.sample_size(10);
     for size in [4usize, 64] {
@@ -70,7 +97,7 @@ fn fig08(c: &mut Criterion) {
         params.engine.vmu.load_data_slots = size;
         params.engine.vmu.store_data_slots = size;
         g.bench_function(format!("{size}_lines"), |b| {
-            b.iter(|| black_box(simulate(SystemKind::B4Vl, &w, &params).expect("runs")));
+            bench_point(b, SystemKind::B4Vl, &w, &params)
         });
     }
     g.finish();
@@ -79,16 +106,14 @@ fn fig08(c: &mut Criterion) {
 /// Figures 9–11: one corner of the V/F grid (full grids live in the
 /// experiment binaries).
 fn fig09_11(c: &mut Criterion) {
-    let w = vvadd::build(Scale::tiny());
+    let w = Arc::new(vvadd::build(Scale::tiny()));
     let mut g = c.benchmark_group("fig09_11_dvfs");
     g.sample_size(10);
     for (name, big, little) in [("b1_l2", 1.0, 1.0), ("b0_l3", 0.8, 1.2)] {
         let mut params = SimParams::default();
         params.clocks.big_ghz = big;
         params.clocks.little_ghz = little;
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(simulate(SystemKind::B4Vl, &w, &params).expect("runs")));
-        });
+        g.bench_function(name, |b| bench_point(b, SystemKind::B4Vl, &w, &params));
     }
     g.finish();
 }

@@ -1,0 +1,59 @@
+//! Sweep-harness throughput: points/sec for one figure-sized matrix at
+//! `--jobs 1` versus all available cores, so the fan-out speedup is
+//! tracked alongside the per-figure simulator benches.
+
+use bvl_experiments::sweep::{default_jobs, run_sweep, SweepJob};
+use bvl_experiments::ExpOpts;
+use bvl_sim::{SimParams, SystemKind};
+use bvl_workloads::kernels::{saxpy, vvadd};
+use bvl_workloads::{Scale, Workload};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const SYSTEMS: [SystemKind; 4] = [
+    SystemKind::L1,
+    SystemKind::B1,
+    SystemKind::BDv,
+    SystemKind::B4Vl,
+];
+
+fn matrix(workloads: &[Arc<Workload>]) -> Vec<SweepJob> {
+    workloads
+        .iter()
+        .flat_map(|w| {
+            SYSTEMS
+                .into_iter()
+                .map(|kind| SweepJob::new(kind, w, "tiny", SimParams::default()))
+        })
+        .collect()
+}
+
+fn sweep_throughput(c: &mut Criterion) {
+    let workloads = vec![
+        Arc::new(vvadd::build(Scale::tiny())),
+        Arc::new(saxpy::build(Scale::tiny())),
+    ];
+    let jobs = matrix(&workloads);
+    let mut g = c.benchmark_group("sweep_throughput");
+    g.sample_size(10)
+        .throughput(Throughput::Elements(jobs.len() as u64));
+    let mut worker_counts = vec![1];
+    if default_jobs() > 1 {
+        worker_counts.push(default_jobs());
+    }
+    for workers in worker_counts {
+        g.bench_function(format!("jobs{workers}"), |b| {
+            b.iter(|| {
+                // A fresh ExpOpts per iteration (empty memo, no disk
+                // layer) so every point actually simulates.
+                let opts = ExpOpts::for_scale("tiny", std::env::temp_dir()).with_jobs(workers);
+                black_box(run_sweep(&jobs, &opts))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(sweep, sweep_throughput);
+criterion_main!(sweep);

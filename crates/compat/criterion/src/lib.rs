@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the benchmarking API subset its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `throughput`, `bench_function`,
+//! `finish`), [`Bencher::iter`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark runs a
+//! warm-up iteration and `sample_size` timed samples, reporting the median
+//! wall time per iteration (plus derived element throughput when
+//! configured). There is no statistics engine, outlier analysis, or HTML
+//! report.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.default_sample_size, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples_ns.push(start.elapsed().as_nanos());
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up (untimed).
+    let mut warm = Bencher {
+        samples_ns: Vec::new(),
+    };
+    f(&mut warm);
+
+    let mut b = Bencher {
+        samples_ns: Vec::with_capacity(sample_size),
+    };
+    while b.samples_ns.len() < sample_size {
+        let before = b.samples_ns.len();
+        f(&mut b);
+        if b.samples_ns.len() == before {
+            // The closure never called iter(); avoid spinning forever.
+            break;
+        }
+    }
+    if b.samples_ns.is_empty() {
+        println!("  {label}: no samples (closure never called Bencher::iter)");
+        return;
+    }
+    b.samples_ns.sort_unstable();
+    let median = b.samples_ns[b.samples_ns.len() / 2];
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0 => {
+            let rate = n as f64 / (median as f64 / 1.0e9);
+            println!(
+                "  {label}: median {median} ns/iter ({} samples), {rate:.0} elem/s",
+                b.samples_ns.len()
+            );
+        }
+        Some(Throughput::Bytes(n)) if median > 0 => {
+            let rate = n as f64 / (median as f64 / 1.0e9) / (1 << 20) as f64;
+            println!(
+                "  {label}: median {median} ns/iter ({} samples), {rate:.2} MiB/s",
+                b.samples_ns.len()
+            );
+        }
+        _ => println!(
+            "  {label}: median {median} ns/iter ({} samples)",
+            b.samples_ns.len()
+        ),
+    }
+}
+
+/// Groups benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups (ignores harness CLI args).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        g.bench_function("case", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        g.finish();
+        assert!(ran >= 3);
+    }
+}

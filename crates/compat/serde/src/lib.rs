@@ -1,0 +1,232 @@
+//! Offline stand-in for `serde`'s serialization half.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset it uses: a [`Serialize`] trait (every value lowers itself to
+//! the self-describing [`Content`] tree, which `serde_json` then formats)
+//! plus a derive macro for structs with named fields. The trait shape is
+//! deliberately simpler than upstream serde's visitor architecture; all
+//! in-repo consumers go through `serde_json`, which only needs the tree.
+
+pub use serde_derive::Serialize;
+
+/// A serialized value: the data-model tree every [`Serialize`] type
+/// lowers itself into. `serde_json` renders it; the experiment harness's
+/// run cache also reads it back via the accessor methods.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null` (from `Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (`Vec`, slice, array, tuple).
+    Seq(Vec<Content>),
+    /// A map with string keys, in insertion order (derived structs).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The value under `key` if this is a map containing it.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The `u64` value, widening from any integer representation.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(x) => Some(x),
+            Content::I64(x) => u64::try_from(x).ok(),
+            _ => None,
+        }
+    }
+
+    /// The `f64` value, widening from integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(x) => Some(x),
+            Content::U64(x) => Some(x as f64),
+            Content::I64(x) => Some(x as f64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is a sequence.
+    pub fn as_array(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// True if this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+}
+
+/// A type that can lower itself to the [`Content`] data model.
+pub trait Serialize {
+    /// Converts `self` to the serialization tree.
+    fn to_content(&self) -> Content;
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Upstream-compatible module path (`serde::ser::Serialize`).
+pub mod ser {
+    pub use super::{Content, Serialize};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower() {
+        assert_eq!(3u32.to_content(), Content::U64(3));
+        assert_eq!((-3i64).to_content(), Content::I64(-3));
+        assert_eq!("hi".to_content(), Content::Str("hi".into()));
+        assert_eq!(None::<u8>.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn containers_lower() {
+        let v = vec![1u8, 2];
+        assert_eq!(
+            v.to_content(),
+            Content::Seq(vec![Content::U64(1), Content::U64(2)])
+        );
+        let t = ("x".to_string(), 1.5f64);
+        assert_eq!(
+            t.to_content(),
+            Content::Seq(vec![Content::Str("x".into()), Content::F64(1.5)])
+        );
+    }
+
+    #[test]
+    fn map_accessors() {
+        let m = Content::Map(vec![("a".into(), Content::U64(7))]);
+        assert_eq!(m.get("a").and_then(Content::as_u64), Some(7));
+        assert!(m.get("b").is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! `#[derive(Serialize)]` for the vendored offline `serde` subset.
+//!
+//! Supports exactly what the workspace uses: non-generic structs with
+//! named fields (any field type that itself implements `Serialize`).
+//! Implemented directly on `proc_macro` token streams — the environment
+//! has no crates.io access, so `syn`/`quote` are unavailable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by lowering each named field in declaration
+/// order into a `serde::Content::Map` entry.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip attributes/visibility until the `struct` keyword.
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match iter.next() {
+                Some(TokenTree::Ident(n)) => break n.to_string(),
+                other => panic!("expected struct name, found {other:?}"),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                panic!("the vendored serde_derive only supports structs with named fields")
+            }
+            Some(_) => continue,
+            None => panic!("no `struct` found in derive input"),
+        }
+    };
+
+    // The body must be the next brace group (generics are unsupported).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("the vendored serde_derive does not support generic structs")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("the vendored serde_derive does not support tuple/unit structs")
+            }
+            Some(_) => continue,
+            None => panic!("struct `{name}` has no braced field list"),
+        }
+    };
+
+    let fields = parse_named_fields(body);
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f})),"
+            )
+        })
+        .collect();
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Extracts field names from the brace-group token stream of a struct
+/// with named fields, skipping attributes and visibility modifiers and
+/// balancing `<...>` so commas inside generic types do not split fields.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip field attributes: `#` followed by a bracket group.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                other => panic!("malformed attribute, found {other:?}"),
+            }
+        }
+        // Skip visibility: `pub` with optional `(...)` restriction.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        // Field name.
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+    fields
+}

@@ -24,7 +24,7 @@ use bvl_isa::reg::NUM_REGS;
 use bvl_isa::Machine;
 use bvl_mem::{AccessKind, MemHierarchy, MemReq, PortId, SharedMem};
 use std::collections::{HashSet, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Big-core configuration (paper Table II class: 4-wide OoO).
 #[derive(Clone, Copy, Debug)]
@@ -105,7 +105,7 @@ struct RobEntry {
 pub struct BigCore {
     params: BigParams,
     machine: Machine<SharedMem>,
-    program: Rc<Program>,
+    program: Arc<Program>,
     fetch: FetchUnit,
     rob: VecDeque<RobEntry>,
     next_seq: u64,
@@ -138,7 +138,7 @@ impl BigCore {
     /// the attached vector engine's hardware vector length (64 if none).
     pub fn new(
         mem: SharedMem,
-        program: Rc<Program>,
+        program: Arc<Program>,
         text_base: u64,
         line_bytes: u64,
         vlen_bits: u32,
@@ -503,11 +503,12 @@ impl BigCore {
             // *before* updating the map with its own destination, so an
             // instruction reading and writing the same register depends on
             // the older producer, not on itself.
-            let deps: Vec<u64> = source_ready_times(&info.instr, &self.x_producer, &self.f_producer)
-                .into_iter()
-                .filter(|&enc| enc != 0)
-                .map(|enc| enc - 1)
-                .collect();
+            let deps: Vec<u64> =
+                source_ready_times(&info.instr, &self.x_producer, &self.f_producer)
+                    .into_iter()
+                    .filter(|&enc| enc != 0)
+                    .map(|enc| enc - 1)
+                    .collect();
             let (xd, fd) = Self::dest_regs(&info.instr);
             if let Some(r) = xd {
                 if r != 0 {
@@ -543,10 +544,19 @@ impl BigCore {
     fn dest_regs(instr: &Instr) -> (Option<usize>, Option<usize>) {
         use Instr::*;
         match *instr {
-            Op { rd, .. } | OpImm { rd, .. } | Lui { rd, .. } | Load { rd, .. }
-            | Jal { rd, .. } | Jalr { rd, .. } | FpCmp { rd, .. } | FpCvtToInt { rd, .. }
+            Op { rd, .. }
+            | OpImm { rd, .. }
+            | Lui { rd, .. }
+            | Load { rd, .. }
+            | Jal { rd, .. }
+            | Jalr { rd, .. }
+            | FpCmp { rd, .. }
+            | FpCvtToInt { rd, .. }
             | FpMvToInt { rd, .. } => (Some(rd.index()), None),
-            FpOp { rd, .. } | FpFma { rd, .. } | FpLoad { rd, .. } | FpCvtFromInt { rd, .. }
+            FpOp { rd, .. }
+            | FpFma { rd, .. }
+            | FpLoad { rd, .. }
+            | FpCvtFromInt { rd, .. }
             | FpMvFromInt { rd, .. } => (None, Some(rd.index())),
             // Vector instructions writing scalars.
             VSetVl { rd, .. } | VPopc { rd, .. } | VFirst { rd, .. } | VMvXS { rd, .. } => {
@@ -556,7 +566,6 @@ impl BigCore {
             _ => (None, None),
         }
     }
-
 }
 
 #[cfg(test)]
@@ -572,7 +581,7 @@ mod tests {
     }
 
     fn run_big(a: &Assembler) -> (BigCore, u64) {
-        let prog = Rc::new(a.assemble().unwrap());
+        let prog = Arc::new(a.assemble().unwrap());
         let shared = SharedMem::new(SimMemory::new(1 << 20));
         let mut hier = MemHierarchy::new(HierConfig::with_little(0));
         let mut core = BigCore::new(
@@ -657,7 +666,7 @@ mod tests {
         a.halt();
         let (big, big_cycles) = run_big(&a);
 
-        let prog = Rc::new(a.assemble().unwrap());
+        let prog = Arc::new(a.assemble().unwrap());
         let shared = SharedMem::new(SimMemory::new(1 << 20));
         let mut hier = MemHierarchy::new(HierConfig::with_little(1));
         let mut little = crate::little::LittleCore::new(
@@ -777,7 +786,7 @@ mod engine_protocol_tests {
     }
 
     fn setup(a: &Assembler) -> (BigCore, MemHierarchy) {
-        let prog = Rc::new(a.assemble().unwrap());
+        let prog = Arc::new(a.assemble().unwrap());
         let shared = SharedMem::new(SimMemory::new(1 << 20));
         let hier = MemHierarchy::new(HierConfig::with_little(0));
         let mut core = BigCore::new(

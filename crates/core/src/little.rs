@@ -19,7 +19,7 @@ use bvl_isa::reg::NUM_REGS;
 use bvl_isa::Machine;
 use bvl_mem::{AccessKind, MemHierarchy, MemReq, PortId, SharedMem};
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// "Value is an outstanding load" sentinel in the scoreboard.
 const LOAD_PENDING: u64 = u64::MAX;
@@ -60,7 +60,7 @@ pub struct LittleCore {
     id: u8,
     params: LittleParams,
     machine: Machine<SharedMem>,
-    program: Rc<Program>,
+    program: Arc<Program>,
     fetch: FetchUnit,
     x_ready: [u64; NUM_REGS],
     f_ready: [u64; NUM_REGS],
@@ -82,7 +82,7 @@ impl LittleCore {
     pub fn new(
         id: u8,
         mem: SharedMem,
-        program: Rc<Program>,
+        program: Arc<Program>,
         text_base: u64,
         line_bytes: u64,
         params: LittleParams,
@@ -403,7 +403,7 @@ mod tests {
     }
 
     fn run_core(a: &Assembler, mem: SimMemory) -> (LittleCore, u64, SharedMem) {
-        let prog = Rc::new(a.assemble().unwrap());
+        let prog = Arc::new(a.assemble().unwrap());
         let shared = SharedMem::new(mem);
         let mut hier = MemHierarchy::new(HierConfig::with_little(1));
         let mut core = LittleCore::new(
@@ -491,12 +491,7 @@ mod tests {
         a.sw(x(2), x(1), 0);
         a.halt();
         let (_, _, shared) = run_core(&a, SimMemory::new(1 << 20));
-        shared.with(|m| {
-            assert_eq!(
-                bvl_isa::mem::Memory::read_uint(m, 0x3000, 4),
-                99
-            )
-        });
+        shared.with(|m| assert_eq!(bvl_isa::mem::Memory::read_uint(m, 0x3000, 4), 99));
     }
 
     #[test]
@@ -519,7 +514,7 @@ mod tests {
         a.label("task");
         a.addi(x(5), x(5), 1);
         a.halt();
-        let prog = Rc::new(a.assemble().unwrap());
+        let prog = Arc::new(a.assemble().unwrap());
         let shared = SharedMem::new(SimMemory::new(1 << 20));
         let mut hier = MemHierarchy::new(HierConfig::with_little(1));
         let mut core = LittleCore::new(

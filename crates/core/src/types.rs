@@ -186,9 +186,11 @@ mod tests {
 
     #[test]
     fn ipc() {
-        let mut s = CoreStats::default();
-        s.retired = 50;
-        s.cycles = 100;
+        let s = CoreStats {
+            retired: 50,
+            cycles: 100,
+            ..Default::default()
+        };
         assert!((s.ipc() - 0.5).abs() < 1e-12);
     }
 }

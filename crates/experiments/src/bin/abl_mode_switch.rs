@@ -1,70 +1,8 @@
-//! Ablation — mode-switch break-even (paper Section III-B): switching
-//! into vector mode costs ~500 cycles (context save + pipeline flush), so
-//! the OS should only reconfigure for large enough vector regions. This
-//! experiment sweeps the region size (elements of `saxpy`) and compares
-//! reconfiguring into the VLITTLE engine against simply running the
-//! region as scalar tasks on the unreconfigured `1b-4L` cluster.
-
-use bvl_experiments::{fmt2, print_table, run_checked, ExpOpts};
-use bvl_sim::{SimParams, SystemKind};
-use bvl_workloads::kernels::saxpy;
-use bvl_workloads::Scale;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Point {
-    elements: u64,
-    vlittle_ns: f64,
-    tasks_ns: f64,
-    big_scalar_ns: f64,
-    switch_wins: bool,
-}
+//! Thin wrapper over [`bvl_experiments::figs::abl_mode_switch`]; see that module for
+//! the experiment itself. Shared flags: `--scale`, `--out`, `--jobs`,
+//! `--no-cache`, `--persist-cache`, `--cache-dir`.
 
 fn main() {
-    let opts = ExpOpts::from_args();
-    let mut out = Vec::new();
-    let mut rows = Vec::new();
-
-    println!("\n## Ablation: when is reconfiguring into VLITTLE worth 500 cycles? (saxpy)\n");
-    for exp in 7..=14 {
-        let n = 1u64 << exp;
-        let scale = Scale {
-            n,
-            ..opts.scale
-        };
-        let w = saxpy::build(scale);
-        let vlittle = run_checked(SystemKind::B4Vl, &w, &SimParams::default());
-        let tasks = run_checked(SystemKind::B4L, &w, &SimParams::default());
-        let big = run_checked(SystemKind::B1, &w, &SimParams::default());
-        let best_unswitched = tasks.wall_ns.min(big.wall_ns);
-        let wins = vlittle.wall_ns < best_unswitched;
-        rows.push(vec![
-            n.to_string(),
-            format!("{:.0}", vlittle.wall_ns),
-            format!("{:.0}", tasks.wall_ns),
-            format!("{:.0}", big.wall_ns),
-            fmt2(best_unswitched / vlittle.wall_ns),
-            if wins { "switch".into() } else { "stay scalar".into() },
-        ]);
-        out.push(Point {
-            elements: n,
-            vlittle_ns: vlittle.wall_ns,
-            tasks_ns: tasks.wall_ns,
-            big_scalar_ns: big.wall_ns,
-            switch_wins: wins,
-        });
-    }
-    print_table(
-        &[
-            "elements",
-            "1b-4VL (ns)",
-            "1b-4L tasks (ns)",
-            "1b scalar (ns)",
-            "switch speedup",
-            "OS decision",
-        ],
-        &rows,
-    );
-    println!("\n(region-entry penalty: 500 little-cluster cycles, paper Section IV-A)");
-    opts.save_json("abl_mode_switch", &out);
+    let opts = bvl_experiments::ExpOpts::from_args();
+    bvl_experiments::figs::abl_mode_switch::run(&opts);
 }

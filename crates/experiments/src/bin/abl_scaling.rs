@@ -1,91 +1,8 @@
-//! Future-work exploration (paper Section IX: "scalability of
-//! big.VLITTLE architectures beyond the scope of mobile SoCs"): scale the
-//! VLITTLE cluster to 2, 4 and 8 little cores and measure how the engine's
-//! hardware vector length and bank count track performance.
-
-use bvl_core::big::{BigCore, BigParams};
-use bvl_core::fetch::TEXT_BASE;
-use bvl_core::types::VectorEngine;
-use bvl_experiments::{fmt2, print_table, ExpOpts};
-use bvl_mem::{HierConfig, MemHierarchy, SharedMem};
-use bvl_vengine::regmap::RegMap;
-use bvl_vengine::{EngineParams, VLittleEngine};
-use bvl_workloads::{all_data_parallel, Workload};
-use serde::Serialize;
-use std::rc::Rc;
-
-#[derive(Serialize)]
-struct ScalePoint {
-    workload: String,
-    lanes: u8,
-    vlen_bits: u32,
-    cycles: u64,
-}
-
-/// Runs a workload's vectorized entry on a custom-width VLITTLE cluster.
-fn run_vlittle(w: &Workload, lanes: u8) -> u64 {
-    let shared = SharedMem::new(w.mem.clone());
-    let mut hier = MemHierarchy::new(HierConfig::with_little(lanes as usize));
-    hier.set_vector_mode(true);
-    let params = EngineParams {
-        regmap: RegMap {
-            cores: lanes,
-            chimes: 2,
-            packed: true,
-        },
-        ..EngineParams::paper_default()
-    };
-    let mut engine = VLittleEngine::new(params, hier.line_bytes());
-    let mut big = BigCore::new(
-        shared.clone(),
-        Rc::clone(&w.program),
-        TEXT_BASE,
-        hier.line_bytes(),
-        engine.vlen_bits(),
-        BigParams::default(),
-    );
-    big.assign(w.vector_entry.expect("vectorized"));
-    for t in 0..400_000_000u64 {
-        hier.tick(t);
-        engine.tick(t, &mut hier);
-        big.tick(t, &mut hier, Some(&mut engine));
-        if big.done() && engine.idle() {
-            shared
-                .with(|m| (w.check)(m))
-                .unwrap_or_else(|e| panic!("{} x{}: {e}", w.name, lanes));
-            return t;
-        }
-    }
-    panic!("{} on {}-lane VLITTLE did not finish", w.name, lanes);
-}
+//! Thin wrapper over [`bvl_experiments::figs::abl_scaling`]; see that module for
+//! the experiment itself. Shared flags: `--scale`, `--out`, `--jobs`,
+//! `--no-cache`, `--persist-cache`, `--cache-dir`.
 
 fn main() {
-    let opts = ExpOpts::from_args();
-    let mut out = Vec::new();
-
-    println!(
-        "\n## Ablation: VLITTLE cluster scaling (speedup over 2 lanes, scale = {})\n",
-        opts.scale_name
-    );
-    let mut rows = Vec::new();
-    for w in all_data_parallel(opts.scale) {
-        let mut row = vec![w.name.to_string()];
-        let base = run_vlittle(&w, 2);
-        for lanes in [2u8, 4, 8] {
-            let cycles = if lanes == 2 { base } else { run_vlittle(&w, lanes) };
-            row.push(fmt2(base as f64 / cycles as f64));
-            out.push(ScalePoint {
-                workload: w.name.to_string(),
-                lanes,
-                vlen_bits: u32::from(lanes) * 128,
-                cycles,
-            });
-        }
-        rows.push(row);
-    }
-    print_table(
-        &["workload", "2 lanes (256b)", "4 lanes (512b)", "8 lanes (1024b)"],
-        &rows,
-    );
-    opts.save_json("abl_scaling", &out);
+    let opts = bvl_experiments::ExpOpts::from_args();
+    bvl_experiments::figs::abl_scaling::run(&opts);
 }

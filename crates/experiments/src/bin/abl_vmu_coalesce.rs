@@ -1,131 +1,8 @@
-//! Ablation — VMIU index coalescing (section III-E: "the VMIU tries to
-//! coalesce a number of consecutive indices into a single cache-line
-//! request"). Measured on a synthetic gather microbenchmark whose index
-//! vector has configurable locality, since the paper-suite kernels are
-//! unit/constant-stride.
-
-use bvl_experiments::{fmt2, print_table, run_checked, ExpOpts};
-use bvl_isa::asm::Assembler;
-use bvl_isa::reg::{VReg, XReg};
-use bvl_isa::vcfg::Sew;
-use bvl_mem::SimMemory;
-use bvl_sim::{SimParams, SystemKind};
-use bvl_workloads::{Phase, Scale, Workload, WorkloadClass};
-use serde::Serialize;
-use std::rc::Rc;
-
-/// Builds a gather kernel: `out[i] = table[idx[i]]` with indices that are
-/// `locality`-way clustered (locality 4 = groups of 4 consecutive table
-/// slots — exactly what the VMIU can coalesce into one line request).
-fn build_gather(scale: Scale, locality: u64) -> Workload {
-    let n = scale.n.max(1024);
-    let table: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
-    // Byte-offset indices: clustered runs of `locality` consecutive
-    // elements starting at deterministic pseudo-random positions.
-    let mut idx = Vec::with_capacity(n as usize);
-    let mut seed = scale.seed | 1;
-    while idx.len() < n as usize {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        let base = (seed >> 33) % (n - locality);
-        for k in 0..locality {
-            idx.push(((base + k) * 4) as u32);
-        }
-    }
-    idx.truncate(n as usize);
-
-    let mut mem = SimMemory::default();
-    let table_b = mem.alloc_u32(&table);
-    let idx_b = mem.alloc_u32(&idx);
-    let out_b = mem.alloc(n * 4, 64);
-
-    let expect: Vec<u32> = idx
-        .iter()
-        .map(|&off| table[(off / 4) as usize])
-        .collect();
-
-    let (start, end, vl) = (XReg::new(10), XReg::new(11), XReg::new(14));
-    let (t0, t1) = (XReg::new(15), XReg::new(16));
-    let (b0, b1, b2) = (XReg::new(23), XReg::new(24), XReg::new(25));
-    let mut a = Assembler::new();
-    a.label("vector");
-    a.li(start, 0);
-    a.li(end, n as i64);
-    a.li(b0, idx_b as i64);
-    a.li(b1, table_b as i64);
-    a.li(b2, out_b as i64);
-    a.sub(t1, end, start);
-    a.label("strip");
-    a.vsetvli(vl, t1, Sew::E32);
-    a.vle(VReg::new(1), b0); // byte offsets
-    a.vluxei(VReg::new(2), b1, VReg::new(1)); // gather
-    a.vse(VReg::new(2), b2);
-    a.slli(t0, vl, 2);
-    a.add(b0, b0, t0);
-    a.add(b2, b2, t0);
-    a.sub(t1, t1, vl);
-    a.bne(t1, XReg::ZERO, "strip");
-    a.vmfence();
-    a.halt();
-
-    let program = Rc::new(a.assemble().expect("gather assembles"));
-    let entry = program.label("vector").expect("label");
-    Workload {
-        name: "gather",
-        class: WorkloadClass::DataParallelKernel,
-        serial_entry: entry, // unused: this is a vector-only microbench
-        vector_entry: Some(entry),
-        program,
-        mem,
-        phases: vec![Phase::new(Vec::new())],
-        check: Box::new(move |m| {
-            let got = m.read_u32_array(out_b, expect.len());
-            if got == expect {
-                Ok(())
-            } else {
-                Err("gather mismatch".into())
-            }
-        }),
-    }
-}
-
-#[derive(Serialize)]
-struct Row {
-    locality: u64,
-    coalesce: u32,
-    wall_ns: f64,
-    line_reqs: u64,
-}
+//! Thin wrapper over [`bvl_experiments::figs::abl_vmu_coalesce`]; see that module for
+//! the experiment itself. Shared flags: `--scale`, `--out`, `--jobs`,
+//! `--no-cache`, `--persist-cache`, `--cache-dir`.
 
 fn main() {
-    let opts = ExpOpts::from_args();
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-
-    println!("\n## Ablation: VMIU index coalescing on 1b-4VL (gather microbenchmark, scale = {})\n", opts.scale_name);
-    for locality in [1u64, 4] {
-        let w = build_gather(opts.scale, locality);
-        for coalesce in [1u32, 4] {
-            let mut params = SimParams::default();
-            params.engine.vmu.coalesce = coalesce;
-            let r = run_checked(SystemKind::B4Vl, &w, &params);
-            rows.push(vec![
-                locality.to_string(),
-                coalesce.to_string(),
-                format!("{:.0}", r.wall_ns),
-                r.mem.data_reqs.to_string(),
-                fmt2(r.mem.data_reqs as f64 / opts.scale.n.max(1024) as f64),
-            ]);
-            out.push(Row {
-                locality,
-                coalesce,
-                wall_ns: r.wall_ns,
-                line_reqs: r.mem.data_reqs,
-            });
-        }
-    }
-    print_table(
-        &["index locality", "coalesce", "time (ns)", "line reqs", "reqs/elem"],
-        &rows,
-    );
-    opts.save_json("abl_vmu_coalesce", &out);
+    let opts = bvl_experiments::ExpOpts::from_args();
+    bvl_experiments::figs::abl_vmu_coalesce::run(&opts);
 }

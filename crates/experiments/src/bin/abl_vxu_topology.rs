@@ -1,52 +1,8 @@
-//! Ablation — VXU topology: the paper's area-efficient unidirectional
-//! ring versus an idealized crossbar (section III-D calls the crossbar
-//! the lower-latency, higher-area alternative). Measured on the
-//! cross-element-heavy workloads (reductions/permutations).
-
-use bvl_experiments::{fmt2, print_table, run_checked, ExpOpts};
-use bvl_sim::{SimParams, SystemKind};
-use bvl_workloads::apps::{lavamd, particlefilter};
-use bvl_workloads::kernels::saxpy;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    ring_ns: f64,
-    crossbar_ns: f64,
-    crossbar_speedup: f64,
-}
+//! Thin wrapper over [`bvl_experiments::figs::abl_vxu_topology`]; see that module for
+//! the experiment itself. Shared flags: `--scale`, `--out`, `--jobs`,
+//! `--no-cache`, `--persist-cache`, `--cache-dir`.
 
 fn main() {
-    let opts = ExpOpts::from_args();
-    let workloads = vec![
-        lavamd::build(opts.scale),         // vfredosum per particle
-        particlefilter::build(opts.scale), // vfredmax + vfirst
-        saxpy::build(opts.scale),          // control: no cross-element ops
-    ];
-    let mut out = Vec::new();
-    let mut rows = Vec::new();
-
-    println!("\n## Ablation: VXU ring vs idealized crossbar (1b-4VL, scale = {})\n", opts.scale_name);
-    for w in workloads {
-        let ring = run_checked(SystemKind::B4Vl, &w, &SimParams::default());
-        let mut xp = SimParams::default();
-        xp.engine.vxu.crossbar = true;
-        let xbar = run_checked(SystemKind::B4Vl, &w, &xp);
-        let speedup = ring.wall_ns / xbar.wall_ns;
-        rows.push(vec![
-            w.name.to_string(),
-            format!("{:.0}", ring.wall_ns),
-            format!("{:.0}", xbar.wall_ns),
-            fmt2(speedup),
-        ]);
-        out.push(Row {
-            workload: w.name.to_string(),
-            ring_ns: ring.wall_ns,
-            crossbar_ns: xbar.wall_ns,
-            crossbar_speedup: speedup,
-        });
-    }
-    print_table(&["workload", "ring (ns)", "crossbar (ns)", "crossbar speedup"], &rows);
-    opts.save_json("abl_vxu_topology", &out);
+    let opts = bvl_experiments::ExpOpts::from_args();
+    bvl_experiments::figs::abl_vxu_topology::run(&opts);
 }

@@ -1,48 +1,8 @@
-//! Figure 4 — speedup over `1L` for every system, task-parallel and
-//! data-parallel suites.
-
-use bvl_experiments::{fmt2, geomean, print_table, run_checked, ExpOpts, Measurement};
-use bvl_sim::{SimParams, SystemKind};
-use bvl_workloads::{all_data_parallel, all_task_parallel};
+//! Thin wrapper over [`bvl_experiments::figs::fig04_speedup`]; see that module for
+//! the experiment itself. Shared flags: `--scale`, `--out`, `--jobs`,
+//! `--no-cache`, `--persist-cache`, `--cache-dir`.
 
 fn main() {
-    let opts = ExpOpts::from_args();
-    let params = SimParams::default();
-    let mut measurements = Vec::new();
-
-    for (suite, workloads) in [
-        ("task-parallel", all_task_parallel(opts.scale)),
-        ("data-parallel", all_data_parallel(opts.scale)),
-    ] {
-        println!("\n## Figure 4 ({suite}, scale = {})\n", opts.scale_name);
-        let mut rows = Vec::new();
-        let mut per_system_speedups: Vec<Vec<f64>> = vec![Vec::new(); SystemKind::ALL.len()];
-        for w in &workloads {
-            let base = run_checked(SystemKind::L1, w, &params);
-            let mut row = vec![w.name.to_string()];
-            for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
-                let r = if kind == SystemKind::L1 {
-                    base.clone()
-                } else {
-                    run_checked(kind, w, &params)
-                };
-                let speedup = base.wall_ns / r.wall_ns;
-                per_system_speedups[i].push(speedup);
-                row.push(fmt2(speedup));
-                measurements.push(Measurement::of(w.name, kind, &r));
-            }
-            rows.push(row);
-        }
-        let mut gm = vec!["geomean".to_string()];
-        for s in &per_system_speedups {
-            gm.push(fmt2(geomean(s)));
-        }
-        rows.push(gm);
-        let headers: Vec<&str> = std::iter::once("workload")
-            .chain(SystemKind::ALL.iter().map(|k| k.label()))
-            .collect();
-        print_table(&headers, &rows);
-    }
-
-    opts.save_json("fig04_speedup", &measurements);
+    let opts = bvl_experiments::ExpOpts::from_args();
+    bvl_experiments::figs::fig04_speedup::run(&opts);
 }

@@ -1,39 +1,8 @@
-//! Figure 5 — instruction-fetch requests (L1I reads), normalized to
-//! `1bDV`, for the data-parallel kernels and applications on the three
-//! vector-capable comparison systems.
-
-use bvl_experiments::{fmt2, print_table, run_checked, ExpOpts, Measurement};
-use bvl_sim::{SimParams, SystemKind};
-use bvl_workloads::all_data_parallel;
-
-const SYSTEMS: [SystemKind; 3] = [SystemKind::BIv4L, SystemKind::BDv, SystemKind::B4Vl];
+//! Thin wrapper over [`bvl_experiments::figs::fig05_ifetch`]; see that module for
+//! the experiment itself. Shared flags: `--scale`, `--out`, `--jobs`,
+//! `--no-cache`, `--persist-cache`, `--cache-dir`.
 
 fn main() {
-    let opts = ExpOpts::from_args();
-    let params = SimParams::default();
-    let mut rows = Vec::new();
-    let mut measurements = Vec::new();
-
-    println!("\n## Figure 5 (ifetch requests, normalized to 1bDV, scale = {})\n", opts.scale_name);
-    for w in all_data_parallel(opts.scale) {
-        let runs: Vec<_> = SYSTEMS
-            .into_iter()
-            .map(|k| {
-                let r = run_checked(k, &w, &params);
-                measurements.push(Measurement::of(w.name, k, &r));
-                r
-            })
-            .collect();
-        let base = runs[1].fetch_groups.max(1) as f64; // 1bDV
-        let mut row = vec![w.name.to_string()];
-        for r in &runs {
-            row.push(fmt2(r.fetch_groups as f64 / base));
-        }
-        rows.push(row);
-    }
-    let headers: Vec<&str> = std::iter::once("workload")
-        .chain(SYSTEMS.iter().map(|k| k.label()))
-        .collect();
-    print_table(&headers, &rows);
-    opts.save_json("fig05_ifetch", &measurements);
+    let opts = bvl_experiments::ExpOpts::from_args();
+    bvl_experiments::figs::fig05_ifetch::run(&opts);
 }

@@ -1,80 +1,8 @@
-//! Figure 7 — average execution-time breakdown of the four little cores
-//! in `1b-4VL` under three configurations: `1c` (one chime, no packing),
-//! `1c+sw` (one chime, packed), `2c+sw` (two chimes, packed).
-
-use bvl_core::types::StallKind;
-use bvl_experiments::{print_table, run_checked, ExpOpts};
-use bvl_sim::{SimParams, SystemKind};
-use bvl_vengine::regmap::RegMap;
-use bvl_workloads::all_data_parallel;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct BreakdownRow {
-    workload: String,
-    config: &'static str,
-    total_lane_cycles: u64,
-    breakdown: Vec<(String, f64)>,
-}
-
-fn config(name: &'static str) -> (&'static str, RegMap) {
-    match name {
-        "1c" => (
-            name,
-            RegMap {
-                cores: 4,
-                chimes: 1,
-                packed: false,
-            },
-        ),
-        "1c+sw" => (
-            name,
-            RegMap {
-                cores: 4,
-                chimes: 1,
-                packed: true,
-            },
-        ),
-        "2c+sw" => (name, RegMap::paper_default()),
-        _ => unreachable!(),
-    }
-}
+//! Thin wrapper over [`bvl_experiments::figs::fig07_breakdown`]; see that module for
+//! the experiment itself. Shared flags: `--scale`, `--out`, `--jobs`,
+//! `--no-cache`, `--persist-cache`, `--cache-dir`.
 
 fn main() {
-    let opts = ExpOpts::from_args();
-    let mut out = Vec::new();
-
-    println!("\n## Figure 7 (1b-4VL lane breakdown, scale = {})\n", opts.scale_name);
-    let headers: Vec<&str> = std::iter::once("workload / config")
-        .chain(StallKind::ALL.iter().map(|k| k.label()))
-        .chain(std::iter::once("lane cycles"))
-        .collect();
-    let mut rows = Vec::new();
-
-    for w in all_data_parallel(opts.scale) {
-        for cfg_name in ["1c", "1c+sw", "2c+sw"] {
-            let (_, regmap) = config(cfg_name);
-            let mut params = SimParams::default();
-            params.engine.regmap = regmap;
-            let r = run_checked(SystemKind::B4Vl, &w, &params);
-            let total: u64 = StallKind::ALL.iter().map(|&k| r.lane_total(k)).sum();
-            let mut row = vec![format!("{} {}", w.name, cfg_name)];
-            let mut breakdown = Vec::new();
-            for &k in &StallKind::ALL {
-                let frac = r.lane_total(k) as f64 / total.max(1) as f64;
-                row.push(format!("{:.1}%", 100.0 * frac));
-                breakdown.push((k.label().to_string(), frac));
-            }
-            row.push(total.to_string());
-            rows.push(row);
-            out.push(BreakdownRow {
-                workload: w.name.to_string(),
-                config: cfg_name,
-                total_lane_cycles: total,
-                breakdown,
-            });
-        }
-    }
-    print_table(&headers, &rows);
-    opts.save_json("fig07_breakdown", &out);
+    let opts = bvl_experiments::ExpOpts::from_args();
+    bvl_experiments::figs::fig07_breakdown::run(&opts);
 }

@@ -1,51 +1,8 @@
-//! Figure 8 — performance impact of the VMU's load/store data-queue
-//! sizes (the repurposed L1I SRAM capacity) on `1b-4VL`.
-
-use bvl_experiments::{fmt2, print_table, run_checked, ExpOpts};
-use bvl_sim::{SimParams, SystemKind};
-use bvl_workloads::all_data_parallel;
-use serde::Serialize;
-
-const SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
-
-#[derive(Serialize)]
-struct SweepPoint {
-    workload: String,
-    queue_lines: usize,
-    wall_ns: f64,
-}
+//! Thin wrapper over [`bvl_experiments::figs::fig08_lsq_sweep`]; see that module for
+//! the experiment itself. Shared flags: `--scale`, `--out`, `--jobs`,
+//! `--no-cache`, `--persist-cache`, `--cache-dir`.
 
 fn main() {
-    let opts = ExpOpts::from_args();
-    let mut out = Vec::new();
-
-    println!(
-        "\n## Figure 8 (VMU data-queue sweep on 1b-4VL, time normalized to {} lines, scale = {})\n",
-        SIZES[0], opts.scale_name
-    );
-    let mut rows = Vec::new();
-    for w in all_data_parallel(opts.scale) {
-        let mut row = vec![w.name.to_string()];
-        let mut base = None;
-        for &size in &SIZES {
-            let mut params = SimParams::default();
-            params.engine.vmu.load_data_slots = size;
-            params.engine.vmu.store_data_slots = size;
-            let r = run_checked(SystemKind::B4Vl, &w, &params);
-            let b = *base.get_or_insert(r.wall_ns);
-            row.push(fmt2(r.wall_ns / b));
-            out.push(SweepPoint {
-                workload: w.name.to_string(),
-                queue_lines: size,
-                wall_ns: r.wall_ns,
-            });
-        }
-        rows.push(row);
-    }
-    let size_labels: Vec<String> = SIZES.iter().map(|s| format!("{s} lines")).collect();
-    let headers: Vec<&str> = std::iter::once("workload")
-        .chain(size_labels.iter().map(String::as_str))
-        .collect();
-    print_table(&headers, &rows);
-    opts.save_json("fig08_lsq_sweep", &out);
+    let opts = bvl_experiments::ExpOpts::from_args();
+    bvl_experiments::figs::fig08_lsq_sweep::run(&opts);
 }

@@ -1,60 +1,8 @@
-//! Figure 9 — performance of `1bIV-4L` and `1b-4VL` at every (big,
-//! little) voltage/frequency combination, reported as speedup over `1L`
-//! at 1 GHz.
-
-use bvl_experiments::{fmt2, print_table, run_checked, ExpOpts};
-use bvl_power::{BIG_LEVELS, LITTLE_LEVELS};
-use bvl_sim::{SimParams, SystemKind};
-use bvl_workloads::all_data_parallel;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct HeatCell {
-    workload: String,
-    system: String,
-    big_level: &'static str,
-    little_level: &'static str,
-    speedup_over_1l: f64,
-}
+//! Thin wrapper over [`bvl_experiments::figs::fig09_vf_heatmap`]; see that module for
+//! the experiment itself. Shared flags: `--scale`, `--out`, `--jobs`,
+//! `--no-cache`, `--persist-cache`, `--cache-dir`.
 
 fn main() {
-    let opts = ExpOpts::from_args();
-    let mut out = Vec::new();
-
-    for w in all_data_parallel(opts.scale) {
-        let base = run_checked(SystemKind::L1, &w, &SimParams::default());
-        for kind in [SystemKind::BIv4L, SystemKind::B4Vl] {
-            println!(
-                "\n## Figure 9: {} on {} (speedup over 1L@1GHz, scale = {})\n",
-                w.name,
-                kind.label(),
-                opts.scale_name
-            );
-            let mut rows = Vec::new();
-            for b in BIG_LEVELS {
-                let mut row = vec![b.name.to_string()];
-                for l in LITTLE_LEVELS {
-                    let mut params = SimParams::default();
-                    params.clocks.big_ghz = b.ghz;
-                    params.clocks.little_ghz = l.ghz;
-                    let r = run_checked(kind, &w, &params);
-                    let speedup = base.wall_ns / r.wall_ns;
-                    row.push(fmt2(speedup));
-                    out.push(HeatCell {
-                        workload: w.name.to_string(),
-                        system: kind.label().to_string(),
-                        big_level: b.name,
-                        little_level: l.name,
-                        speedup_over_1l: speedup,
-                    });
-                }
-                rows.push(row);
-            }
-            let headers: Vec<&str> = std::iter::once("big \\ little")
-                .chain(LITTLE_LEVELS.iter().map(|l| l.name))
-                .collect();
-            print_table(&headers, &rows);
-        }
-    }
-    opts.save_json("fig09_vf_heatmap", &out);
+    let opts = bvl_experiments::ExpOpts::from_args();
+    bvl_experiments::figs::fig09_vf_heatmap::run(&opts);
 }

@@ -1,46 +1,8 @@
-//! Figure 10 — execution time vs estimated average power of `1b-4VL`
-//! over the V/F grid, with the Pareto frontier marked.
-
-use bvl_experiments::{print_table, run_checked, ExpOpts};
-use bvl_power::{pareto_frontier, PerfPowerPoint, SystemPower, BIG_LEVELS, LITTLE_LEVELS};
-use bvl_sim::{SimParams, SystemKind};
-use bvl_workloads::all_data_parallel;
+//! Thin wrapper over [`bvl_experiments::figs::fig10_perf_power`]; see that module for
+//! the experiment itself. Shared flags: `--scale`, `--out`, `--jobs`,
+//! `--no-cache`, `--persist-cache`, `--cache-dir`.
 
 fn main() {
-    let opts = ExpOpts::from_args();
-    let mut all_points = Vec::new();
-
-    for w in all_data_parallel(opts.scale) {
-        println!("\n## Figure 10: 1b-4VL time/power for {} (scale = {})\n", w.name, opts.scale_name);
-        let mut points = Vec::new();
-        for b in BIG_LEVELS {
-            for l in LITTLE_LEVELS {
-                let mut params = SimParams::default();
-                params.clocks.big_ghz = b.ghz;
-                params.clocks.little_ghz = l.ghz;
-                let r = run_checked(SystemKind::B4Vl, &w, &params);
-                points.push(PerfPowerPoint {
-                    label: format!("{} ({},{})", w.name, b.name, l.name),
-                    time: r.wall_ns,
-                    power: SystemPower::BigPlusLittles(4).watts(b, l),
-                });
-            }
-        }
-        let frontier = pareto_frontier(&points);
-        let rows: Vec<Vec<String>> = points
-            .iter()
-            .map(|p| {
-                vec![
-                    p.label.clone(),
-                    format!("{:.0}", p.time),
-                    format!("{:.3}", p.power),
-                    format!("{:.1}", p.energy() / 1000.0),
-                    if frontier.contains(p) { "*".into() } else { "".into() },
-                ]
-            })
-            .collect();
-        print_table(&["config", "time (ns)", "power (W)", "energy (µJ)", "pareto"], &rows);
-        all_points.extend(points);
-    }
-    opts.save_json("fig10_perf_power", &all_points);
+    let opts = bvl_experiments::ExpOpts::from_args();
+    bvl_experiments::figs::fig10_perf_power::run(&opts);
 }

@@ -1,80 +1,8 @@
-//! Figure 11 — execution time vs estimated power for all four multi-core
-//! designs across the V/F grid, with per-design Pareto frontiers. The
-//! headline claims: `1b-4VL` owns the low-power (<1 W) region and
-//! approaches `1bDV` in the high-power region.
-
-use bvl_experiments::{print_table, run_checked, ExpOpts};
-use bvl_power::{pareto_frontier, PerfPowerPoint, SystemPower, BIG_LEVELS, LITTLE_LEVELS};
-use bvl_sim::{SimParams, SystemKind};
-use bvl_workloads::all_data_parallel;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct DesignPoints {
-    workload: String,
-    system: String,
-    points: Vec<PerfPowerPoint>,
-    frontier: Vec<PerfPowerPoint>,
-}
-
-fn power_model(kind: SystemKind) -> SystemPower {
-    match kind {
-        SystemKind::B4L | SystemKind::BIv4L | SystemKind::B4Vl => SystemPower::BigPlusLittles(4),
-        SystemKind::BDv => SystemPower::BigPlusDve,
-        SystemKind::B1 | SystemKind::BIv => SystemPower::OneBig,
-        SystemKind::L1 => SystemPower::OneLittle,
-    }
-}
+//! Thin wrapper over [`bvl_experiments::figs::fig11_pareto`]; see that module for
+//! the experiment itself. Shared flags: `--scale`, `--out`, `--jobs`,
+//! `--no-cache`, `--persist-cache`, `--cache-dir`.
 
 fn main() {
-    let opts = ExpOpts::from_args();
-    let systems = [
-        SystemKind::B4L,
-        SystemKind::BIv4L,
-        SystemKind::BDv,
-        SystemKind::B4Vl,
-    ];
-    let mut out = Vec::new();
-
-    for w in all_data_parallel(opts.scale) {
-        println!("\n## Figure 11: Pareto frontiers for {} (scale = {})\n", w.name, opts.scale_name);
-        let mut rows = Vec::new();
-        for kind in systems {
-            let mut points = Vec::new();
-            for b in BIG_LEVELS {
-                for l in LITTLE_LEVELS {
-                    // The DVE follows the big clock; little levels do not
-                    // apply to systems without a little cluster.
-                    if kind == SystemKind::BDv && l.name != "l0" {
-                        continue;
-                    }
-                    let mut params = SimParams::default();
-                    params.clocks.big_ghz = b.ghz;
-                    params.clocks.little_ghz = l.ghz;
-                    let r = run_checked(kind, &w, &params);
-                    points.push(PerfPowerPoint {
-                        label: format!("{} ({},{})", kind.label(), b.name, l.name),
-                        time: r.wall_ns,
-                        power: power_model(kind).watts(b, l),
-                    });
-                }
-            }
-            let frontier = pareto_frontier(&points);
-            for p in &frontier {
-                rows.push(vec![
-                    p.label.clone(),
-                    format!("{:.0}", p.time),
-                    format!("{:.3}", p.power),
-                ]);
-            }
-            out.push(DesignPoints {
-                workload: w.name.to_string(),
-                system: kind.label().to_string(),
-                points,
-                frontier,
-            });
-        }
-        print_table(&["frontier point", "time (ns)", "power (W)"], &rows);
-    }
-    opts.save_json("fig11_pareto", &out);
+    let opts = bvl_experiments::ExpOpts::from_args();
+    bvl_experiments::figs::fig11_pareto::run(&opts);
 }

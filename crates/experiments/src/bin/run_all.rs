@@ -1,0 +1,66 @@
+//! Regenerates every figure, table and ablation with one command,
+//! printing a per-artifact timing summary at the end.
+//!
+//! All artifacts run in-process through one shared
+//! [`bvl_experiments::sweep::SweepCache`], so simulation points common to
+//! several figures (fig04/05/06 share the `1L`/`1bIV-4L`/`1bDV`/`1b-4VL`
+//! default-parameter runs) simulate exactly once.
+//!
+//! ```sh
+//! cargo run --release -p bvl-experiments --bin run_all -- --scale tiny --jobs 8
+//! ```
+
+use bvl_experiments::{figs, print_table, ExpOpts};
+use std::time::Instant;
+
+/// A named experiment entry point.
+type Artifact = (&'static str, fn(&ExpOpts));
+
+/// Every artifact, in EXPERIMENTS.md order.
+const ARTIFACTS: [Artifact; 15] = [
+    ("fig04_speedup", figs::fig04_speedup::run),
+    ("fig05_ifetch", figs::fig05_ifetch::run),
+    ("fig06_dreq", figs::fig06_dreq::run),
+    ("fig07_breakdown", figs::fig07_breakdown::run),
+    ("fig08_lsq_sweep", figs::fig08_lsq_sweep::run),
+    ("fig09_vf_heatmap", figs::fig09_vf_heatmap::run),
+    ("fig10_perf_power", figs::fig10_perf_power::run),
+    ("fig11_pareto", figs::fig11_pareto::run),
+    ("tab45_workloads", figs::tab45_workloads::run),
+    ("tab06_area", figs::tab06_area::run),
+    ("tab07_power_levels", figs::tab07_power_levels::run),
+    ("abl_vxu_topology", figs::abl_vxu_topology::run),
+    ("abl_vmu_coalesce", figs::abl_vmu_coalesce::run),
+    ("abl_mode_switch", figs::abl_mode_switch::run),
+    ("abl_scaling", figs::abl_scaling::run),
+];
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let total_start = Instant::now();
+    let mut timings = Vec::new();
+    for (name, run) in ARTIFACTS {
+        let start = Instant::now();
+        run(&opts);
+        timings.push((name, start.elapsed()));
+    }
+    let total = total_start.elapsed();
+
+    println!(
+        "\n## run_all timing summary (scale = {}, jobs = {})\n",
+        opts.scale_name, opts.jobs
+    );
+    let rows: Vec<Vec<String>> = timings
+        .iter()
+        .map(|(name, t)| vec![name.to_string(), format!("{:.2}", t.as_secs_f64())])
+        .chain(std::iter::once(vec![
+            "TOTAL".to_string(),
+            format!("{:.2}", total.as_secs_f64()),
+        ]))
+        .collect();
+    print_table(&["artifact", "seconds"], &rows);
+    println!(
+        "\n{} simulation points memoized across artifacts",
+        opts.cache.len()
+    );
+}

@@ -1,55 +1,8 @@
-//! Table VI — post-synthesis-seeded area model: 4L vs 4VL bill of
-//! materials, overhead percentages, and the Ara-referenced 1bDV estimate.
-
-use bvl_area::{
-    cluster_4l, cluster_4vl, dve_estimate_kge, four_ariane_with_l1_kge, vlittle_overhead,
-    LittleCoreRtl,
-};
-use bvl_experiments::{print_table, ExpOpts};
+//! Thin wrapper over [`bvl_experiments::figs::tab06_area`]; see that module for
+//! the experiment itself. Shared flags: `--scale`, `--out`, `--jobs`,
+//! `--no-cache`, `--persist-cache`, `--cache-dir`.
 
 fn main() {
-    let opts = ExpOpts::from_args();
-    println!("\n## Table VI (area model, 12nm post-synthesis component areas)\n");
-    let mut rows = Vec::new();
-    for rtl in [LittleCoreRtl::Simple, LittleCoreRtl::Ariane] {
-        let l4 = cluster_4l(rtl);
-        let vl4 = cluster_4vl(rtl);
-        for c in &vl4.components {
-            rows.push(vec![
-                format!("{rtl:?}"),
-                c.name.to_string(),
-                format!("{:.1}", c.area_kum2),
-                format!("x{}", c.count),
-            ]);
-        }
-        rows.push(vec![
-            format!("{rtl:?}"),
-            "TOTAL 4L".into(),
-            format!("{:.1}", l4.total_kum2),
-            "".into(),
-        ]);
-        rows.push(vec![
-            format!("{rtl:?}"),
-            "TOTAL 4VL".into(),
-            format!("{:.1}", vl4.total_kum2),
-            "".into(),
-        ]);
-        rows.push(vec![
-            format!("{rtl:?}"),
-            "4VL vs 4L overhead".into(),
-            format!("{:.1}%", 100.0 * vlittle_overhead(rtl)),
-            "".into(),
-        ]);
-    }
-    print_table(&["little core", "component", "area (kum^2)", "count"], &rows);
-
-    println!("\n### 1bDV first-order estimate (Section VI)\n");
-    print_table(
-        &["quantity", "kGE"],
-        &[
-            vec!["8x64b-lane Ara (= 16x32b DVE)".into(), format!("{:.0}", dve_estimate_kge())],
-            vec!["4x Ariane + L1s".into(), format!("{:.0}", four_ariane_with_l1_kge())],
-        ],
-    );
-    opts.save_json("tab06_area", &(cluster_4vl(LittleCoreRtl::Simple), cluster_4l(LittleCoreRtl::Simple)));
+    let opts = bvl_experiments::ExpOpts::from_args();
+    bvl_experiments::figs::tab06_area::run(&opts);
 }

@@ -1,20 +1,8 @@
-//! Table VII — the voltage/frequency levels and average per-core power
-//! used by the Section VII design-space exploration.
-
-use bvl_experiments::{print_table, ExpOpts};
-use bvl_power::{BIG_LEVELS, LITTLE_LEVELS, DVE_POWER_RATIO};
+//! Thin wrapper over [`bvl_experiments::figs::tab07_power_levels`]; see that module for
+//! the experiment itself. Shared flags: `--scale`, `--out`, `--jobs`,
+//! `--no-cache`, `--persist-cache`, `--cache-dir`.
 
 fn main() {
-    let opts = ExpOpts::from_args();
-    println!("\n## Table VII (V/F levels; see bvl-power docs for the reconstruction note)\n");
-    let mut rows = Vec::new();
-    for l in BIG_LEVELS {
-        rows.push(vec!["big".into(), l.name.into(), format!("{:.1}", l.ghz), format!("{:.3}", l.watts)]);
-    }
-    for l in LITTLE_LEVELS {
-        rows.push(vec!["little".into(), l.name.into(), format!("{:.1}", l.ghz), format!("{:.3}", l.watts)]);
-    }
-    print_table(&["cluster", "level", "GHz", "avg W/core"], &rows);
-    println!("\nDVE power ratio over its control core (Tarantula): {DVE_POWER_RATIO}");
-    opts.save_json("tab07_power_levels", &(BIG_LEVELS.to_vec(), LITTLE_LEVELS.to_vec()));
+    let opts = bvl_experiments::ExpOpts::from_args();
+    bvl_experiments::figs::tab07_power_levels::run(&opts);
 }

@@ -1,0 +1,83 @@
+//! Ablation — mode-switch break-even (paper Section III-B): switching
+//! into vector mode costs ~500 cycles (context save + pipeline flush), so
+//! the OS should only reconfigure for large enough vector regions. This
+//! experiment sweeps the region size (elements of `saxpy`) and compares
+//! reconfiguring into the VLITTLE engine against simply running the
+//! region as scalar tasks on the unreconfigured `1b-4L` cluster.
+
+use crate::sweep::{run_sweep, SweepJob};
+use crate::{fmt2, print_table, ExpOpts};
+use bvl_sim::{SimParams, SystemKind};
+use bvl_workloads::kernels::saxpy;
+use bvl_workloads::Scale;
+use serde::Serialize;
+use std::sync::Arc;
+
+const SYSTEMS: [SystemKind; 3] = [SystemKind::B4Vl, SystemKind::B4L, SystemKind::B1];
+
+#[derive(Serialize)]
+struct Point {
+    elements: u64,
+    vlittle_ns: f64,
+    tasks_ns: f64,
+    big_scalar_ns: f64,
+    switch_wins: bool,
+}
+
+/// Regenerates the mode-switch break-even ablation at `opts`' scale.
+pub fn run(opts: &ExpOpts) {
+    let sizes: Vec<u64> = (7..=14).map(|exp| 1u64 << exp).collect();
+    let mut jobs = Vec::new();
+    for &n in &sizes {
+        // Custom region size: the key must carry `n`, not just the scale
+        // name, since each point is a differently built workload.
+        let w = Arc::new(saxpy::build(Scale { n, ..opts.scale }));
+        let key = format!("saxpy-n{n}@{}", opts.scale_name);
+        for kind in SYSTEMS {
+            jobs.push(SweepJob::keyed(kind, &w, key.clone(), SimParams::default()));
+        }
+    }
+    let results = run_sweep(&jobs, opts);
+
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    println!("\n## Ablation: when is reconfiguring into VLITTLE worth 500 cycles? (saxpy)\n");
+    for (i, &n) in sizes.iter().enumerate() {
+        let runs = &results[i * SYSTEMS.len()..(i + 1) * SYSTEMS.len()];
+        let (vlittle, tasks, big) = (&runs[0], &runs[1], &runs[2]);
+        let best_unswitched = tasks.wall_ns.min(big.wall_ns);
+        let wins = vlittle.wall_ns < best_unswitched;
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.0}", vlittle.wall_ns),
+            format!("{:.0}", tasks.wall_ns),
+            format!("{:.0}", big.wall_ns),
+            fmt2(best_unswitched / vlittle.wall_ns),
+            if wins {
+                "switch".into()
+            } else {
+                "stay scalar".into()
+            },
+        ]);
+        out.push(Point {
+            elements: n,
+            vlittle_ns: vlittle.wall_ns,
+            tasks_ns: tasks.wall_ns,
+            big_scalar_ns: big.wall_ns,
+            switch_wins: wins,
+        });
+    }
+    print_table(
+        &[
+            "elements",
+            "1b-4VL (ns)",
+            "1b-4L tasks (ns)",
+            "1b scalar (ns)",
+            "switch speedup",
+            "OS decision",
+        ],
+        &rows,
+    );
+    println!("\n(region-entry penalty: 500 little-cluster cycles, paper Section IV-A)");
+    opts.save_json("abl_mode_switch", &out);
+}

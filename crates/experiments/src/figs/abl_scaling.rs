@@ -1,0 +1,112 @@
+//! Future-work exploration (paper Section IX: "scalability of
+//! big.VLITTLE architectures beyond the scope of mobile SoCs"): scale the
+//! VLITTLE cluster to 2, 4 and 8 little cores and measure how the engine's
+//! hardware vector length and bank count track performance.
+//!
+//! The custom-geometry engine runs here are not expressible as
+//! `bvl_sim::simulate` points, so they fan out through
+//! [`crate::sweep::run_parallel`] instead of the cached sweep matrix.
+
+use crate::sweep::run_parallel;
+use crate::{fmt2, print_table, ExpOpts};
+use bvl_core::big::{BigCore, BigParams};
+use bvl_core::fetch::TEXT_BASE;
+use bvl_core::types::VectorEngine;
+use bvl_mem::{HierConfig, MemHierarchy, SharedMem};
+use bvl_vengine::regmap::RegMap;
+use bvl_vengine::{EngineParams, VLittleEngine};
+use bvl_workloads::{all_data_parallel, Workload};
+use serde::Serialize;
+use std::sync::Arc;
+
+const LANES: [u8; 3] = [2, 4, 8];
+
+#[derive(Serialize)]
+struct ScalePoint {
+    workload: String,
+    lanes: u8,
+    vlen_bits: u32,
+    cycles: u64,
+}
+
+/// Runs a workload's vectorized entry on a custom-width VLITTLE cluster.
+fn run_vlittle(w: &Workload, lanes: u8) -> u64 {
+    let shared = SharedMem::new(w.mem.clone());
+    let mut hier = MemHierarchy::new(HierConfig::with_little(lanes as usize));
+    hier.set_vector_mode(true);
+    let params = EngineParams {
+        regmap: RegMap {
+            cores: lanes,
+            chimes: 2,
+            packed: true,
+        },
+        ..EngineParams::paper_default()
+    };
+    let mut engine = VLittleEngine::new(params, hier.line_bytes());
+    let mut big = BigCore::new(
+        shared.clone(),
+        Arc::clone(&w.program),
+        TEXT_BASE,
+        hier.line_bytes(),
+        engine.vlen_bits(),
+        BigParams::default(),
+    );
+    big.assign(w.vector_entry.expect("vectorized"));
+    for t in 0..400_000_000u64 {
+        hier.tick(t);
+        engine.tick(t, &mut hier);
+        big.tick(t, &mut hier, Some(&mut engine));
+        if big.done() && engine.idle() {
+            shared
+                .with(|m| (w.check)(m))
+                .unwrap_or_else(|e| panic!("{} x{}: {e}", w.name, lanes));
+            return t;
+        }
+    }
+    panic!("{} on {}-lane VLITTLE did not finish", w.name, lanes);
+}
+
+/// Regenerates the cluster-scaling ablation at `opts`' scale.
+pub fn run(opts: &ExpOpts) {
+    let workloads: Vec<Arc<Workload>> = all_data_parallel(opts.scale)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let points: Vec<(&Arc<Workload>, u8)> = workloads
+        .iter()
+        .flat_map(|w| LANES.into_iter().map(move |lanes| (w, lanes)))
+        .collect();
+    let cycles = run_parallel(&points, opts.jobs, |&(w, lanes)| run_vlittle(w, lanes));
+
+    println!(
+        "\n## Ablation: VLITTLE cluster scaling (speedup over 2 lanes, scale = {})\n",
+        opts.scale_name
+    );
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for (wi, w) in workloads.iter().enumerate() {
+        let runs = &cycles[wi * LANES.len()..(wi + 1) * LANES.len()];
+        let base = runs[0]; // 2 lanes
+        let mut row = vec![w.name.to_string()];
+        for (li, lanes) in LANES.into_iter().enumerate() {
+            row.push(fmt2(base as f64 / runs[li] as f64));
+            out.push(ScalePoint {
+                workload: w.name.to_string(),
+                lanes,
+                vlen_bits: u32::from(lanes) * 128,
+                cycles: runs[li],
+            });
+        }
+        rows.push(row);
+    }
+    print_table(
+        &[
+            "workload",
+            "2 lanes (256b)",
+            "4 lanes (512b)",
+            "8 lanes (1024b)",
+        ],
+        &rows,
+    );
+    opts.save_json("abl_scaling", &out);
+}

@@ -1,0 +1,68 @@
+//! Ablation — VXU topology: the paper's area-efficient unidirectional
+//! ring versus an idealized crossbar (section III-D calls the crossbar
+//! the lower-latency, higher-area alternative). Measured on the
+//! cross-element-heavy workloads (reductions/permutations).
+
+use crate::sweep::{run_sweep, SweepJob};
+use crate::{fmt2, print_table, ExpOpts};
+use bvl_sim::{SimParams, SystemKind};
+use bvl_workloads::apps::{lavamd, particlefilter};
+use bvl_workloads::kernels::saxpy;
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    ring_ns: f64,
+    crossbar_ns: f64,
+    crossbar_speedup: f64,
+}
+
+/// Regenerates the VXU-topology ablation at `opts`' scale.
+pub fn run(opts: &ExpOpts) {
+    let workloads = [
+        Arc::new(lavamd::build(opts.scale)), // vfredosum per particle
+        Arc::new(particlefilter::build(opts.scale)), // vfredmax + vfirst
+        Arc::new(saxpy::build(opts.scale)),  // control: no cross-element ops
+    ];
+    let mut crossbar = SimParams::default();
+    crossbar.engine.vxu.crossbar = true;
+    let jobs: Vec<SweepJob> = workloads
+        .iter()
+        .flat_map(|w| {
+            [SimParams::default(), crossbar.clone()]
+                .into_iter()
+                .map(|params| SweepJob::new(SystemKind::B4Vl, w, &opts.scale_name, params))
+        })
+        .collect();
+    let results = run_sweep(&jobs, opts);
+
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    println!(
+        "\n## Ablation: VXU ring vs idealized crossbar (1b-4VL, scale = {})\n",
+        opts.scale_name
+    );
+    for (wi, w) in workloads.iter().enumerate() {
+        let (ring, xbar) = (&results[wi * 2], &results[wi * 2 + 1]);
+        let speedup = ring.wall_ns / xbar.wall_ns;
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{:.0}", ring.wall_ns),
+            format!("{:.0}", xbar.wall_ns),
+            fmt2(speedup),
+        ]);
+        out.push(Row {
+            workload: w.name.to_string(),
+            ring_ns: ring.wall_ns,
+            crossbar_ns: xbar.wall_ns,
+            crossbar_speedup: speedup,
+        });
+    }
+    print_table(
+        &["workload", "ring (ns)", "crossbar (ns)", "crossbar speedup"],
+        &rows,
+    );
+    opts.save_json("abl_vxu_topology", &out);
+}

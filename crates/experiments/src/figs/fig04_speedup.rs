@@ -1,0 +1,57 @@
+//! Figure 4 — speedup over `1L` for every system, task-parallel and
+//! data-parallel suites.
+
+use crate::sweep::{run_sweep, SweepJob};
+use crate::{fmt2, geomean, print_table, ExpOpts, Measurement};
+use bvl_sim::{SimParams, SystemKind};
+use bvl_workloads::{all_data_parallel, all_task_parallel, Workload};
+use std::sync::Arc;
+
+/// Regenerates Figure 4 at `opts`' scale.
+pub fn run(opts: &ExpOpts) {
+    let params = SimParams::default();
+    let mut measurements = Vec::new();
+
+    for (suite, workloads) in [
+        ("task-parallel", all_task_parallel(opts.scale)),
+        ("data-parallel", all_data_parallel(opts.scale)),
+    ] {
+        let workloads: Vec<Arc<Workload>> = workloads.into_iter().map(Arc::new).collect();
+        let jobs: Vec<SweepJob> = workloads
+            .iter()
+            .flat_map(|w| {
+                SystemKind::ALL
+                    .into_iter()
+                    .map(|kind| SweepJob::new(kind, w, &opts.scale_name, params.clone()))
+            })
+            .collect();
+        let results = run_sweep(&jobs, opts);
+
+        println!("\n## Figure 4 ({suite}, scale = {})\n", opts.scale_name);
+        let mut rows = Vec::new();
+        let mut per_system_speedups: Vec<Vec<f64>> = vec![Vec::new(); SystemKind::ALL.len()];
+        for (wi, w) in workloads.iter().enumerate() {
+            let runs = &results[wi * SystemKind::ALL.len()..(wi + 1) * SystemKind::ALL.len()];
+            let base = &runs[0]; // `1L` is first in `SystemKind::ALL`
+            let mut row = vec![w.name.to_string()];
+            for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
+                let speedup = base.wall_ns / runs[i].wall_ns;
+                per_system_speedups[i].push(speedup);
+                row.push(fmt2(speedup));
+                measurements.push(Measurement::of(w.name, kind, &runs[i]));
+            }
+            rows.push(row);
+        }
+        let mut gm = vec!["geomean".to_string()];
+        for s in &per_system_speedups {
+            gm.push(fmt2(geomean(s)));
+        }
+        rows.push(gm);
+        let headers: Vec<&str> = std::iter::once("workload")
+            .chain(SystemKind::ALL.iter().map(|k| k.label()))
+            .collect();
+        print_table(&headers, &rows);
+    }
+
+    opts.save_json("fig04_speedup", &measurements);
+}

@@ -1,0 +1,93 @@
+//! Figure 7 — average execution-time breakdown of the four little cores
+//! in `1b-4VL` under three configurations: `1c` (one chime, no packing),
+//! `1c+sw` (one chime, packed), `2c+sw` (two chimes, packed).
+
+use crate::sweep::{run_sweep, SweepJob};
+use crate::{print_table, ExpOpts};
+use bvl_core::types::StallKind;
+use bvl_sim::{SimParams, SystemKind};
+use bvl_vengine::regmap::RegMap;
+use bvl_workloads::{all_data_parallel, Workload};
+use serde::Serialize;
+use std::sync::Arc;
+
+const CONFIGS: [&str; 3] = ["1c", "1c+sw", "2c+sw"];
+
+#[derive(Serialize)]
+struct BreakdownRow {
+    workload: String,
+    config: &'static str,
+    total_lane_cycles: u64,
+    breakdown: Vec<(String, f64)>,
+}
+
+fn regmap(name: &str) -> RegMap {
+    match name {
+        "1c" => RegMap {
+            cores: 4,
+            chimes: 1,
+            packed: false,
+        },
+        "1c+sw" => RegMap {
+            cores: 4,
+            chimes: 1,
+            packed: true,
+        },
+        "2c+sw" => RegMap::paper_default(),
+        _ => unreachable!(),
+    }
+}
+
+/// Regenerates Figure 7 at `opts`' scale.
+pub fn run(opts: &ExpOpts) {
+    let workloads: Vec<Arc<Workload>> = all_data_parallel(opts.scale)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let jobs: Vec<SweepJob> = workloads
+        .iter()
+        .flat_map(|w| {
+            CONFIGS.into_iter().map(|cfg_name| {
+                let mut params = SimParams::default();
+                params.engine.regmap = regmap(cfg_name);
+                SweepJob::new(SystemKind::B4Vl, w, &opts.scale_name, params)
+            })
+        })
+        .collect();
+    let results = run_sweep(&jobs, opts);
+
+    println!(
+        "\n## Figure 7 (1b-4VL lane breakdown, scale = {})\n",
+        opts.scale_name
+    );
+    let headers: Vec<&str> = std::iter::once("workload / config")
+        .chain(StallKind::ALL.iter().map(|k| k.label()))
+        .chain(std::iter::once("lane cycles"))
+        .collect();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+
+    for (wi, w) in workloads.iter().enumerate() {
+        for (ci, cfg_name) in CONFIGS.into_iter().enumerate() {
+            let r = &results[wi * CONFIGS.len() + ci];
+            let total: u64 = StallKind::ALL.iter().map(|&k| r.lane_total(k)).sum();
+            let mut row = vec![format!("{} {}", w.name, cfg_name)];
+            let mut breakdown = Vec::new();
+            for &k in &StallKind::ALL {
+                let frac = r.lane_total(k) as f64 / total.max(1) as f64;
+                row.push(format!("{:.1}%", 100.0 * frac));
+                breakdown.push((k.label().to_string(), frac));
+            }
+            row.push(total.to_string());
+            rows.push(row);
+            out.push(BreakdownRow {
+                workload: w.name.to_string(),
+                config: cfg_name,
+                total_lane_cycles: total,
+                breakdown,
+            });
+        }
+    }
+    print_table(&headers, &rows);
+    opts.save_json("fig07_breakdown", &out);
+}

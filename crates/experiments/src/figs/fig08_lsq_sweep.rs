@@ -1,0 +1,66 @@
+//! Figure 8 — performance impact of the VMU's load/store data-queue
+//! sizes (the repurposed L1I SRAM capacity) on `1b-4VL`.
+
+use crate::sweep::{run_sweep, SweepJob};
+use crate::{fmt2, print_table, ExpOpts};
+use bvl_sim::{SimParams, SystemKind};
+use bvl_workloads::{all_data_parallel, Workload};
+use serde::Serialize;
+use std::sync::Arc;
+
+const SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+#[derive(Serialize)]
+struct SweepPoint {
+    workload: String,
+    queue_lines: usize,
+    wall_ns: f64,
+}
+
+/// Regenerates Figure 8 at `opts`' scale.
+pub fn run(opts: &ExpOpts) {
+    let workloads: Vec<Arc<Workload>> = all_data_parallel(opts.scale)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let jobs: Vec<SweepJob> = workloads
+        .iter()
+        .flat_map(|w| {
+            SIZES.into_iter().map(|size| {
+                let mut params = SimParams::default();
+                params.engine.vmu.load_data_slots = size;
+                params.engine.vmu.store_data_slots = size;
+                SweepJob::new(SystemKind::B4Vl, w, &opts.scale_name, params)
+            })
+        })
+        .collect();
+    let results = run_sweep(&jobs, opts);
+
+    println!(
+        "\n## Figure 8 (VMU data-queue sweep on 1b-4VL, time normalized to {} lines, scale = {})\n",
+        SIZES[0], opts.scale_name
+    );
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (wi, w) in workloads.iter().enumerate() {
+        let mut row = vec![w.name.to_string()];
+        let mut base = None;
+        for (si, size) in SIZES.into_iter().enumerate() {
+            let r = &results[wi * SIZES.len() + si];
+            let b = *base.get_or_insert(r.wall_ns);
+            row.push(fmt2(r.wall_ns / b));
+            out.push(SweepPoint {
+                workload: w.name.to_string(),
+                queue_lines: size,
+                wall_ns: r.wall_ns,
+            });
+        }
+        rows.push(row);
+    }
+    let size_labels: Vec<String> = SIZES.iter().map(|s| format!("{s} lines")).collect();
+    let headers: Vec<&str> = std::iter::once("workload")
+        .chain(size_labels.iter().map(String::as_str))
+        .collect();
+    print_table(&headers, &rows);
+    opts.save_json("fig08_lsq_sweep", &out);
+}

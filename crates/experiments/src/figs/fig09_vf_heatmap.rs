@@ -1,0 +1,89 @@
+//! Figure 9 — performance of `1bIV-4L` and `1b-4VL` at every (big,
+//! little) voltage/frequency combination, reported as speedup over `1L`
+//! at 1 GHz.
+
+use crate::sweep::{run_sweep, SweepJob};
+use crate::{fmt2, print_table, ExpOpts};
+use bvl_power::{BIG_LEVELS, LITTLE_LEVELS};
+use bvl_sim::{SimParams, SystemKind};
+use bvl_workloads::{all_data_parallel, Workload};
+use serde::Serialize;
+use std::sync::Arc;
+
+const SYSTEMS: [SystemKind; 2] = [SystemKind::BIv4L, SystemKind::B4Vl];
+
+#[derive(Serialize)]
+struct HeatCell {
+    workload: String,
+    system: String,
+    big_level: &'static str,
+    little_level: &'static str,
+    speedup_over_1l: f64,
+}
+
+/// Regenerates Figure 9 at `opts`' scale.
+pub fn run(opts: &ExpOpts) {
+    let workloads: Vec<Arc<Workload>> = all_data_parallel(opts.scale)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+
+    // One matrix: per workload, the 1L@1GHz baseline then the full
+    // (system × big × little) grid, consumed back in the same order.
+    let mut jobs = Vec::new();
+    for w in &workloads {
+        jobs.push(SweepJob::new(
+            SystemKind::L1,
+            w,
+            &opts.scale_name,
+            SimParams::default(),
+        ));
+        for kind in SYSTEMS {
+            for b in BIG_LEVELS {
+                for l in LITTLE_LEVELS {
+                    let mut params = SimParams::default();
+                    params.clocks.big_ghz = b.ghz;
+                    params.clocks.little_ghz = l.ghz;
+                    jobs.push(SweepJob::new(kind, w, &opts.scale_name, params));
+                }
+            }
+        }
+    }
+    let results = run_sweep(&jobs, opts);
+    let mut results = results.iter();
+
+    let mut out = Vec::new();
+    for w in &workloads {
+        let base = results.next().expect("baseline run");
+        for kind in SYSTEMS {
+            println!(
+                "\n## Figure 9: {} on {} (speedup over 1L@1GHz, scale = {})\n",
+                w.name,
+                kind.label(),
+                opts.scale_name
+            );
+            let mut rows = Vec::new();
+            for b in BIG_LEVELS {
+                let mut row = vec![b.name.to_string()];
+                for l in LITTLE_LEVELS {
+                    let r = results.next().expect("grid run");
+                    let speedup = base.wall_ns / r.wall_ns;
+                    row.push(fmt2(speedup));
+                    out.push(HeatCell {
+                        workload: w.name.to_string(),
+                        system: kind.label().to_string(),
+                        big_level: b.name,
+                        little_level: l.name,
+                        speedup_over_1l: speedup,
+                    });
+                }
+                rows.push(row);
+            }
+            let headers: Vec<&str> = std::iter::once("big \\ little")
+                .chain(LITTLE_LEVELS.iter().map(|l| l.name))
+                .collect();
+            print_table(&headers, &rows);
+        }
+    }
+    opts.save_json("fig09_vf_heatmap", &out);
+}

@@ -1,0 +1,72 @@
+//! Figure 10 — execution time vs estimated average power of `1b-4VL`
+//! over the V/F grid, with the Pareto frontier marked.
+
+use crate::sweep::{run_sweep, SweepJob};
+use crate::{print_table, ExpOpts};
+use bvl_power::{pareto_frontier, PerfPowerPoint, SystemPower, BIG_LEVELS, LITTLE_LEVELS};
+use bvl_sim::{SimParams, SystemKind};
+use bvl_workloads::{all_data_parallel, Workload};
+use std::sync::Arc;
+
+/// Regenerates Figure 10 at `opts`' scale.
+pub fn run(opts: &ExpOpts) {
+    let workloads: Vec<Arc<Workload>> = all_data_parallel(opts.scale)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let mut jobs = Vec::new();
+    for w in &workloads {
+        for b in BIG_LEVELS {
+            for l in LITTLE_LEVELS {
+                let mut params = SimParams::default();
+                params.clocks.big_ghz = b.ghz;
+                params.clocks.little_ghz = l.ghz;
+                jobs.push(SweepJob::new(SystemKind::B4Vl, w, &opts.scale_name, params));
+            }
+        }
+    }
+    let results = run_sweep(&jobs, opts);
+    let mut results = results.iter();
+
+    let mut all_points = Vec::new();
+    for w in &workloads {
+        println!(
+            "\n## Figure 10: 1b-4VL time/power for {} (scale = {})\n",
+            w.name, opts.scale_name
+        );
+        let mut points = Vec::new();
+        for b in BIG_LEVELS {
+            for l in LITTLE_LEVELS {
+                let r = results.next().expect("grid run");
+                points.push(PerfPowerPoint {
+                    label: format!("{} ({},{})", w.name, b.name, l.name),
+                    time: r.wall_ns,
+                    power: SystemPower::BigPlusLittles(4).watts(b, l),
+                });
+            }
+        }
+        let frontier = pareto_frontier(&points);
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.label.clone(),
+                    format!("{:.0}", p.time),
+                    format!("{:.3}", p.power),
+                    format!("{:.1}", p.energy() / 1000.0),
+                    if frontier.contains(p) {
+                        "*".into()
+                    } else {
+                        "".into()
+                    },
+                ]
+            })
+            .collect();
+        print_table(
+            &["config", "time (ns)", "power (W)", "energy (µJ)", "pareto"],
+            &rows,
+        );
+        all_points.extend(points);
+    }
+    opts.save_json("fig10_perf_power", &all_points);
+}

@@ -1,0 +1,108 @@
+//! Figure 11 — execution time vs estimated power for all four multi-core
+//! designs across the V/F grid, with per-design Pareto frontiers. The
+//! headline claims: `1b-4VL` owns the low-power (<1 W) region and
+//! approaches `1bDV` in the high-power region.
+
+use crate::sweep::{run_sweep, SweepJob};
+use crate::{print_table, ExpOpts};
+use bvl_power::{pareto_frontier, PerfPowerPoint, SystemPower, BIG_LEVELS, LITTLE_LEVELS};
+use bvl_sim::{SimParams, SystemKind};
+use bvl_workloads::{all_data_parallel, Workload};
+use serde::Serialize;
+use std::sync::Arc;
+
+const SYSTEMS: [SystemKind; 4] = [
+    SystemKind::B4L,
+    SystemKind::BIv4L,
+    SystemKind::BDv,
+    SystemKind::B4Vl,
+];
+
+#[derive(Serialize)]
+struct DesignPoints {
+    workload: String,
+    system: String,
+    points: Vec<PerfPowerPoint>,
+    frontier: Vec<PerfPowerPoint>,
+}
+
+fn power_model(kind: SystemKind) -> SystemPower {
+    match kind {
+        SystemKind::B4L | SystemKind::BIv4L | SystemKind::B4Vl => SystemPower::BigPlusLittles(4),
+        SystemKind::BDv => SystemPower::BigPlusDve,
+        SystemKind::B1 | SystemKind::BIv => SystemPower::OneBig,
+        SystemKind::L1 => SystemPower::OneLittle,
+    }
+}
+
+/// The grid cells evaluated for `kind`: the DVE follows the big clock, so
+/// little levels do not apply to systems without a little cluster.
+fn grid(kind: SystemKind) -> Vec<(bvl_power::VfLevel, bvl_power::VfLevel)> {
+    let mut cells = Vec::new();
+    for b in BIG_LEVELS {
+        for l in LITTLE_LEVELS {
+            if kind == SystemKind::BDv && l.name != "l0" {
+                continue;
+            }
+            cells.push((b, l));
+        }
+    }
+    cells
+}
+
+/// Regenerates Figure 11 at `opts`' scale.
+pub fn run(opts: &ExpOpts) {
+    let workloads: Vec<Arc<Workload>> = all_data_parallel(opts.scale)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let mut jobs = Vec::new();
+    for w in &workloads {
+        for kind in SYSTEMS {
+            for (b, l) in grid(kind) {
+                let mut params = SimParams::default();
+                params.clocks.big_ghz = b.ghz;
+                params.clocks.little_ghz = l.ghz;
+                jobs.push(SweepJob::new(kind, w, &opts.scale_name, params));
+            }
+        }
+    }
+    let results = run_sweep(&jobs, opts);
+    let mut results = results.iter();
+
+    let mut out = Vec::new();
+    for w in &workloads {
+        println!(
+            "\n## Figure 11: Pareto frontiers for {} (scale = {})\n",
+            w.name, opts.scale_name
+        );
+        let mut rows = Vec::new();
+        for kind in SYSTEMS {
+            let mut points = Vec::new();
+            for (b, l) in grid(kind) {
+                let r = results.next().expect("grid run");
+                points.push(PerfPowerPoint {
+                    label: format!("{} ({},{})", kind.label(), b.name, l.name),
+                    time: r.wall_ns,
+                    power: power_model(kind).watts(b, l),
+                });
+            }
+            let frontier = pareto_frontier(&points);
+            for p in &frontier {
+                rows.push(vec![
+                    p.label.clone(),
+                    format!("{:.0}", p.time),
+                    format!("{:.3}", p.power),
+                ]);
+            }
+            out.push(DesignPoints {
+                workload: w.name.to_string(),
+                system: kind.label().to_string(),
+                points,
+                frontier,
+            });
+        }
+        print_table(&["frontier point", "time (ns)", "power (W)"], &rows);
+    }
+    opts.save_json("fig11_pareto", &out);
+}

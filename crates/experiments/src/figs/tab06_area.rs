@@ -1,0 +1,71 @@
+//! Table VI — post-synthesis-seeded area model: 4L vs 4VL bill of
+//! materials, overhead percentages, and the Ara-referenced 1bDV estimate.
+//! Pure arithmetic — no simulation, nothing to fan out.
+
+use crate::{print_table, ExpOpts};
+use bvl_area::{
+    cluster_4l, cluster_4vl, dve_estimate_kge, four_ariane_with_l1_kge, vlittle_overhead,
+    LittleCoreRtl,
+};
+
+/// Regenerates Table VI.
+pub fn run(opts: &ExpOpts) {
+    println!("\n## Table VI (area model, 12nm post-synthesis component areas)\n");
+    let mut rows = Vec::new();
+    for rtl in [LittleCoreRtl::Simple, LittleCoreRtl::Ariane] {
+        let l4 = cluster_4l(rtl);
+        let vl4 = cluster_4vl(rtl);
+        for c in &vl4.components {
+            rows.push(vec![
+                format!("{rtl:?}"),
+                c.name.to_string(),
+                format!("{:.1}", c.area_kum2),
+                format!("x{}", c.count),
+            ]);
+        }
+        rows.push(vec![
+            format!("{rtl:?}"),
+            "TOTAL 4L".into(),
+            format!("{:.1}", l4.total_kum2),
+            "".into(),
+        ]);
+        rows.push(vec![
+            format!("{rtl:?}"),
+            "TOTAL 4VL".into(),
+            format!("{:.1}", vl4.total_kum2),
+            "".into(),
+        ]);
+        rows.push(vec![
+            format!("{rtl:?}"),
+            "4VL vs 4L overhead".into(),
+            format!("{:.1}%", 100.0 * vlittle_overhead(rtl)),
+            "".into(),
+        ]);
+    }
+    print_table(
+        &["little core", "component", "area (kum^2)", "count"],
+        &rows,
+    );
+
+    println!("\n### 1bDV first-order estimate (Section VI)\n");
+    print_table(
+        &["quantity", "kGE"],
+        &[
+            vec![
+                "8x64b-lane Ara (= 16x32b DVE)".into(),
+                format!("{:.0}", dve_estimate_kge()),
+            ],
+            vec![
+                "4x Ariane + L1s".into(),
+                format!("{:.0}", four_ariane_with_l1_kge()),
+            ],
+        ],
+    );
+    opts.save_json(
+        "tab06_area",
+        &(
+            cluster_4vl(LittleCoreRtl::Simple),
+            cluster_4l(LittleCoreRtl::Simple),
+        ),
+    );
+}

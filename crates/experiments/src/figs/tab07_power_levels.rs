@@ -1,0 +1,34 @@
+//! Table VII — the voltage/frequency levels and average per-core power
+//! used by the Section VII design-space exploration. Pure table dump —
+//! no simulation, nothing to fan out.
+
+use crate::{print_table, ExpOpts};
+use bvl_power::{BIG_LEVELS, DVE_POWER_RATIO, LITTLE_LEVELS};
+
+/// Regenerates Table VII.
+pub fn run(opts: &ExpOpts) {
+    println!("\n## Table VII (V/F levels; see bvl-power docs for the reconstruction note)\n");
+    let mut rows = Vec::new();
+    for l in BIG_LEVELS {
+        rows.push(vec![
+            "big".into(),
+            l.name.into(),
+            format!("{:.1}", l.ghz),
+            format!("{:.3}", l.watts),
+        ]);
+    }
+    for l in LITTLE_LEVELS {
+        rows.push(vec![
+            "little".into(),
+            l.name.into(),
+            format!("{:.1}", l.ghz),
+            format!("{:.3}", l.watts),
+        ]);
+    }
+    print_table(&["cluster", "level", "GHz", "avg W/core"], &rows);
+    println!("\nDVE power ratio over its control core (Tarantula): {DVE_POWER_RATIO}");
+    opts.save_json(
+        "tab07_power_levels",
+        &(BIG_LEVELS.to_vec(), LITTLE_LEVELS.to_vec()),
+    );
+}

@@ -1,0 +1,92 @@
+//! Tables IV & V — workload characterization: dynamic instruction
+//! counts, vectorized-operation fraction (VOp), memory behaviour. Runs
+//! each workload functionally on the golden machine at the VLITTLE
+//! vector length.
+//!
+//! Golden-model runs are not `bvl_sim::simulate` points, so they fan out
+//! through [`crate::sweep::run_parallel`] instead of the cached matrix.
+
+use crate::sweep::run_parallel;
+use crate::{print_table, ExpOpts};
+use bvl_isa::exec::Machine;
+use bvl_workloads::{all_data_parallel, all_task_parallel, Workload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Characterization {
+    workload: String,
+    class: String,
+    scalar_dyn_instrs: u64,
+    vector_dyn_instrs: u64,
+    vector_elem_ops: u64,
+    vop_fraction: f64,
+    scalar_mem_ops: u64,
+    vector_mem_instrs: u64,
+    branches: u64,
+    tasks: usize,
+}
+
+fn characterize(w: &Workload) -> Characterization {
+    // Vectorized entry when available (Table V's VOp), scalar otherwise.
+    let entry = w.vector_entry.unwrap_or(w.serial_entry);
+    let mut m = Machine::new(w.mem.clone(), 512);
+    m.set_pc(entry);
+    m.run(&w.program, 2_000_000_000).expect("workload runs");
+    (w.check)(m.mem()).expect("reference check");
+    let c = m.counters();
+    Characterization {
+        workload: w.name.to_string(),
+        class: format!("{:?}", w.class),
+        scalar_dyn_instrs: c.instrs - c.vector_instrs,
+        vector_dyn_instrs: c.vector_instrs,
+        vector_elem_ops: c.vector_elem_ops,
+        vop_fraction: c.vectorized_fraction(),
+        scalar_mem_ops: c.scalar_mem_ops,
+        vector_mem_instrs: c.vector_mem_instrs,
+        branches: c.branches,
+        tasks: w.total_tasks(),
+    }
+}
+
+/// Regenerates Tables IV & V at `opts`' scale.
+pub fn run(opts: &ExpOpts) {
+    let workloads: Vec<Workload> = all_data_parallel(opts.scale)
+        .into_iter()
+        .chain(all_task_parallel(opts.scale))
+        .collect();
+    let out = run_parallel(&workloads, opts.jobs, characterize);
+
+    println!(
+        "\n## Tables IV & V (workload characterization, scale = {})\n",
+        opts.scale_name
+    );
+    let mut rows = Vec::new();
+    for c in &out {
+        rows.push(vec![
+            c.workload.clone(),
+            c.class.clone(),
+            c.scalar_dyn_instrs.to_string(),
+            c.vector_dyn_instrs.to_string(),
+            c.vector_elem_ops.to_string(),
+            format!("{:.0}%", 100.0 * c.vop_fraction),
+            c.scalar_mem_ops.to_string(),
+            c.vector_mem_instrs.to_string(),
+            c.tasks.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "workload",
+            "class",
+            "scalar instrs",
+            "vector instrs",
+            "vector elem ops",
+            "VOp",
+            "scalar mem",
+            "vector mem",
+            "tasks",
+        ],
+        &rows,
+    );
+    opts.save_json("tab45_workloads", &out);
+}

@@ -23,14 +23,18 @@
 //! (default `results/`), prints the figure's rows as a markdown table, and
 //! writes the raw numbers as JSON so EXPERIMENTS.md is regenerable.
 
+pub mod figs;
+pub mod sweep;
+
 use bvl_sim::{RunResult, SimParams, SystemKind};
 use bvl_workloads::{Scale, Workload};
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
+use sweep::SweepCache;
 
 /// Command-line options shared by all experiment binaries.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ExpOpts {
     /// Input-size scale.
     pub scale: Scale,
@@ -38,10 +42,58 @@ pub struct ExpOpts {
     pub scale_name: String,
     /// Output directory for JSON results.
     pub out_dir: PathBuf,
+    /// Worker threads for [`sweep::run_sweep`]/[`sweep::run_parallel`]
+    /// (`--jobs N`; default = available parallelism; 1 = serial).
+    pub jobs: usize,
+    /// Whether the memoized run cache is consulted at all. `--no-cache`
+    /// clears it, forcing every unique point to simulate fresh.
+    pub use_cache: bool,
+    /// Whether runs are also persisted to (and reloaded from)
+    /// [`ExpOpts::cache_dir`] as JSON (`--persist-cache`).
+    pub persist_cache: bool,
+    /// On-disk cache location (default `<out>/cache`, `--cache-dir DIR`).
+    pub cache_dir: PathBuf,
+    /// The in-memory memo layer, shared by every sweep run through this
+    /// `ExpOpts` (clones share the same map).
+    pub cache: SweepCache,
 }
 
 impl ExpOpts {
-    /// Parses `--scale` and `--out` from `std::env::args`.
+    /// Options for the named scale with everything else defaulted — the
+    /// programmatic entry point used by tests, benches and `run_all`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown scale name.
+    pub fn for_scale(scale_name: &str, out_dir: PathBuf) -> Self {
+        let scale = match scale_name {
+            "tiny" => Scale::tiny(),
+            "default" => Scale::default_eval(),
+            "large" => Scale::large(),
+            other => panic!("unknown scale `{other}`"),
+        };
+        let cache_dir = out_dir.join("cache");
+        ExpOpts {
+            scale,
+            scale_name: scale_name.to_string(),
+            out_dir,
+            jobs: sweep::default_jobs(),
+            use_cache: true,
+            persist_cache: false,
+            cache_dir,
+            cache: SweepCache::new(),
+        }
+    }
+
+    /// Returns `self` with the worker count replaced (builder-style, for
+    /// tests and benches).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Parses `--scale`, `--out`, `--jobs`, `--no-cache`,
+    /// `--persist-cache` and `--cache-dir` from `std::env::args`.
     ///
     /// # Panics
     ///
@@ -49,6 +101,10 @@ impl ExpOpts {
     pub fn from_args() -> Self {
         let mut scale_name = "default".to_string();
         let mut out_dir = PathBuf::from("results");
+        let mut jobs = sweep::default_jobs();
+        let mut use_cache = true;
+        let mut persist_cache = false;
+        let mut cache_dir = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -58,28 +114,51 @@ impl ExpOpts {
                 "--out" => {
                     out_dir = PathBuf::from(args.next().expect("--out needs a value"));
                 }
-                other => panic!("unknown argument `{other}` (use --scale tiny|default|large, --out DIR)"),
+                "--jobs" => {
+                    jobs = args
+                        .next()
+                        .expect("--jobs needs a value")
+                        .parse::<usize>()
+                        .expect("--jobs needs a positive integer")
+                        .max(1);
+                }
+                "--no-cache" => use_cache = false,
+                "--persist-cache" => persist_cache = true,
+                "--cache-dir" => {
+                    cache_dir = Some(PathBuf::from(
+                        args.next().expect("--cache-dir needs a value"),
+                    ));
+                }
+                other => panic!(
+                    "unknown argument `{other}` (use --scale tiny|default|large, --out DIR, \
+                     --jobs N, --no-cache, --persist-cache, --cache-dir DIR)"
+                ),
             }
         }
-        let scale = match scale_name.as_str() {
-            "tiny" => Scale::tiny(),
-            "default" => Scale::default_eval(),
-            "large" => Scale::large(),
-            other => panic!("unknown scale `{other}`"),
-        };
-        ExpOpts {
-            scale,
-            scale_name,
-            out_dir,
+        let mut opts = ExpOpts::for_scale(&scale_name, out_dir);
+        opts.jobs = jobs;
+        opts.use_cache = use_cache;
+        opts.persist_cache = persist_cache;
+        if let Some(dir) = cache_dir {
+            opts.cache_dir = dir;
         }
+        opts
     }
 
-    /// Writes `value` as pretty JSON to `<out>/<name>.json`.
+    /// Writes `value` as pretty JSON to `<out>/<name>.<scale>.json`.
+    ///
+    /// The scale is part of the filename so `--scale tiny` runs do not
+    /// clobber default-scale results.
     pub fn save_json<T: Serialize>(&self, name: &str, value: &T) {
         fs::create_dir_all(&self.out_dir).expect("create output dir");
-        let path = self.out_dir.join(format!("{name}.json"));
-        fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        let path = self
+            .out_dir
+            .join(format!("{name}.{}.json", self.scale_name));
+        fs::write(
+            &path,
+            serde_json::to_string_pretty(value).expect("serialize"),
+        )
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());
     }
 }
@@ -94,7 +173,10 @@ pub fn run_checked(kind: SystemKind, w: &Workload, params: &SimParams) -> RunRes
 /// Prints a markdown table.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

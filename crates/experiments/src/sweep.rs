@@ -1,0 +1,502 @@
+//! The parallel sweep engine: thread-scoped fan-out plus a memoized run
+//! cache for every figure/table experiment.
+//!
+//! Every paper artifact is a (system × workload × params) matrix of
+//! independent [`bvl_sim::simulate`] calls. This module executes such a
+//! matrix on `std::thread::scope` workers pulling from a shared work queue
+//! (`--jobs N`, default = available parallelism) and returns results in
+//! deterministic matrix order regardless of completion order, so the JSON
+//! an experiment writes is byte-identical at any worker count.
+//!
+//! Layered on top is a memoized run cache keyed by
+//! `(system, workload-key, params-hash)`:
+//!
+//! * points repeated inside one matrix simulate once (first occurrence
+//!   wins; later ones clone the result);
+//! * points shared *between* figures (fig04/05/06 all measure the same
+//!   `1L`/`1bIV-4L`/`1bDV`/`1b-4VL` runs) simulate once per process when
+//!   the binaries share an [`ExpOpts`] — which is exactly what the
+//!   `run_all` binary does;
+//! * with `--persist-cache`, results are also written under
+//!   `<out>/cache/` as JSON and reused by later invocations;
+//! * `--no-cache` forces a cold run: every unique point simulates fresh
+//!   and nothing is read from or written to either cache layer.
+//!
+//! The workload key must identify the workload *instance*, not just its
+//! kernel: the same name built at a different scale (or, for synthetic
+//! microbenchmarks, with different generation knobs) is a different point.
+//! [`SweepJob::new`] derives `"{name}@{scale}"`; [`SweepJob::keyed`]
+//! accepts an explicit key for custom-built workloads.
+
+use crate::ExpOpts;
+use bvl_sim::{simulate, RunResult, SimParams, SystemKind};
+use bvl_workloads::Workload;
+use std::collections::HashMap;
+use std::fs;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One point of a sweep matrix: run `workload` on `system` under `params`.
+pub struct SweepJob {
+    /// System composition to simulate.
+    pub system: SystemKind,
+    /// Prebuilt workload, shared across jobs and worker threads.
+    pub workload: Arc<Workload>,
+    /// Cache identity of the workload instance (name plus everything that
+    /// went into building it — scale, generation knobs).
+    pub workload_key: String,
+    /// Simulation parameters for this point.
+    pub params: SimParams,
+}
+
+impl SweepJob {
+    /// A job for a standard suite workload built at the named scale.
+    pub fn new(
+        system: SystemKind,
+        workload: &Arc<Workload>,
+        scale_name: &str,
+        params: SimParams,
+    ) -> Self {
+        let workload_key = format!("{}@{}", workload.name, scale_name);
+        SweepJob::keyed(system, workload, workload_key, params)
+    }
+
+    /// A job with an explicit workload key, for workloads built outside
+    /// the standard suites (custom scales, synthetic microbenchmarks).
+    pub fn keyed(
+        system: SystemKind,
+        workload: &Arc<Workload>,
+        workload_key: impl Into<String>,
+        params: SimParams,
+    ) -> Self {
+        SweepJob {
+            system,
+            workload: Arc::clone(workload),
+            workload_key: workload_key.into(),
+            params,
+        }
+    }
+
+    /// The memo/disk cache key of this point:
+    /// `"{system}__{workload_key}__{params-hash}"`. The params hash is
+    /// FNV-1a over the exhaustive `Debug` rendering of [`SimParams`],
+    /// which covers every knob the figures sweep (clocks, engine
+    /// geometry, queue depths, cycle caps).
+    pub fn cache_key(&self) -> String {
+        format!(
+            "{}__{}__{:016x}",
+            self.system.label(),
+            self.workload_key,
+            fnv1a(format!("{:?}", self.params).as_bytes())
+        )
+    }
+}
+
+/// FNV-1a over `bytes` (64-bit).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The in-memory memo layer: completed runs keyed by
+/// [`SweepJob::cache_key`]. Cloning shares the underlying map, so every
+/// experiment run from one [`ExpOpts`] (e.g. all figures under `run_all`)
+/// sees every other experiment's results.
+#[derive(Clone, Default)]
+pub struct SweepCache {
+    inner: Arc<Mutex<HashMap<String, RunResult>>>,
+}
+
+impl SweepCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SweepCache::default()
+    }
+
+    /// Number of memoized runs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no runs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, key: &str) -> Option<RunResult> {
+        self.inner.lock().expect("cache lock").get(key).cloned()
+    }
+
+    fn insert(&self, key: String, result: RunResult) {
+        self.inner.lock().expect("cache lock").insert(key, result);
+    }
+}
+
+/// The number of worker threads to default `--jobs` to.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items` on `jobs` scoped worker threads sharing one work
+/// queue, returning results in item order regardless of completion order.
+/// With `jobs <= 1` (or one item) this degrades to a plain serial loop.
+/// A panic inside `f` propagates to the caller when the scope joins.
+///
+/// This is the generic fan-out under [`run_sweep`]; experiments whose unit
+/// of work is not a `simulate` call (golden-model characterization,
+/// custom-geometry engine runs) use it directly.
+pub fn run_parallel<I, T, F>(items: &[I], jobs: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Executes a sweep matrix and returns one checked [`RunResult`] per job,
+/// in job order.
+///
+/// Duplicate points (same cache key) simulate once; cached points (from
+/// earlier sweeps through the same [`ExpOpts`], or from `<out>/cache/`
+/// when persistence is on) do not simulate at all. Simulation failures
+/// panic with the workload/system context, matching
+/// [`run_checked`](crate::run_checked).
+pub fn run_sweep(jobs: &[SweepJob], opts: &ExpOpts) -> Vec<RunResult> {
+    let keys: Vec<String> = jobs.iter().map(SweepJob::cache_key).collect();
+
+    // Dedup to first occurrences: `unique[slot]` is a job index, and every
+    // job maps to the slot that computes (or fetched) its result.
+    let mut key_to_slot: HashMap<&str, usize> = HashMap::new();
+    let mut unique: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        key_to_slot.entry(key).or_insert_with(|| {
+            unique.push(i);
+            unique.len() - 1
+        });
+    }
+
+    // Resolve what the cache layers already know.
+    let mut slot_results: Vec<Option<RunResult>> = Vec::with_capacity(unique.len());
+    for &ji in &unique {
+        let mut hit = None;
+        if opts.use_cache {
+            hit = opts.cache.get(&keys[ji]);
+            if hit.is_none() && opts.persist_cache {
+                hit = load_cached(&opts.cache_dir, &keys[ji]);
+                if let Some(ref r) = hit {
+                    opts.cache.insert(keys[ji].clone(), r.clone());
+                }
+            }
+        }
+        slot_results.push(hit);
+    }
+
+    // Fan the misses out across the workers.
+    let misses: Vec<usize> = (0..unique.len())
+        .filter(|&s| slot_results[s].is_none())
+        .collect();
+    let computed = run_parallel(&misses, opts.jobs, |&slot| {
+        let job = &jobs[unique[slot]];
+        simulate(job.system, &job.workload, &job.params)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", job.workload_key, job.system.label()))
+    });
+    for (&slot, result) in misses.iter().zip(computed) {
+        let key = &keys[unique[slot]];
+        if opts.use_cache {
+            opts.cache.insert(key.clone(), result.clone());
+            if opts.persist_cache {
+                store_cached(&opts.cache_dir, key, &result);
+            }
+        }
+        slot_results[slot] = Some(result);
+    }
+
+    // Reassemble in matrix order.
+    keys.iter()
+        .map(|key| {
+            slot_results[key_to_slot[key.as_str()]]
+                .clone()
+                .expect("every slot resolved")
+        })
+        .collect()
+}
+
+// --- disk persistence -----------------------------------------------------
+//
+// One JSON file per cache key under `<cache_dir>/`. The encoding is
+// hand-rolled against `serde_json::Value` (rather than deriving
+// serializers across bvl-core/mem/runtime) so the cache format stays a
+// concern of this crate alone. Unreadable or stale-shaped files are
+// treated as misses.
+
+use bvl_core::types::CoreStats;
+use bvl_mem::MemStats;
+use bvl_runtime::RuntimeStats;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+fn cache_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.json"))
+}
+
+fn load_cached(dir: &Path, key: &str) -> Option<RunResult> {
+    let text = fs::read_to_string(cache_path(dir, key)).ok()?;
+    run_result_from_value(&serde_json::from_str(&text).ok()?)
+}
+
+fn store_cached(dir: &Path, key: &str, result: &RunResult) {
+    fs::create_dir_all(dir).expect("create cache dir");
+    let path = cache_path(dir, key);
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(&run_result_to_value(result)).expect("encode"),
+    )
+    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn core_stats_to_value(c: &CoreStats) -> Value {
+    map(vec![
+        ("cycles", Value::U64(c.cycles)),
+        ("retired", Value::U64(c.retired)),
+        ("fetch_groups", Value::U64(c.fetch_groups)),
+        (
+            "breakdown",
+            Value::Seq(c.breakdown.iter().map(|&x| Value::U64(x)).collect()),
+        ),
+        ("branches", Value::U64(c.branches)),
+        ("mispredicts", Value::U64(c.mispredicts)),
+    ])
+}
+
+fn core_stats_from_value(v: &Value) -> Option<CoreStats> {
+    let breakdown_list = v.get("breakdown")?.as_array()?;
+    let mut breakdown = [0u64; 7];
+    if breakdown_list.len() != breakdown.len() {
+        return None;
+    }
+    for (slot, item) in breakdown.iter_mut().zip(breakdown_list) {
+        *slot = item.as_u64()?;
+    }
+    Some(CoreStats {
+        cycles: v.get("cycles")?.as_u64()?,
+        retired: v.get("retired")?.as_u64()?,
+        fetch_groups: v.get("fetch_groups")?.as_u64()?,
+        breakdown,
+        branches: v.get("branches")?.as_u64()?,
+        mispredicts: v.get("mispredicts")?.as_u64()?,
+    })
+}
+
+fn mem_stats_to_value(m: &MemStats) -> Value {
+    map(vec![
+        ("ifetch_reqs", Value::U64(m.ifetch_reqs)),
+        ("data_reqs", Value::U64(m.data_reqs)),
+        ("l2_reqs", Value::U64(m.l2_reqs)),
+        ("coherence_msgs", Value::U64(m.coherence_msgs)),
+        ("line_migrations", Value::U64(m.line_migrations)),
+    ])
+}
+
+fn mem_stats_from_value(v: &Value) -> Option<MemStats> {
+    Some(MemStats {
+        ifetch_reqs: v.get("ifetch_reqs")?.as_u64()?,
+        data_reqs: v.get("data_reqs")?.as_u64()?,
+        l2_reqs: v.get("l2_reqs")?.as_u64()?,
+        coherence_msgs: v.get("coherence_msgs")?.as_u64()?,
+        line_migrations: v.get("line_migrations")?.as_u64()?,
+    })
+}
+
+fn runtime_stats_to_value(r: &RuntimeStats) -> Value {
+    map(vec![
+        ("tasks_run", Value::U64(r.tasks_run)),
+        ("steals", Value::U64(r.steals)),
+        ("failed_steals", Value::U64(r.failed_steals)),
+        ("overhead_cycles", Value::U64(r.overhead_cycles)),
+    ])
+}
+
+fn runtime_stats_from_value(v: &Value) -> Option<RuntimeStats> {
+    Some(RuntimeStats {
+        tasks_run: v.get("tasks_run")?.as_u64()?,
+        steals: v.get("steals")?.as_u64()?,
+        failed_steals: v.get("failed_steals")?.as_u64()?,
+        overhead_cycles: v.get("overhead_cycles")?.as_u64()?,
+    })
+}
+
+fn opt_to_value(v: Option<Value>) -> Value {
+    v.unwrap_or(Value::Null)
+}
+
+fn run_result_to_value(r: &RunResult) -> Value {
+    map(vec![
+        ("wall_ns", Value::F64(r.wall_ns)),
+        ("uncore_cycles", Value::U64(r.uncore_cycles)),
+        ("big", opt_to_value(r.big.as_ref().map(core_stats_to_value))),
+        (
+            "littles",
+            Value::Seq(r.littles.iter().map(core_stats_to_value).collect()),
+        ),
+        (
+            "lanes",
+            Value::Seq(r.lanes.iter().map(core_stats_to_value).collect()),
+        ),
+        ("fetch_groups", Value::U64(r.fetch_groups)),
+        ("mem", mem_stats_to_value(&r.mem)),
+        (
+            "runtime",
+            opt_to_value(r.runtime.as_ref().map(runtime_stats_to_value)),
+        ),
+    ])
+}
+
+fn run_result_from_value(v: &Value) -> Option<RunResult> {
+    let opt_core = |v: &Value| -> Option<Option<CoreStats>> {
+        if v.is_null() {
+            Some(None)
+        } else {
+            core_stats_from_value(v).map(Some)
+        }
+    };
+    let core_list = |v: &Value| -> Option<Vec<CoreStats>> {
+        v.as_array()?.iter().map(core_stats_from_value).collect()
+    };
+    Some(RunResult {
+        wall_ns: v.get("wall_ns")?.as_f64()?,
+        uncore_cycles: v.get("uncore_cycles")?.as_u64()?,
+        big: opt_core(v.get("big")?)?,
+        littles: core_list(v.get("littles")?)?,
+        lanes: core_list(v.get("lanes")?)?,
+        fetch_groups: v.get("fetch_groups")?.as_u64()?,
+        mem: mem_stats_from_value(v.get("mem")?)?,
+        runtime: if v.get("runtime")?.is_null() {
+            None
+        } else {
+            Some(runtime_stats_from_value(v.get("runtime")?)?)
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> RunResult {
+        RunResult {
+            wall_ns: 1234.5,
+            uncore_cycles: 42,
+            big: Some(CoreStats {
+                cycles: 10,
+                retired: 9,
+                fetch_groups: 3,
+                breakdown: [1, 2, 3, 4, 0, 0, 0],
+                branches: 2,
+                mispredicts: 1,
+            }),
+            littles: vec![CoreStats::default(); 2],
+            lanes: vec![],
+            fetch_groups: 7,
+            mem: MemStats {
+                ifetch_reqs: 1,
+                data_reqs: 2,
+                l2_reqs: 3,
+                coherence_msgs: 4,
+                line_migrations: 5,
+            },
+            runtime: Some(RuntimeStats {
+                tasks_run: 8,
+                steals: 1,
+                failed_steals: 0,
+                overhead_cycles: 99,
+            }),
+        }
+    }
+
+    #[test]
+    fn run_result_round_trips_through_json() {
+        let r = sample_result();
+        let text = serde_json::to_string_pretty(&run_result_to_value(&r)).unwrap();
+        let back = run_result_from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn run_result_none_fields_round_trip() {
+        let r = RunResult::default();
+        let text = serde_json::to_string_pretty(&run_result_to_value(&r)).unwrap();
+        let back = run_result_from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn run_parallel_preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = run_parallel(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_serial_matches_parallel() {
+        let items: Vec<u64> = (0..37).collect();
+        assert_eq!(
+            run_parallel(&items, 1, |&x| x * x),
+            run_parallel(&items, 6, |&x| x * x)
+        );
+    }
+
+    #[test]
+    fn cache_keys_distinguish_params() {
+        let w = Arc::new(bvl_workloads::kernels::vvadd::build(
+            bvl_workloads::Scale::tiny(),
+        ));
+        let a = SweepJob::new(SystemKind::B4Vl, &w, "tiny", SimParams::default());
+        let mut fast = SimParams::default();
+        fast.clocks.big_ghz = 2.0;
+        let b = SweepJob::new(SystemKind::B4Vl, &w, "tiny", fast);
+        assert_ne!(a.cache_key(), b.cache_key());
+        let c = SweepJob::new(SystemKind::BDv, &w, "tiny", SimParams::default());
+        assert_ne!(a.cache_key(), c.cache_key());
+    }
+}

@@ -1,0 +1,180 @@
+//! Integration tests for the parallel sweep harness: simulation
+//! determinism, parallel-vs-serial equivalence, cache behaviour, and the
+//! headline acceptance check — `fig04_speedup --scale tiny` produces
+//! byte-identical JSON at `--jobs 1` and `--jobs 8`.
+
+use bvl_experiments::sweep::{run_sweep, SweepCache, SweepJob};
+use bvl_experiments::{figs, ExpOpts};
+use bvl_sim::{simulate, SimParams, SystemKind};
+use bvl_workloads::kernels::{saxpy, vvadd};
+use bvl_workloads::{Scale, Workload};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A unique scratch directory; removed by `Scratch::drop`.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("bvl-sweep-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self) -> PathBuf {
+        self.0.clone()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn tiny_opts(out_dir: PathBuf, jobs: usize) -> ExpOpts {
+    ExpOpts::for_scale("tiny", out_dir).with_jobs(jobs)
+}
+
+/// A small but non-trivial matrix: two kernels across four systems.
+fn small_matrix() -> Vec<SweepJob> {
+    let workloads: Vec<Arc<Workload>> = vec![
+        Arc::new(vvadd::build(Scale::tiny())),
+        Arc::new(saxpy::build(Scale::tiny())),
+    ];
+    let systems = [
+        SystemKind::L1,
+        SystemKind::B1,
+        SystemKind::BDv,
+        SystemKind::B4Vl,
+    ];
+    workloads
+        .iter()
+        .flat_map(|w| {
+            systems
+                .into_iter()
+                .map(|kind| SweepJob::new(kind, w, "tiny", SimParams::default()))
+        })
+        .collect()
+}
+
+#[test]
+fn simulate_is_deterministic() {
+    let w = vvadd::build(Scale::tiny());
+    let params = SimParams::default();
+    for kind in [SystemKind::L1, SystemKind::B4Vl] {
+        let a = simulate(kind, &w, &params).expect("first run");
+        let b = simulate(kind, &w, &params).expect("second run");
+        assert_eq!(a, b, "two identical simulate calls diverged on {kind}");
+    }
+}
+
+#[test]
+fn parallel_sweep_matches_serial_sweep() {
+    let scratch = Scratch::new("eq");
+    let jobs = small_matrix();
+    let serial = run_sweep(&jobs, &tiny_opts(scratch.path(), 1));
+    let parallel = run_sweep(&jobs, &tiny_opts(scratch.path(), 8));
+    assert_eq!(serial.len(), jobs.len());
+    assert_eq!(
+        serial, parallel,
+        "--jobs 1 and --jobs 8 measurements differ"
+    );
+}
+
+#[test]
+fn sweep_memoizes_repeated_points() {
+    let scratch = Scratch::new("memo");
+    let opts = tiny_opts(scratch.path(), 2);
+    let jobs = small_matrix();
+    let first = run_sweep(&jobs, &opts);
+    assert_eq!(opts.cache.len(), jobs.len());
+
+    // Same matrix again through the same opts: served entirely from the
+    // memo (the cache does not grow) and identical.
+    let second = run_sweep(&jobs, &opts);
+    assert_eq!(opts.cache.len(), jobs.len());
+    assert_eq!(first, second);
+
+    // A matrix with internal duplicates memoizes to its unique points.
+    let w = Arc::new(vvadd::build(Scale::tiny()));
+    let dup: Vec<SweepJob> = (0..5)
+        .map(|_| SweepJob::new(SystemKind::B1, &w, "tiny-dup", SimParams::default()))
+        .collect();
+    let results = run_sweep(&dup, &opts);
+    assert_eq!(opts.cache.len(), jobs.len() + 1);
+    assert!(results.windows(2).all(|p| p[0] == p[1]));
+}
+
+#[test]
+fn no_cache_forces_cold_runs() {
+    let scratch = Scratch::new("cold");
+    let mut opts = tiny_opts(scratch.path(), 2);
+    opts.use_cache = false;
+    let jobs = small_matrix();
+    let first = run_sweep(&jobs, &opts);
+    assert!(
+        opts.cache.is_empty(),
+        "--no-cache must not populate the memo"
+    );
+    assert_eq!(first, run_sweep(&jobs, &opts));
+}
+
+#[test]
+fn persisted_cache_round_trips_across_invocations() {
+    let scratch = Scratch::new("disk");
+    let mut opts = tiny_opts(scratch.path(), 2);
+    opts.persist_cache = true;
+    let jobs = small_matrix();
+    let first = run_sweep(&jobs, &opts);
+    let files = fs::read_dir(&opts.cache_dir).expect("cache dir").count();
+    assert_eq!(files, jobs.len(), "one cache file per unique point");
+
+    // A fresh ExpOpts (empty memo) with the same cache dir reloads every
+    // point from disk without growing the file set.
+    let mut cold = tiny_opts(scratch.path(), 2);
+    cold.persist_cache = true;
+    assert!(cold.cache.is_empty());
+    let second = run_sweep(&jobs, &cold);
+    assert_eq!(
+        first, second,
+        "disk-cached results differ from computed ones"
+    );
+    assert_eq!(cold.cache.len(), jobs.len());
+}
+
+#[test]
+fn fig04_tiny_json_is_byte_identical_across_job_counts() {
+    let serial_dir = Scratch::new("fig04-serial");
+    let parallel_dir = Scratch::new("fig04-parallel");
+    figs::fig04_speedup::run(&tiny_opts(serial_dir.path(), 1));
+    figs::fig04_speedup::run(&tiny_opts(parallel_dir.path(), 8));
+    let serial = fs::read(serial_dir.path().join("fig04_speedup.tiny.json")).expect("serial JSON");
+    let parallel =
+        fs::read(parallel_dir.path().join("fig04_speedup.tiny.json")).expect("parallel JSON");
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "fig04 JSON differs between --jobs 1 and --jobs 8"
+    );
+}
+
+#[test]
+fn sweep_cache_is_shared_across_clones() {
+    let cache = SweepCache::new();
+    let clone = cache.clone();
+    let scratch = Scratch::new("share");
+    let mut opts = tiny_opts(scratch.path(), 1);
+    opts.cache = clone;
+    let w = Arc::new(vvadd::build(Scale::tiny()));
+    let jobs = vec![SweepJob::new(
+        SystemKind::B1,
+        &w,
+        "tiny",
+        SimParams::default(),
+    )];
+    run_sweep(&jobs, &opts);
+    assert_eq!(cache.len(), 1, "clones must share one underlying memo map");
+}

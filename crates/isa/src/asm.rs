@@ -314,7 +314,14 @@ impl Assembler {
     }
 
     /// Scalar load (signed widths use sign extension).
-    pub fn load(&mut self, rd: XReg, rs1: XReg, imm: i64, width: MemWidth, signed: bool) -> &mut Self {
+    pub fn load(
+        &mut self,
+        rd: XReg,
+        rs1: XReg,
+        imm: i64,
+        width: MemWidth,
+        signed: bool,
+    ) -> &mut Self {
         self.push(Instr::Load {
             rd,
             rs1,
@@ -367,7 +374,13 @@ impl Assembler {
     // ----- branches & jumps -----
 
     /// Conditional branch to `label`.
-    pub fn branch(&mut self, op: BranchOp, rs1: XReg, rs2: XReg, label: impl Into<String>) -> &mut Self {
+    pub fn branch(
+        &mut self,
+        op: BranchOp,
+        rs1: XReg,
+        rs2: XReg,
+        label: impl Into<String>,
+    ) -> &mut Self {
         self.pending.push(Pending::Branch {
             op,
             rs1,
@@ -702,7 +715,14 @@ impl Assembler {
     }
 
     /// Generic element-wise vector arithmetic.
-    pub fn varith(&mut self, op: VArithOp, vd: VReg, src1: VSrc, vs2: VReg, masked: bool) -> &mut Self {
+    pub fn varith(
+        &mut self,
+        op: VArithOp,
+        vd: VReg,
+        src1: VSrc,
+        vs2: VReg,
+        masked: bool,
+    ) -> &mut Self {
         self.push(Instr::VArith {
             op,
             vd,
@@ -983,7 +1003,13 @@ mod tests {
         a.label("end");
         a.halt();
         let p = a.assemble().unwrap();
-        assert_eq!(p[0], Instr::Jal { rd: XReg::ZERO, target: 3 });
+        assert_eq!(
+            p[0],
+            Instr::Jal {
+                rd: XReg::ZERO,
+                target: 3
+            }
+        );
         match p[2] {
             Instr::Branch { target, .. } => assert_eq!(target, 1),
             ref other => panic!("expected branch, got {other:?}"),

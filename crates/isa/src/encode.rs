@@ -400,7 +400,14 @@ pub fn encode(instr: &Instr, pc: u32) -> Result<u32, EncodeError> {
     Ok(match *instr {
         Instr::Op { op, rd, rs1, rs2 } => {
             let (f3, f7) = alu_funct(op);
-            r_type(OP, rd.index() as u32, f3, rs1.index() as u32, rs2.index() as u32, f7)
+            r_type(
+                OP,
+                rd.index() as u32,
+                f3,
+                rs1.index() as u32,
+                rs2.index() as u32,
+                f7,
+            )
         }
         Instr::OpImm { op, rd, rs1, imm } => {
             let (f3, f7) = alu_funct(op);
@@ -431,7 +438,13 @@ pub fn encode(instr: &Instr, pc: u32) -> Result<u32, EncodeError> {
                 (MemWidth::H, false) => 5,
                 (MemWidth::W, false) => 6,
             };
-            i_type(LOAD, rd.index() as u32, f3, rs1.index() as u32, check_imm(imm, 12)?)
+            i_type(
+                LOAD,
+                rd.index() as u32,
+                f3,
+                rs1.index() as u32,
+                check_imm(imm, 12)?,
+            )
         }
         Instr::Store {
             rs2,
@@ -445,7 +458,13 @@ pub fn encode(instr: &Instr, pc: u32) -> Result<u32, EncodeError> {
                 MemWidth::W => 2,
                 MemWidth::D => 3,
             };
-            s_type(STORE, f3, rs1.index() as u32, rs2.index() as u32, check_imm(imm, 12)?)
+            s_type(
+                STORE,
+                f3,
+                rs1.index() as u32,
+                rs2.index() as u32,
+                check_imm(imm, 12)?,
+            )
         }
         Instr::Branch {
             op,
@@ -490,7 +509,14 @@ pub fn encode(instr: &Instr, pc: u32) -> Result<u32, EncodeError> {
             rs2,
         } => {
             let (f7, f3) = fp_funct7(op, prec);
-            r_type(OP_FP, rd.index() as u32, f3, rs1.index() as u32, rs2.index() as u32, f7)
+            r_type(
+                OP_FP,
+                rd.index() as u32,
+                f3,
+                rs1.index() as u32,
+                rs2.index() as u32,
+                f7,
+            )
         }
         Instr::FpFma {
             prec,
@@ -534,7 +560,12 @@ pub fn encode(instr: &Instr, pc: u32) -> Result<u32, EncodeError> {
             rs1.index() as u32,
             check_imm(imm, 12)?,
         ),
-        Instr::FpStore { rs2, rs1, imm, prec } => s_type(
+        Instr::FpStore {
+            rs2,
+            rs1,
+            imm,
+            prec,
+        } => s_type(
             STORE_FP,
             2 + fmt_bit(prec),
             rs1.index() as u32,
@@ -616,7 +647,14 @@ pub fn encode(instr: &Instr, pc: u32) -> Result<u32, EncodeError> {
             masked,
         } => {
             let (k, s1) = encode_vsrc(src1)?;
-            opv(varith_funct6(op), masked, vs2.index() as u32, s1, k, vd.index() as u32)
+            opv(
+                varith_funct6(op),
+                masked,
+                vs2.index() as u32,
+                s1,
+                k,
+                vd.index() as u32,
+            )
         }
         Instr::VCmp {
             op,
@@ -626,7 +664,14 @@ pub fn encode(instr: &Instr, pc: u32) -> Result<u32, EncodeError> {
             masked,
         } => {
             let (k, s1) = encode_vsrc(src1)?;
-            opv(vcmp_funct6(op), masked, vs2.index() as u32, s1, k, vd.index() as u32)
+            opv(
+                vcmp_funct6(op),
+                masked,
+                vs2.index() as u32,
+                s1,
+                k,
+                vd.index() as u32,
+            )
         }
         Instr::VRed {
             op,
@@ -642,10 +687,22 @@ pub fn encode(instr: &Instr, pc: u32) -> Result<u32, EncodeError> {
             K_VV,
             vd.index() as u32,
         ),
-        Instr::VPopc { rd, vs2 } => opv(F6_POPC, false, vs2.index() as u32, 0, K_VV, rd.index() as u32),
-        Instr::VFirst { rd, vs2 } => {
-            opv(F6_FIRST, false, vs2.index() as u32, 0, K_VV, rd.index() as u32)
-        }
+        Instr::VPopc { rd, vs2 } => opv(
+            F6_POPC,
+            false,
+            vs2.index() as u32,
+            0,
+            K_VV,
+            rd.index() as u32,
+        ),
+        Instr::VFirst { rd, vs2 } => opv(
+            F6_FIRST,
+            false,
+            vs2.index() as u32,
+            0,
+            K_VV,
+            rd.index() as u32,
+        ),
         Instr::VMask { op, vd, vs1, vs2 } => opv(
             vmask_funct6(op),
             false,
@@ -678,16 +735,54 @@ pub fn encode(instr: &Instr, pc: u32) -> Result<u32, EncodeError> {
             K_VX,
             vd.index() as u32,
         ),
-        Instr::VMvVX { vd, rs1 } => opv(F6_MV_VX, false, 0, rs1.index() as u32, K_VX, vd.index() as u32),
-        Instr::VFMvVF { vd, fs1 } => {
-            opv(F6_FMV_VF, false, 0, fs1.index() as u32, K_VF, vd.index() as u32)
-        }
-        Instr::VMvVV { vd, vs2 } => opv(F6_MV_VV, false, vs2.index() as u32, 0, K_VV, vd.index() as u32),
-        Instr::VMvXS { rd, vs2 } => opv(F6_MV_XS, false, vs2.index() as u32, 0, K_VV, rd.index() as u32),
-        Instr::VFMvFS { rd, vs2 } => {
-            opv(F6_FMV_FS, false, vs2.index() as u32, 0, K_VV, rd.index() as u32)
-        }
-        Instr::VMvSX { vd, rs1 } => opv(F6_MV_SX, false, 0, rs1.index() as u32, K_VX, vd.index() as u32),
+        Instr::VMvVX { vd, rs1 } => opv(
+            F6_MV_VX,
+            false,
+            0,
+            rs1.index() as u32,
+            K_VX,
+            vd.index() as u32,
+        ),
+        Instr::VFMvVF { vd, fs1 } => opv(
+            F6_FMV_VF,
+            false,
+            0,
+            fs1.index() as u32,
+            K_VF,
+            vd.index() as u32,
+        ),
+        Instr::VMvVV { vd, vs2 } => opv(
+            F6_MV_VV,
+            false,
+            vs2.index() as u32,
+            0,
+            K_VV,
+            vd.index() as u32,
+        ),
+        Instr::VMvXS { rd, vs2 } => opv(
+            F6_MV_XS,
+            false,
+            vs2.index() as u32,
+            0,
+            K_VV,
+            rd.index() as u32,
+        ),
+        Instr::VFMvFS { rd, vs2 } => opv(
+            F6_FMV_FS,
+            false,
+            vs2.index() as u32,
+            0,
+            K_VV,
+            rd.index() as u32,
+        ),
+        Instr::VMvSX { vd, rs1 } => opv(
+            F6_MV_SX,
+            false,
+            0,
+            rs1.index() as u32,
+            K_VX,
+            vd.index() as u32,
+        ),
         Instr::VId { vd, masked } => opv(F6_VID, masked, 0, 0, K_VV, vd.index() as u32),
 
         Instr::VmFence => MISC_MEM | (0b1010 << 28),
@@ -890,7 +985,11 @@ pub fn decode(word: u32, pc: u32) -> Result<Instr, DecodeError> {
             }
         }
         OP_FP => {
-            let prec = if funct7 & 1 == 1 { FpPrec::D } else { FpPrec::S };
+            let prec = if funct7 & 1 == 1 {
+                FpPrec::D
+            } else {
+                FpPrec::S
+            };
             match funct7 & !1 {
                 0x50 => {
                     let op = match funct3 {
@@ -969,7 +1068,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Instr, DecodeError> {
     })
 }
 
-fn decode_opv(word: u32, rd: u8, funct3: u32, s1: u8, vs2: u8, ) -> Option<Instr> {
+fn decode_opv(word: u32, rd: u8, funct3: u32, s1: u8, vs2: u8) -> Option<Instr> {
     let masked = (word >> 25) & 1 == 1;
     let funct6 = word >> 26;
     if funct3 == K_SETVL {
@@ -1156,7 +1255,12 @@ pub(crate) fn disasm(instr: &Instr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         Instr::FpLoad { rd, rs1, imm, prec } => {
             write!(f, "fl{} {rd}, {imm}({rs1})", fp_mem_suffix(prec))
         }
-        Instr::FpStore { rs2, rs1, imm, prec } => {
+        Instr::FpStore {
+            rs2,
+            rs1,
+            imm,
+            prec,
+        } => {
             write!(f, "fs{} {rs2}, {imm}({rs1})", fp_mem_suffix(prec))
         }
         Instr::FpCvtFromInt { prec, rd, rs1 } => {

@@ -13,11 +13,11 @@
 //! subset and keeps the element-to-core mapping in the VLITTLE engine
 //! uniform.
 
+use crate::asm::Program;
 use crate::instr::{
     AluOp, AvlSrc, BranchOp, FpCmpOp, FpOp, FpPrec, Instr, VArithOp, VCmpOp, VMaskOp, VMemMode,
     VRedOp, VSrc,
 };
-use crate::asm::Program;
 use crate::mem::Memory;
 use crate::reg::{FReg, VReg, XReg, NUM_REGS};
 use crate::vcfg::{Sew, VectorConfig};
@@ -265,9 +265,7 @@ impl<M: Memory> Machine<M> {
     /// program (including after the last instruction without a `halt`).
     pub fn step(&mut self, prog: &Program) -> Result<StepInfo, ExecError> {
         let pc = self.pc;
-        let instr = *prog
-            .get(pc as usize)
-            .ok_or(ExecError::PcOutOfRange(pc))?;
+        let instr = *prog.get(pc as usize).ok_or(ExecError::PcOutOfRange(pc))?;
         let mut info = StepInfo {
             pc,
             instr,
@@ -287,11 +285,8 @@ impl<M: Memory> Machine<M> {
 
         self.execute(instr, &mut info);
 
-        self.counters.scalar_mem_ops += info
-            .mem
-            .iter()
-            .filter(|_| instr.is_scalar_mem())
-            .count() as u64;
+        self.counters.scalar_mem_ops +=
+            info.mem.iter().filter(|_| instr.is_scalar_mem()).count() as u64;
         if instr.is_vector_mem() {
             self.counters.vector_mem_instrs += 1;
         }
@@ -439,9 +434,11 @@ impl<M: Memory> Machine<M> {
                         );
                         fp_cmp(op, a as f64, b as f64)
                     }
-                    FpPrec::D => {
-                        fp_cmp(op, f64::from_bits(self.freg(rs1)), f64::from_bits(self.freg(rs2)))
-                    }
+                    FpPrec::D => fp_cmp(
+                        op,
+                        f64::from_bits(self.freg(rs1)),
+                        f64::from_bits(self.freg(rs2)),
+                    ),
                 };
                 self.set_xreg(rd, u64::from(r));
             }
@@ -455,7 +452,12 @@ impl<M: Memory> Machine<M> {
                     is_store: false,
                 });
             }
-            Instr::FpStore { rs2, rs1, imm, prec } => {
+            Instr::FpStore {
+                rs2,
+                rs1,
+                imm,
+                prec,
+            } => {
                 let addr = self.xreg(rs1).wrapping_add(imm as u64);
                 let size = prec_bytes(prec);
                 self.mem.write_uint(addr, size, self.freg(rs2));
@@ -662,7 +664,14 @@ impl<M: Memory> Machine<M> {
         }
     }
 
-    fn v_store(&mut self, vs3: VReg, base: XReg, mode: VMemMode, masked: bool, info: &mut StepInfo) {
+    fn v_store(
+        &mut self,
+        vs3: VReg,
+        base: XReg,
+        mode: VMemMode,
+        masked: bool,
+        info: &mut StepInfo,
+    ) {
         let vl = self.vcfg.vl as usize;
         let sew = self.vcfg.sew;
         let base = self.xreg(base);
@@ -832,9 +841,7 @@ fn fp_op(op: FpOp, prec: FpPrec, a_bits: u64, b_bits: u64) -> u64 {
                 FpOp::Sqrt => a.sqrt(),
                 FpOp::Sgnj => a.copysign(b),
                 FpOp::Sgnjn => a.copysign(-b),
-                FpOp::Sgnjx => {
-                    f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000))
-                }
+                FpOp::Sgnjx => f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000)),
             };
             u64::from(r.to_bits())
         }
@@ -850,9 +857,7 @@ fn fp_op(op: FpOp, prec: FpPrec, a_bits: u64, b_bits: u64) -> u64 {
                 FpOp::Sqrt => a.sqrt(),
                 FpOp::Sgnj => a.copysign(b),
                 FpOp::Sgnjn => a.copysign(-b),
-                FpOp::Sgnjx => {
-                    f64::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000_0000_0000))
-                }
+                FpOp::Sgnjx => f64::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000_0000_0000)),
             };
             r.to_bits()
         }
@@ -1136,13 +1141,7 @@ mod tests {
         a.vid(v(3));
         a.li(x(4), 2);
         a.vmseq_vx(VReg::MASK, v(3), x(4)); // mask = [0,0,1,0]
-        a.varith(
-            VArithOp::Add,
-            v(1),
-            VSrc::V(v(2)),
-            v(1),
-            true,
-        );
+        a.varith(VArithOp::Add, v(1), VSrc::V(v(2)), v(1), true);
         a.halt();
         let m = run(&a);
         assert_eq!(m.vreg_elem(v(1), 0), 5);

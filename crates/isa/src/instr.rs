@@ -282,7 +282,11 @@ impl VArithOp {
     /// these serialize packed sub-word elements in the little cores (paper
     /// section III-C) and occupy the long-latency functional unit.
     pub const fn is_long_latency(self) -> bool {
-        self.is_fp() || matches!(self, VArithOp::Mul | VArithOp::Div | VArithOp::Divu | VArithOp::Rem)
+        self.is_fp()
+            || matches!(
+                self,
+                VArithOp::Mul | VArithOp::Div | VArithOp::Divu | VArithOp::Rem
+            )
     }
 
     /// True for unary operations (only `vs2` is a real source).
@@ -770,10 +774,7 @@ impl Instr {
     pub const fn vector_writes_scalar(&self) -> bool {
         matches!(
             self,
-            Instr::VPopc { .. }
-                | Instr::VFirst { .. }
-                | Instr::VMvXS { .. }
-                | Instr::VFMvFS { .. }
+            Instr::VPopc { .. } | Instr::VFirst { .. } | Instr::VMvXS { .. } | Instr::VFMvFS { .. }
         )
     }
 
@@ -781,7 +782,10 @@ impl Instr {
     /// engine (the VCU's scalar DataQ entry), if any.
     pub fn vector_scalar_source(&self) -> Option<XReg> {
         match *self {
-            Instr::VLoad { base, mode, .. } | Instr::VStore { vs3: _, base, mode, .. } => {
+            Instr::VLoad { base, mode, .. }
+            | Instr::VStore {
+                vs3: _, base, mode, ..
+            } => {
                 // Base always carried; strided also carries the stride, but
                 // one DataQ slot is modeled per instruction.
                 let _ = mode;

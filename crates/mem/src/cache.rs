@@ -156,9 +156,15 @@ impl Cache {
     /// Panics if the geometry is degenerate (zero sets or non-power-of-two
     /// line size).
     pub fn new(params: CacheParams) -> Self {
-        assert!(params.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            params.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = params.num_sets();
-        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a positive power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a positive power of two"
+        );
         Cache {
             params,
             sets: vec![vec![Line::default(); params.assoc as usize]; sets as usize],
@@ -279,22 +285,17 @@ impl Cache {
         debug_assert_eq!(tag, line_addr, "fill address must be line-aligned");
 
         let mshr_idx = self.mshrs.iter().position(|m| m.line_addr == tag);
-        let any_store = mshr_idx
-            .map(|i| self.mshrs[i].any_store)
-            .unwrap_or(false);
+        let any_store = mshr_idx.map(|i| self.mshrs[i].any_store).unwrap_or(false);
 
         // Victim selection: invalid way first, else LRU.
         let ways = &mut self.sets[set];
-        let way = ways
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                ways.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_used)
-                    .map(|(i, _)| i)
-                    .expect("associativity is positive")
-            });
+        let way = ways.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            ways.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_used)
+                .map(|(i, _)| i)
+                .expect("associativity is positive")
+        });
         if ways[way].valid && ways[way].dirty {
             self.stats.writebacks += 1;
             self.wb_out.push_back(ways[way].tag);
@@ -415,7 +416,9 @@ mod tests {
         assert_eq!(c.pop_miss(), None);
         c.fill(5, 0x100);
         c.tick(7);
-        let ids: Vec<u64> = std::iter::from_fn(|| c.pop_response()).map(|r| r.id).collect();
+        let ids: Vec<u64> = std::iter::from_fn(|| c.pop_response())
+            .map(|r| r.id)
+            .collect();
         assert_eq!(ids, vec![1, 2]);
     }
 
@@ -444,7 +447,7 @@ mod tests {
     #[test]
     fn dirty_eviction_writes_back() {
         let mut c = small_cache(); // 8 sets, 2 ways
-        // Three lines mapping to the same set: stride = sets*line = 512.
+                                   // Three lines mapping to the same set: stride = sets*line = 512.
         for (i, addr) in [0x0u64, 0x200, 0x400].iter().enumerate() {
             c.tick(i as u64 * 10);
             let is_store = i == 0;

@@ -80,11 +80,7 @@ impl<T> Dram<T> {
     /// Advances time; completed requests become poppable.
     pub fn tick(&mut self, now: u64) {
         self.accepted_this_cycle = 0;
-        while self
-            .inflight
-            .front()
-            .is_some_and(|(done, _)| *done <= now)
-        {
+        while self.inflight.front().is_some_and(|(done, _)| *done <= now) {
             let (_, tok) = self.inflight.pop().expect("front checked");
             self.done.push_back(tok);
         }

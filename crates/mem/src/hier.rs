@@ -142,8 +142,12 @@ impl MemHierarchy {
     /// Builds the hierarchy from its configuration.
     pub fn new(cfg: HierConfig) -> Self {
         MemHierarchy {
-            little_l1i: (0..cfg.num_little).map(|_| Cache::new(cfg.little_l1i)).collect(),
-            little_l1d: (0..cfg.num_little).map(|_| Cache::new(cfg.little_l1d)).collect(),
+            little_l1i: (0..cfg.num_little)
+                .map(|_| Cache::new(cfg.little_l1i))
+                .collect(),
+            little_l1d: (0..cfg.num_little)
+                .map(|_| Cache::new(cfg.little_l1d))
+                .collect(),
             big_l1i: cfg.has_big.then(|| Cache::new(cfg.big_l1i)),
             big_l1d: cfg.has_big.then(|| Cache::new(cfg.big_l1d)),
             l2: Cache::new(cfg.l2),
@@ -363,7 +367,12 @@ impl MemHierarchy {
         // Misses become NoC traffic toward the L2, passing the directory.
         for c in 0..self.cfg.num_little {
             while let Some(line) = self.little_l1i[c].pop_miss() {
-                let req = self.line_req(line, false, AccessKind::IFetch, PortId::LittleFetch(c as u8));
+                let req = self.line_req(
+                    line,
+                    false,
+                    AccessKind::IFetch,
+                    PortId::LittleFetch(c as u8),
+                );
                 self.to_l2.push(self.now, L2Entry { req, extra: 0 });
             }
             while let Some(line) = self.little_l1d[c].pop_miss() {
@@ -605,7 +614,12 @@ mod tests {
         }
     }
 
-    fn run_until_response(h: &mut MemHierarchy, port: PortId, start: u64, limit: u64) -> (u64, MemResp) {
+    fn run_until_response(
+        h: &mut MemHierarchy,
+        port: PortId,
+        start: u64,
+        limit: u64,
+    ) -> (u64, MemResp) {
         for t in start..start + limit {
             h.tick(t);
             if let Some(r) = h.pop_response(port) {

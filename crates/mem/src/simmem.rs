@@ -95,7 +95,9 @@ impl SimMemory {
 
     /// Reads back an `f32` array.
     pub fn read_f32_array(&self, base: u64, len: usize) -> Vec<f32> {
-        (0..len).map(|i| self.read_f32(base + i as u64 * 4)).collect()
+        (0..len)
+            .map(|i| self.read_f32(base + i as u64 * 4))
+            .collect()
     }
 }
 

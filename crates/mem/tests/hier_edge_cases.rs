@@ -83,7 +83,7 @@ fn evicted_lines_refetch() {
     // A must be a miss that goes back out to memory.
     let a = 0x40_0000u64;
     let mut t = 0;
-    let mut send = |h: &mut MemHierarchy, id: u64, addr: u64, t: &mut u64| {
+    let send = |h: &mut MemHierarchy, id: u64, addr: u64, t: &mut u64| {
         loop {
             h.tick(*t);
             let ok = h.request(req(id, addr, false));

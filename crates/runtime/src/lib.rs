@@ -265,7 +265,7 @@ mod tests {
     fn all_tasks_handed_out_exactly_once() {
         let mut ws = WorkStealing::new(4, RuntimeParams::default());
         ws.seed_tasks((0..100).map(t).collect());
-        let mut got = vec![false; 100];
+        let mut got = [false; 100];
         let mut finished = 0;
         let mut guard = 0;
         while finished < 4 {

@@ -2,8 +2,8 @@
 //! delivery under arbitrary worker interleavings, overhead accounting,
 //! and parallel-for range coverage.
 
-use bvl_runtime::{parallel_for_tasks, Fetched, RuntimeParams, Task, WorkStealing};
 use bvl_isa::reg::XReg;
+use bvl_runtime::{parallel_for_tasks, Fetched, RuntimeParams, Task, WorkStealing};
 use proptest::prelude::*;
 
 proptest! {

@@ -5,7 +5,10 @@ use bvl_mem::MemStats;
 use bvl_runtime::RuntimeStats;
 
 /// Everything one run reports.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every field (including exact `wall_ns` bits) so the
+/// sweep harness can assert run-to-run and parallel-vs-serial determinism.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunResult {
     /// Wall-clock time in nanoseconds (the cross-frequency metric).
     pub wall_ns: f64,

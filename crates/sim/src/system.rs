@@ -10,7 +10,7 @@ use bvl_mem::{HierConfig, MemHierarchy, SharedMem};
 use bvl_runtime::{Fetched, RuntimeParams, WorkStealing};
 use bvl_vengine::VLittleEngine;
 use bvl_workloads::{Workload, WorkloadClass};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The attached vector engine, kept concrete for stats access.
 enum Engine {
@@ -97,7 +97,7 @@ pub fn simulate(
 ) -> Result<RunResult, String> {
     let mode = pick_mode(kind, workload);
     let shared = SharedMem::new(workload.mem.clone());
-    let program = Rc::clone(&workload.program);
+    let program = Arc::clone(&workload.program);
 
     // ---- memory hierarchy
     let mut hier_cfg = HierConfig::with_little(kind.num_little());
@@ -127,7 +127,7 @@ pub fn simulate(
     let mut big = kind.has_big().then(|| {
         BigCore::new(
             shared.clone(),
-            Rc::clone(&program),
+            Arc::clone(&program),
             TEXT_BASE,
             hier.line_bytes(),
             engine.vlen_bits(),
@@ -135,13 +135,17 @@ pub fn simulate(
         )
     });
     // Little cores exist as *cores* except when they are VLITTLE lanes.
-    let n_little_cores = if vector_mode_banks { 0 } else { kind.num_little() };
+    let n_little_cores = if vector_mode_banks {
+        0
+    } else {
+        kind.num_little()
+    };
     let mut littles: Vec<LittleCore> = (0..n_little_cores)
         .map(|c| {
             LittleCore::new(
                 c as u8,
                 shared.clone(),
-                Rc::clone(&program),
+                Arc::clone(&program),
                 TEXT_BASE,
                 hier.line_bytes(),
                 LittleParams::default(),
@@ -152,8 +156,14 @@ pub fn simulate(
     // ---- execution-mode setup
     // Workers: index 0 = big (if present), then littles.
     let big_worker_exists = big.is_some() && mode == Mode::Tasks;
-    let n_workers = usize::from(big_worker_exists) + if mode == Mode::Tasks { littles.len() } else { 0 };
-    let mut runtime = (mode == Mode::Tasks).then(|| WorkStealing::new(n_workers, RuntimeParams::default()));
+    let n_workers = usize::from(big_worker_exists)
+        + if mode == Mode::Tasks {
+            littles.len()
+        } else {
+            0
+        };
+    let mut runtime =
+        (mode == Mode::Tasks).then(|| WorkStealing::new(n_workers, RuntimeParams::default()));
     let mut worker_state = vec![WorkerState::NeedWork; n_workers];
     let mut phase_idx = 0usize;
 
@@ -169,7 +179,9 @@ pub fn simulate(
             let entry = workload
                 .vector_entry
                 .ok_or_else(|| format!("{} has no vectorized variant", workload.name))?;
-            big.as_mut().expect("vector mode needs a big core").assign(entry);
+            big.as_mut()
+                .expect("vector mode needs a big core")
+                .assign(entry);
         }
         Mode::Tasks => {
             let rt = runtime.as_mut().expect("task mode");
@@ -189,8 +201,8 @@ pub fn simulate(
     let mut t_fs;
     loop {
         // Completion check.
-        let cores_done = big.as_ref().is_none_or(BigCore::done)
-            && littles.iter().all(LittleCore::done);
+        let cores_done =
+            big.as_ref().is_none_or(BigCore::done) && littles.iter().all(LittleCore::done);
         let done = match mode {
             Mode::Serial | Mode::Vector => cores_done && engine.idle(),
             Mode::Tasks => {
@@ -249,7 +261,11 @@ pub fn simulate(
         if (engine.on_little_clock() && little_edge)
             || (!engine.on_little_clock() && big_edge && !matches!(engine, Engine::None))
         {
-            let cyc = if engine.on_little_clock() { cyc_l } else { cyc_b };
+            let cyc = if engine.on_little_clock() {
+                cyc_l
+            } else {
+                cyc_b
+            };
             if let Some(e) = engine.as_dyn() {
                 e.tick(cyc, &mut hier);
             }
@@ -300,8 +316,16 @@ pub fn simulate(
     // ---- result assembly
     let wall_fs = [
         cyc_u.saturating_mul(pu),
-        if big_active { cyc_b.saturating_mul(pb) } else { 0 },
-        if little_active { cyc_l.saturating_mul(pl) } else { 0 },
+        if big_active {
+            cyc_b.saturating_mul(pb)
+        } else {
+            0
+        },
+        if little_active {
+            cyc_l.saturating_mul(pl)
+        } else {
+            0
+        },
     ]
     .into_iter()
     .max()

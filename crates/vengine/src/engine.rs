@@ -359,7 +359,7 @@ mod tests {
     use bvl_isa::reg::{VReg, XReg};
     use bvl_isa::vcfg::Sew;
     use bvl_mem::{HierConfig, MemHierarchy, SharedMem, SimMemory};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn x(i: u8) -> XReg {
         XReg::new(i)
@@ -369,12 +369,14 @@ mod tests {
     }
 
     /// Runs a program on big core + VLITTLE engine; returns (cycles, mem).
-    fn run_vlittle(a: &Assembler, mem: SimMemory, params: EngineParams) -> (u64, SharedMem, VLittleEngine, BigCore) {
-        let prog = Rc::new(a.assemble().unwrap());
+    fn run_vlittle(
+        a: &Assembler,
+        mem: SimMemory,
+        params: EngineParams,
+    ) -> (u64, SharedMem, VLittleEngine, BigCore) {
+        let prog = Arc::new(a.assemble().unwrap());
         let shared = SharedMem::new(mem);
-        let mut hier = MemHierarchy::new(HierConfig::with_little(
-            params.regmap.cores as usize,
-        ));
+        let mut hier = MemHierarchy::new(HierConfig::with_little(params.regmap.cores as usize));
         hier.set_vector_mode(true);
         let mut engine = VLittleEngine::new(params, hier.line_bytes());
         let mut big = BigCore::new(
@@ -431,8 +433,7 @@ mod tests {
         let xs = mem.alloc_f32(&xs_data);
         let ys = mem.alloc_f32(&ys_data);
         let a = saxpy_vector_program(n, xs, ys);
-        let (cycles, shared, engine, _big) =
-            run_vlittle(&a, mem, EngineParams::paper_default());
+        let (cycles, shared, engine, _big) = run_vlittle(&a, mem, EngineParams::paper_default());
         // Functional result.
         shared.with(|m| {
             for i in 0..n as usize {
@@ -454,11 +455,8 @@ mod tests {
         a.vsetvli(x(2), x(1), Sew::E32);
         a.vmfence();
         a.halt();
-        let (_, _, _, big) = run_vlittle(
-            &a,
-            SimMemory::new(1 << 20),
-            EngineParams::paper_default(),
-        );
+        let (_, _, _, big) =
+            run_vlittle(&a, SimMemory::new(1 << 20), EngineParams::paper_default());
         assert_eq!(big.machine().xreg(x(2)), 16); // 512-bit engine at e32
     }
 
@@ -472,11 +470,8 @@ mod tests {
         a.vmv_x_s(x(5), v(3));
         a.vmfence();
         a.halt();
-        let (_, _, engine, big) = run_vlittle(
-            &a,
-            SimMemory::new(1 << 20),
-            EngineParams::paper_default(),
-        );
+        let (_, _, engine, big) =
+            run_vlittle(&a, SimMemory::new(1 << 20), EngineParams::paper_default());
         assert_eq!(big.machine().xreg(x(5)), 120);
         assert!(engine.vxu_stats().transactions >= 2); // redsum + mv.x.s
     }
@@ -527,18 +522,12 @@ mod tests {
         a.vse(v(1), x(2));
         a.vmfence();
         a.halt();
-        let (_, shared, engine, _) = run_vlittle(
-            &a,
-            SimMemory::new(1 << 20),
-            EngineParams::paper_default(),
-        );
+        let (_, shared, engine, _) =
+            run_vlittle(&a, SimMemory::new(1 << 20), EngineParams::paper_default());
         assert!(engine.mem_drained());
         shared.with(|m| {
             for i in 0..16u64 {
-                assert_eq!(
-                    bvl_isa::mem::Memory::read_uint(m, 0x8000 + i * 4, 4),
-                    i
-                );
+                assert_eq!(bvl_isa::mem::Memory::read_uint(m, 0x8000 + i * 4, 4), i);
             }
         });
     }
@@ -556,7 +545,10 @@ mod tests {
             let s = engine.lane_stats(c);
             let total: u64 = s.breakdown.iter().sum();
             assert_eq!(total, s.cycles, "lane {c} breakdown incomplete");
-            assert!(s.of(bvl_core::types::StallKind::Busy) > 0, "lane {c} never busy");
+            assert!(
+                s.of(bvl_core::types::StallKind::Busy) > 0,
+                "lane {c} never busy"
+            );
         }
     }
 }

@@ -18,8 +18,8 @@ use crate::uop::{Uop, UopKind};
 use crate::vmu::Vmu;
 use crate::vxu::Vxu;
 use bvl_core::types::{CoreStats, StallKind};
-use bvl_isa::meta::{reduction_step_latency, vector_op_latency, LAT_ALU, LAT_DIV};
 use bvl_isa::instr::VArithOp;
+use bvl_isa::meta::{reduction_step_latency, vector_op_latency, LAT_ALU, LAT_DIV};
 use std::collections::VecDeque;
 
 /// Why a register value is still pending (for stall attribution).
@@ -195,9 +195,7 @@ impl Lane {
             return Vec::new();
         }
 
-        let elems = self
-            .regmap
-            .elems_on(self.core, uop.chime, uop.vl, uop.sew);
+        let elems = self.regmap.elems_on(self.core, uop.chime, uop.vl, uop.sew);
         let mut events = Vec::new();
 
         match uop.kind.clone() {
@@ -353,7 +351,10 @@ mod tests {
     }
 
     fn fixtures() -> (Vmu, Vxu) {
-        (Vmu::new(4, VmuParams::default()), Vxu::new(VxuParams::default()))
+        (
+            Vmu::new(4, VmuParams::default()),
+            Vxu::new(VxuParams::default()),
+        )
     }
 
     #[test]

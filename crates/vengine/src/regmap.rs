@@ -185,8 +185,14 @@ mod tests {
         // v1[0], v1[1] packed into core 0's integer register 1.
         let l0 = m.locate(1, 0, Sew::E32);
         let l1 = m.locate(1, 1, Sew::E32);
-        assert_eq!((l0.core, l0.file, l0.reg, l0.subslot), (0, RegFile::Int, 1, 0));
-        assert_eq!((l1.core, l1.file, l1.reg, l1.subslot), (0, RegFile::Int, 1, 1));
+        assert_eq!(
+            (l0.core, l0.file, l0.reg, l0.subslot),
+            (0, RegFile::Int, 1, 0)
+        );
+        assert_eq!(
+            (l1.core, l1.file, l1.reg, l1.subslot),
+            (0, RegFile::Int, 1, 1)
+        );
         // v1[2] starts core 1.
         let l2 = m.locate(1, 2, Sew::E32);
         assert_eq!((l2.core, l2.chime), (1, 0));

@@ -153,7 +153,9 @@ pub fn expand(
             ex.immediate_scalar = Some(cmd.seq);
         }
 
-        Instr::VArith { op, vd, src1, vs2, .. } => {
+        Instr::VArith {
+            op, vd, src1, vs2, ..
+        } => {
             let mut srcs = vec![vs2.index() as u8];
             if let VSrc::V(v) = src1 {
                 srcs.push(v.index() as u8);

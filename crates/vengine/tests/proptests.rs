@@ -15,7 +15,7 @@ use bvl_vengine::regmap::RegMap;
 use bvl_vengine::{EngineParams, VLittleEngine};
 use proptest::prelude::*;
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn regmap_strategy() -> impl Strategy<Value = RegMap> {
     (1u8..=8, 1u8..=2, any::<bool>()).prop_map(|(cores, chimes, packed)| RegMap {
@@ -99,7 +99,7 @@ proptest! {
         asm.bne(rn, XReg::ZERO, "strip");
         asm.vmfence();
         asm.halt();
-        let prog = Rc::new(asm.assemble().expect("assembles"));
+        let prog = Arc::new(asm.assemble().expect("assembles"));
 
         // Golden run.
         let mut golden = Machine::new(mem.clone(), 512);

@@ -15,7 +15,7 @@ use bvl_isa::reg::{VReg, XReg};
 use bvl_isa::vcfg::Sew;
 use bvl_mem::SimMemory;
 use bvl_runtime::parallel_for_tasks;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Input-layer width.
 const N_IN: u64 = 64;
@@ -149,11 +149,19 @@ pub fn build(scale: Scale) -> Workload {
     asm.li(end, n_out as i64);
     asm.j("vector_task");
 
-    let program = Rc::new(asm.assemble().expect("backprop assembles"));
+    let program = Arc::new(asm.assemble().expect("backprop assembles"));
     let scalar_pc = program.label("scalar_task").expect("label");
     let vector_pc = program.label("vector_task").expect("label");
     let chunk = (n_out / 16).max(32);
-    let tasks = parallel_for_tasks(n_out, chunk, scalar_pc, Some(vector_pc), regs::START, regs::END, &[]);
+    let tasks = parallel_for_tasks(
+        n_out,
+        chunk,
+        scalar_pc,
+        Some(vector_pc),
+        regs::START,
+        regs::END,
+        &[],
+    );
 
     Workload {
         name: "backprop",

@@ -17,7 +17,7 @@ use bvl_isa::reg::{FReg, VReg, XReg};
 use bvl_isa::vcfg::Sew;
 use bvl_mem::SimMemory;
 use bvl_runtime::parallel_for_tasks;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Sigmoid steepness of the CDF approximation.
 const A: f32 = 0.8;
@@ -115,7 +115,13 @@ pub fn build(scale: Scale) -> Workload {
     // Vector helper: N(x): v_in -> v_out, scratch vt.
     let emit_vector_ncdf = |asm: &mut Assembler, v_x: u8, v_t: u8| {
         // t = a*x
-        asm.varith(VArithOp::FMul, VReg::new(v_x), VSrc::F(fa), VReg::new(v_x), false);
+        asm.varith(
+            VArithOp::FMul,
+            VReg::new(v_x),
+            VSrc::F(fa),
+            VReg::new(v_x),
+            false,
+        );
         // u = t*t + 1: v_t = splat(1); v_t += t*t
         asm.vfmv_v_f(VReg::new(v_t), fone);
         asm.vfmacc_vv(VReg::new(v_t), VReg::new(v_x), VReg::new(v_x));
@@ -179,11 +185,19 @@ pub fn build(scale: Scale) -> Workload {
     asm.li(end, n as i64);
     asm.j("vector_task");
 
-    let program = Rc::new(asm.assemble().expect("blackscholes assembles"));
+    let program = Arc::new(asm.assemble().expect("blackscholes assembles"));
     let scalar_pc = program.label("scalar_task").expect("label");
     let vector_pc = program.label("vector_task").expect("label");
     let chunk = (n / 16).max(32);
-    let tasks = parallel_for_tasks(n, chunk, scalar_pc, Some(vector_pc), regs::START, regs::END, &[]);
+    let tasks = parallel_for_tasks(
+        n,
+        chunk,
+        scalar_pc,
+        Some(vector_pc),
+        regs::START,
+        regs::END,
+        &[],
+    );
 
     Workload {
         name: "blackscholes",

@@ -14,7 +14,7 @@ use bvl_isa::reg::{VReg, XReg};
 use bvl_isa::vcfg::Sew;
 use bvl_mem::SimMemory;
 use bvl_runtime::parallel_for_tasks;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Builds `jacobi2d` at `scale` (a `scale.dim`² interior, `scale.iters`
 /// iterations).
@@ -45,7 +45,11 @@ pub fn build(scale: Scale) -> Workload {
         std::mem::swap(&mut cur, &mut nxt);
     }
     let expect = cur;
-    let final_base = if iters.is_multiple_of(2) { buf_a } else { buf_b };
+    let final_base = if iters.is_multiple_of(2) {
+        buf_a
+    } else {
+        buf_b
+    };
 
     let mut asm = Assembler::new();
     let (start, end, vl) = (regs::START, regs::END, regs::VL);
@@ -165,10 +169,28 @@ pub fn build(scale: Scale) -> Workload {
     // are thin wrappers; the bodies live here and the task entries are
     // regenerated as body+halt by the assembler's label plumbing. For
     // clarity we simply emit the body variants separately.
-    emit_body(&mut asm, "scalar_task_body", false, src_arg, dst_arg, d, w, quarter);
-    emit_body(&mut asm, "vector_task_body", true, src_arg, dst_arg, d, w, quarter);
+    emit_body(
+        &mut asm,
+        "scalar_task_body",
+        false,
+        src_arg,
+        dst_arg,
+        d,
+        w,
+        quarter,
+    );
+    emit_body(
+        &mut asm,
+        "vector_task_body",
+        true,
+        src_arg,
+        dst_arg,
+        d,
+        w,
+        quarter,
+    );
 
-    let program = Rc::new(asm.assemble().expect("jacobi2d assembles"));
+    let program = Arc::new(asm.assemble().expect("jacobi2d assembles"));
     let scalar_pc = program.label("scalar_task").expect("label");
     let vector_pc = program.label("vector_task").expect("label");
 
@@ -176,7 +198,11 @@ pub fn build(scale: Scale) -> Workload {
     let chunk = (d / 8).max(2);
     let mut phases = Vec::new();
     for it in 0..iters {
-        let (s, dst) = if it % 2 == 0 { (buf_a, buf_b) } else { (buf_b, buf_a) };
+        let (s, dst) = if it % 2 == 0 {
+            (buf_a, buf_b)
+        } else {
+            (buf_b, buf_a)
+        };
         let mut tasks = parallel_for_tasks(
             d + 1,
             chunk,

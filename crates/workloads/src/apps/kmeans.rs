@@ -15,7 +15,7 @@ use bvl_isa::reg::{VReg, XReg};
 use bvl_isa::vcfg::Sew;
 use bvl_mem::SimMemory;
 use bvl_runtime::parallel_for_tasks;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Point dimensionality.
 const DIM: usize = 4;
@@ -133,8 +133,14 @@ pub fn build(scale: Scale) -> Workload {
         asm.add(bs[0], bs[0], t[2]);
         asm.vle(VReg::new(4), bs[0]); // p[d][tile]
         asm.flw(ft[1], bs[1], (d * 4) as i64); // c[k][d]
-        // diff = p - c  (FSub: vs2 - src1)
-        asm.varith(VArithOp::FSub, VReg::new(4), VSrc::F(ft[1]), VReg::new(4), false);
+                                               // diff = p - c  (FSub: vs2 - src1)
+        asm.varith(
+            VArithOp::FSub,
+            VReg::new(4),
+            VSrc::F(ft[1]),
+            VReg::new(4),
+            false,
+        );
         // d2 += diff * diff
         asm.vfmacc_vv(VReg::new(3), VReg::new(4), VReg::new(4));
     }
@@ -169,11 +175,19 @@ pub fn build(scale: Scale) -> Workload {
     asm.li(end, n as i64);
     asm.j("vector_task");
 
-    let program = Rc::new(asm.assemble().expect("kmeans assembles"));
+    let program = Arc::new(asm.assemble().expect("kmeans assembles"));
     let scalar_pc = program.label("scalar_task").expect("label");
     let vector_pc = program.label("vector_task").expect("label");
     let chunk = (n / 16).max(32);
-    let tasks = parallel_for_tasks(n, chunk, scalar_pc, Some(vector_pc), regs::START, regs::END, &[]);
+    let tasks = parallel_for_tasks(
+        n,
+        chunk,
+        scalar_pc,
+        Some(vector_pc),
+        regs::START,
+        regs::END,
+        &[],
+    );
 
     Workload {
         name: "kmeans",
@@ -188,8 +202,15 @@ pub fn build(scale: Scale) -> Workload {
             if got == expect {
                 Ok(())
             } else {
-                let i = got.iter().zip(&expect).position(|(g, e)| g != e).unwrap_or(0);
-                Err(format!("kmeans mismatch at {i}: got {} want {}", got[i], expect[i]))
+                let i = got
+                    .iter()
+                    .zip(&expect)
+                    .position(|(g, e)| g != e)
+                    .unwrap_or(0);
+                Err(format!(
+                    "kmeans mismatch at {i}: got {} want {}",
+                    got[i], expect[i]
+                ))
             }
         }),
     }

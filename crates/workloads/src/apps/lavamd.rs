@@ -17,7 +17,7 @@ use bvl_isa::reg::{FReg, VReg, XReg};
 use bvl_isa::vcfg::Sew;
 use bvl_mem::SimMemory;
 use bvl_runtime::parallel_for_tasks;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Particles per box.
 const BOX: u64 = 32;
@@ -74,8 +74,8 @@ pub fn build(scale: Scale) -> Workload {
         asm.fmadd_s(ft[2], ft[1], ft[1], ft[2]); // d2
         asm.fadd_s(ft[2], ft[2], fone);
         asm.fdiv_s(ft[2], fone, ft[2]); // s
-        // Unfused multiply-then-add, matching the vectorized
-        // vfmul + vfredosum exactly (and the Rust reference).
+                                        // Unfused multiply-then-add, matching the vectorized
+                                        // vfmul + vfredosum exactly (and the Rust reference).
         asm.fmul_s(ft[0], ft[0], ft[2]);
         asm.fadd_s(facx, facx, ft[0]); // fx += dx*s
         asm.fmul_s(ft[1], ft[1], ft[2]);
@@ -159,15 +159,33 @@ pub fn build(scale: Scale) -> Workload {
     asm.label("v_j");
     asm.vsetvli(vl, t[2], Sew::E32);
     asm.vle(VReg::new(1), bs[0]); // x[j..]
-    asm.varith(VArithOp::FSub, VReg::new(1), VSrc::F(fxi), VReg::new(1), false); // dx
+    asm.varith(
+        VArithOp::FSub,
+        VReg::new(1),
+        VSrc::F(fxi),
+        VReg::new(1),
+        false,
+    ); // dx
     asm.vle(VReg::new(2), bs[1]); // y[j..]
-    asm.varith(VArithOp::FSub, VReg::new(2), VSrc::F(fyi), VReg::new(2), false); // dy
+    asm.varith(
+        VArithOp::FSub,
+        VReg::new(2),
+        VSrc::F(fyi),
+        VReg::new(2),
+        false,
+    ); // dy
     asm.vfmul_vv(VReg::new(3), VReg::new(1), VReg::new(1));
     asm.vfmacc_vv(VReg::new(3), VReg::new(2), VReg::new(2)); // d2
-    asm.varith(VArithOp::FAdd, VReg::new(3), VSrc::F(fone), VReg::new(3), false);
+    asm.varith(
+        VArithOp::FAdd,
+        VReg::new(3),
+        VSrc::F(fone),
+        VReg::new(3),
+        false,
+    );
     asm.vfmv_v_f(VReg::new(4), fone);
     asm.vfdiv_vv(VReg::new(4), VReg::new(4), VReg::new(3)); // s
-    // fx partial: vredosum(dx*s) with init = running facx
+                                                            // fx partial: vredosum(dx*s) with init = running facx
     asm.vfmul_vv(VReg::new(5), VReg::new(1), VReg::new(4));
     asm.fmv_x_w(t[6], facx);
     asm.vmv_s_x(VReg::new(6), t[6]);
@@ -213,11 +231,19 @@ pub fn build(scale: Scale) -> Workload {
     asm.li(end, boxes as i64);
     asm.j("vector_task");
 
-    let program = Rc::new(asm.assemble().expect("lavamd assembles"));
+    let program = Arc::new(asm.assemble().expect("lavamd assembles"));
     let scalar_pc = program.label("scalar_task").expect("label");
     let vector_pc = program.label("vector_task").expect("label");
     let chunk = (boxes / 8).max(1);
-    let tasks = parallel_for_tasks(boxes, chunk, scalar_pc, Some(vector_pc), regs::START, regs::END, &[]);
+    let tasks = parallel_for_tasks(
+        boxes,
+        chunk,
+        scalar_pc,
+        Some(vector_pc),
+        regs::START,
+        regs::END,
+        &[],
+    );
 
     Workload {
         name: "lavamd",
@@ -231,8 +257,7 @@ pub fn build(scale: Scale) -> Workload {
             let gx = m.read_f32_array(fxb, efx.len());
             let gy = m.read_f32_array(fyb, efy.len());
             for i in 0..efx.len() {
-                if gx[i].to_bits() != efx[i].to_bits() || gy[i].to_bits() != efy[i].to_bits()
-                {
+                if gx[i].to_bits() != efx[i].to_bits() || gy[i].to_bits() != efy[i].to_bits() {
                     return Err(format!(
                         "lavamd mismatch at {i}: got ({}, {}) want ({}, {})",
                         gx[i], gy[i], efx[i], efy[i]

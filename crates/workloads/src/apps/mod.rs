@@ -38,7 +38,13 @@ pub(crate) mod testutil {
             };
             m.set_pc(entry);
             m.run(&w.program, 200_000_000).expect("entry runs to halt");
-            (w.check)(m.mem()).unwrap_or_else(|e| panic!("{} ({}): {e}", w.name, if vector { "vector" } else { "scalar" }));
+            (w.check)(m.mem()).unwrap_or_else(|e| {
+                panic!(
+                    "{} ({}): {e}",
+                    w.name,
+                    if vector { "vector" } else { "scalar" }
+                )
+            });
         }
     }
 

@@ -15,7 +15,7 @@ use bvl_isa::reg::{FReg, VReg, XReg};
 use bvl_isa::vcfg::Sew;
 use bvl_mem::SimMemory;
 use bvl_runtime::{parallel_for_tasks, Task};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Observed position.
 const OBS: (f32, f32) = (12.5, -3.75);
@@ -98,14 +98,32 @@ pub fn build(scale: Scale) -> Workload {
     asm.li(bs[0], xb as i64);
     asm.add(bs[0], bs[0], t[2]);
     asm.vle(VReg::new(1), bs[0]);
-    asm.varith(VArithOp::FSub, VReg::new(1), VSrc::F(fox), VReg::new(1), false); // dx
+    asm.varith(
+        VArithOp::FSub,
+        VReg::new(1),
+        VSrc::F(fox),
+        VReg::new(1),
+        false,
+    ); // dx
     asm.li(bs[0], yb as i64);
     asm.add(bs[0], bs[0], t[2]);
     asm.vle(VReg::new(2), bs[0]);
-    asm.varith(VArithOp::FSub, VReg::new(2), VSrc::F(foy), VReg::new(2), false); // dy
+    asm.varith(
+        VArithOp::FSub,
+        VReg::new(2),
+        VSrc::F(foy),
+        VReg::new(2),
+        false,
+    ); // dy
     asm.vfmul_vv(VReg::new(3), VReg::new(1), VReg::new(1)); // dx*dx
     asm.vfmacc_vv(VReg::new(3), VReg::new(2), VReg::new(2)); // + dy*dy
-    asm.varith(VArithOp::FAdd, VReg::new(3), VSrc::F(fone), VReg::new(3), false);
+    asm.varith(
+        VArithOp::FAdd,
+        VReg::new(3),
+        VSrc::F(fone),
+        VReg::new(3),
+        false,
+    );
     // w = 1 / (1 + d2): splat(1) / v3
     asm.vfmv_v_f(VReg::new(4), fone);
     asm.vfdiv_vv(VReg::new(4), VReg::new(4), VReg::new(3));
@@ -218,14 +236,22 @@ pub fn build(scale: Scale) -> Workload {
     emit_weights_chain(&mut asm, false, xb, yb, wb, consts);
     emit_weights_chain(&mut asm, true, xb, yb, wb, consts);
 
-    let program = Rc::new(asm.assemble().expect("particlefilter assembles"));
+    let program = Arc::new(asm.assemble().expect("particlefilter assembles"));
     let w_scalar = program.label("weights_scalar").expect("label");
     let w_vector = program.label("weights_vector").expect("label");
     let a_scalar = program.label("argmax_scalar").expect("label");
     let a_vector = program.label("argmax_vector").expect("label");
 
     let chunk = (n / 16).max(64);
-    let weight_tasks = parallel_for_tasks(n, chunk, w_scalar, Some(w_vector), regs::START, regs::END, &[]);
+    let weight_tasks = parallel_for_tasks(
+        n,
+        chunk,
+        w_scalar,
+        Some(w_vector),
+        regs::START,
+        regs::END,
+        &[],
+    );
     let argmax_task = Task {
         scalar_pc: a_scalar,
         vector_pc: Some(a_vector),
@@ -287,14 +313,32 @@ fn emit_weights_chain(asm: &mut Assembler, vector: bool, xb: u64, yb: u64, wb: u
         asm.li(bs[0], xb as i64);
         asm.add(bs[0], bs[0], t[2]);
         asm.vle(VReg::new(1), bs[0]);
-        asm.varith(VArithOp::FSub, VReg::new(1), VSrc::F(fox), VReg::new(1), false);
+        asm.varith(
+            VArithOp::FSub,
+            VReg::new(1),
+            VSrc::F(fox),
+            VReg::new(1),
+            false,
+        );
         asm.li(bs[0], yb as i64);
         asm.add(bs[0], bs[0], t[2]);
         asm.vle(VReg::new(2), bs[0]);
-        asm.varith(VArithOp::FSub, VReg::new(2), VSrc::F(foy), VReg::new(2), false);
+        asm.varith(
+            VArithOp::FSub,
+            VReg::new(2),
+            VSrc::F(foy),
+            VReg::new(2),
+            false,
+        );
         asm.vfmul_vv(VReg::new(3), VReg::new(1), VReg::new(1));
         asm.vfmacc_vv(VReg::new(3), VReg::new(2), VReg::new(2));
-        asm.varith(VArithOp::FAdd, VReg::new(3), VSrc::F(fone), VReg::new(3), false);
+        asm.varith(
+            VArithOp::FAdd,
+            VReg::new(3),
+            VSrc::F(fone),
+            VReg::new(3),
+            false,
+        );
         asm.vfmv_v_f(VReg::new(4), fone);
         asm.vfdiv_vv(VReg::new(4), VReg::new(4), VReg::new(3));
         asm.li(bs[1], wb as i64);

@@ -13,7 +13,7 @@ use bvl_isa::reg::{VReg, XReg};
 use bvl_isa::vcfg::Sew;
 use bvl_mem::SimMemory;
 use bvl_runtime::parallel_for_tasks;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Number of DP rows.
 const ROWS: u64 = 8;
@@ -38,8 +38,7 @@ pub fn build(scale: Scale) -> Workload {
             let left = cur[j.saturating_sub(1)];
             let mid = cur[j];
             let right = cur[(j + 1).min(cols as usize - 1)];
-            nxt[j] = cost_data[r * cols as usize + j]
-                .wrapping_add(left.min(mid).min(right));
+            nxt[j] = cost_data[r * cols as usize + j].wrapping_add(left.min(mid).min(right));
         }
         cur = nxt;
     }
@@ -218,7 +217,7 @@ pub fn build(scale: Scale) -> Workload {
         asm.halt();
     }
 
-    let program = Rc::new(asm.assemble().expect("pathfinder assembles"));
+    let program = Arc::new(asm.assemble().expect("pathfinder assembles"));
     let scalar_pc = program.label("scalar_task").expect("label");
     let vector_pc = program.label("vector_task").expect("label");
 
@@ -226,7 +225,11 @@ pub fn build(scale: Scale) -> Workload {
     let chunk = (cols / 16).max(64);
     let mut phases = Vec::new();
     for r in 1..ROWS {
-        let (s, dst) = if (r - 1) % 2 == 0 { (buf_a, buf_b) } else { (buf_b, buf_a) };
+        let (s, dst) = if (r - 1) % 2 == 0 {
+            (buf_a, buf_b)
+        } else {
+            (buf_b, buf_a)
+        };
         let cost_row = cost + r * cols * 4;
         phases.push(Phase::new(parallel_for_tasks(
             cols,
@@ -252,7 +255,11 @@ pub fn build(scale: Scale) -> Workload {
             if got == expect {
                 Ok(())
             } else {
-                let i = got.iter().zip(&expect).position(|(g, e)| g != e).unwrap_or(0);
+                let i = got
+                    .iter()
+                    .zip(&expect)
+                    .position(|(g, e)| g != e)
+                    .unwrap_or(0);
                 Err(format!(
                     "pathfinder mismatch at {i}: got {} want {}",
                     got[i], expect[i]

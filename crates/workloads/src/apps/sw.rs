@@ -17,7 +17,7 @@ use bvl_isa::reg::{VReg, XReg};
 use bvl_isa::vcfg::Sew;
 use bvl_mem::SimMemory;
 use bvl_runtime::Task;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Match / mismatch / gap scores.
 const MATCH: i64 = 2;
@@ -33,7 +33,11 @@ fn reference_dp(a: &[u8], b: &[u8]) -> (Vec<u32>, u32) {
     let mut best = 0i64;
     for i in 1..=m {
         for j in 1..=n {
-            let s = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let s = if a[i - 1] == b[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             let v = (h[(i - 1) * w + j - 1] + s)
                 .max(h[(i - 1) * w + j] - GAP)
                 .max(h[i * w + j - 1] - GAP)
@@ -120,7 +124,7 @@ pub fn build(scale: Scale) -> Workload {
     asm.add(t[3], t[3], t[4]); // &H[i-1][j]
     asm.lw(t[5], t[3], -4); // H[i-1][j-1]
     asm.add(t[2], t[5], t[2]); // diag
-    // up = H[i-1][j] - GAP
+                               // up = H[i-1][j] - GAP
     asm.lw(t[5], t[3], 0);
     asm.addi(t[5], t[5], -GAP);
     asm.blt(t[5], t[2], "s_nup");
@@ -185,12 +189,12 @@ pub fn build(scale: Scale) -> Workload {
     asm.slli(t[6], t[0], 2);
     asm.add(t[5], t[5], t[6]);
     asm.add(t[5], t[5], h_arg); // &H[i_lo][d-i_lo]
-    // diag source: H[i-1][j-1] -> offset -(len*4) - 4... flat:
-    // (i-1)*len + d - 2 + ... derived: current - len*4 - 8 + 4 = see docs.
-    // flat(i,j) = i*(len+1) + j = i*len + d  (since j = d - i)
-    // flat(i-1,j-1) = (i-1)*len + d - 2  -> current - len*4 - 8
-    // flat(i-1,j)   = (i-1)*len + d - 1  -> current - len*4 - 4
-    // flat(i,j-1)   = i*len + d - 1      -> current - 4
+                                // diag source: H[i-1][j-1] -> offset -(len*4) - 4... flat:
+                                // (i-1)*len + d - 2 + ... derived: current - len*4 - 8 + 4 = see docs.
+                                // flat(i,j) = i*(len+1) + j = i*len + d  (since j = d - i)
+                                // flat(i-1,j-1) = (i-1)*len + d - 2  -> current - len*4 - 8
+                                // flat(i-1,j)   = (i-1)*len + d - 1  -> current - len*4 - 4
+                                // flat(i,j-1)   = i*len + d - 1      -> current - 4
     asm.sub(t[6], t[5], t[4]);
     asm.addi(t[6], t[6], -8);
     asm.vlse(VReg::new(1), t[6], t[4]); // diag cells
@@ -198,8 +202,8 @@ pub fn build(scale: Scale) -> Workload {
     asm.vlse(VReg::new(2), t[6], t[4]); // up cells
     asm.addi(t[6], t[5], -4);
     asm.vlse(VReg::new(3), t[6], t[4]); // left cells
-    // scores: a[i-1] ascending (unit stride from q_arg + (i_lo-1)*4),
-    // b[j-1] descending from j_hi-1 = d - i_lo - 1.
+                                        // scores: a[i-1] ascending (unit stride from q_arg + (i_lo-1)*4),
+                                        // b[j-1] descending from j_hi-1 = d - i_lo - 1.
     asm.slli(t[6], t[1], 2);
     asm.add(t[6], t[6], q_arg);
     asm.addi(t[6], t[6], -4);
@@ -211,7 +215,7 @@ pub fn build(scale: Scale) -> Workload {
     asm.addi(t[6], t[6], -4); // &b[j-1] for i = i_lo (j = d - i)
     asm.li(bs[1], -4i64);
     asm.vlse(VReg::new(5), t[6], bs[1]); // b values, reversed
-    // s = (a == b) ? MATCH : MISMATCH via mask + merges
+                                         // s = (a == b) ? MATCH : MISMATCH via mask + merges
     asm.vcmp(
         bvl_isa::instr::VCmpOp::Eq,
         VReg::MASK,
@@ -223,7 +227,7 @@ pub fn build(scale: Scale) -> Workload {
     asm.li(t[6], MATCH);
     asm.vmv_v_x(VReg::new(7), t[6]);
     asm.vmerge_vvm(VReg::new(6), VReg::new(6), VReg::new(7)); // s
-    // H = max(0, diag + s, up - G, left - G)
+                                                              // H = max(0, diag + s, up - G, left - G)
     asm.vadd_vv(VReg::new(1), VReg::new(1), VReg::new(6));
     asm.li(t[6], -GAP);
     asm.vadd_vx(VReg::new(2), VReg::new(2), t[6]);
@@ -278,7 +282,7 @@ pub fn build(scale: Scale) -> Workload {
     emit_ret_wrapper(&mut asm, "vector_task_ret", "vector_task2");
     emit_second_copies(&mut asm, len, w, ref_base);
 
-    let program = Rc::new(asm.assemble().expect("sw assembles"));
+    let program = Arc::new(asm.assemble().expect("sw assembles"));
     let scalar_pc = program.label("scalar_task").expect("label");
     let vector_pc = program.label("vector_task").expect("label");
 

@@ -146,6 +146,9 @@ mod tests {
         // Power-law-ish: max degree well above average.
         let avg = g.num_edges() / g.vertices();
         let max = (0..g.vertices()).map(|v| g.degree(v)).max().unwrap();
-        assert!(max > 2 * avg, "degree distribution too flat: max {max}, avg {avg}");
+        assert!(
+            max > 2 * avg,
+            "degree distribution too flat: max {max}, avg {avg}"
+        );
     }
 }

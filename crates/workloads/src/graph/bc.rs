@@ -15,11 +15,16 @@ use crate::workload::{regs, Scale, Workload, WorkloadClass};
 use bvl_isa::asm::Assembler;
 use bvl_isa::reg::XReg;
 use bvl_mem::SimMemory;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn reference(g: &gen::CsrGraph, levels: &[u32]) -> (Vec<u32>, Vec<f32>) {
     let v = g.vertices();
-    let max_level = levels.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap_or(0);
+    let max_level = levels
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
     let mut sigma = vec![0u32; v];
     sigma[0] = 1;
     for lvl in 1..=max_level {
@@ -60,9 +65,18 @@ fn reference(g: &gen::CsrGraph, levels: &[u32]) -> (Vec<u32>, Vec<f32>) {
 
 /// Builds `bc` at `scale`.
 pub fn build(scale: Scale) -> Workload {
-    let g = gen::rmat(scale.seed ^ 107, scale.vertices as usize, scale.degree as usize);
+    let g = gen::rmat(
+        scale.seed ^ 107,
+        scale.vertices as usize,
+        scale.degree as usize,
+    );
     let levels = reference_levels(&g);
-    let max_level = levels.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap_or(0);
+    let max_level = levels
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
     let (expect_sigma, expect_delta) = reference(&g, &levels);
 
     let mut mem = SimMemory::default();
@@ -218,7 +232,7 @@ pub fn build(scale: Scale) -> Workload {
         },
     );
 
-    let program = Rc::new(asm.assemble().expect("bc assembles"));
+    let program = Arc::new(asm.assemble().expect("bc assembles"));
     let chunk = (gm.v / 16).max(16);
     let phases = util::make_phase_tasks(&program, gm.v, chunk, &specs);
 

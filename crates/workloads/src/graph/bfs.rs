@@ -11,7 +11,7 @@ use crate::workload::{regs, Scale, Workload, WorkloadClass};
 use bvl_isa::asm::Assembler;
 use bvl_isa::reg::XReg;
 use bvl_mem::SimMemory;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// "Unvisited" sentinel level.
 const INF: u32 = u32::MAX;
@@ -40,9 +40,18 @@ pub(crate) fn reference_levels(g: &gen::CsrGraph) -> Vec<u32> {
 
 /// Builds `bfs` at `scale`.
 pub fn build(scale: Scale) -> Workload {
-    let g = gen::rmat(scale.seed ^ 100, scale.vertices as usize, scale.degree as usize);
+    let g = gen::rmat(
+        scale.seed ^ 100,
+        scale.vertices as usize,
+        scale.degree as usize,
+    );
     let expect = reference_levels(&g);
-    let max_level = expect.iter().filter(|&&l| l != INF).max().copied().unwrap_or(0);
+    let max_level = expect
+        .iter()
+        .filter(|&&l| l != INF)
+        .max()
+        .copied()
+        .unwrap_or(0);
 
     let mut mem = SimMemory::default();
     let gm = util::alloc_graph(&mut mem, &g);
@@ -55,7 +64,9 @@ pub fn build(scale: Scale) -> Workload {
     let it_arg = regs::ARG2;
 
     let mut asm = Assembler::new();
-    let phase_args: PhaseArgs = (1..=max_level).map(|it| vec![(it_arg, u64::from(it))]).collect();
+    let phase_args: PhaseArgs = (1..=max_level)
+        .map(|it| vec![(it_arg, u64::from(it))])
+        .collect();
     util::emit_entries(&mut asm, "body", &phase_args, gm.v);
     util::emit_vertex_sweep(
         &mut asm,
@@ -91,7 +102,7 @@ pub fn build(scale: Scale) -> Workload {
         },
     );
 
-    let program = Rc::new(asm.assemble().expect("bfs assembles"));
+    let program = Arc::new(asm.assemble().expect("bfs assembles"));
     let scalar_pc = program.label("scalar_task").expect("label");
     let chunk = (gm.v / 16).max(16);
     let phases = util::make_phases(scalar_pc, gm.v, chunk, &phase_args);
@@ -109,8 +120,15 @@ pub fn build(scale: Scale) -> Workload {
             if got == expect {
                 Ok(())
             } else {
-                let i = got.iter().zip(&expect).position(|(g, e)| g != e).unwrap_or(0);
-                Err(format!("bfs mismatch at {i}: got {} want {}", got[i], expect[i]))
+                let i = got
+                    .iter()
+                    .zip(&expect)
+                    .position(|(g, e)| g != e)
+                    .unwrap_or(0);
+                Err(format!(
+                    "bfs mismatch at {i}: got {} want {}",
+                    got[i], expect[i]
+                ))
             }
         }),
     }

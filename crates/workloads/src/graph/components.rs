@@ -10,7 +10,7 @@ use crate::graph::util::{self, PhaseSpec};
 use crate::workload::{regs, Scale, Workload, WorkloadClass};
 use bvl_isa::asm::Assembler;
 use bvl_mem::SimMemory;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn reference_rounds(g: &gen::CsrGraph) -> (Vec<Vec<u32>>, Vec<u32>) {
     let v = g.vertices();
@@ -34,7 +34,11 @@ fn reference_rounds(g: &gen::CsrGraph) -> (Vec<Vec<u32>>, Vec<u32>) {
 
 /// Builds `components` at `scale`.
 pub fn build(scale: Scale) -> Workload {
-    let g = gen::rmat(scale.seed ^ 102, scale.vertices as usize, scale.degree as usize);
+    let g = gen::rmat(
+        scale.seed ^ 102,
+        scale.vertices as usize,
+        scale.degree as usize,
+    );
     let (states, expect) = reference_rounds(&g);
     let rounds = (states.len() - 1) as u64;
 
@@ -50,7 +54,11 @@ pub fn build(scale: Scale) -> Workload {
     let mut asm = Assembler::new();
     let specs: Vec<PhaseSpec> = (0..rounds)
         .map(|r| {
-            let (s, d) = if r % 2 == 0 { (lab_a, lab_b) } else { (lab_b, lab_a) };
+            let (s, d) = if r % 2 == 0 {
+                (lab_a, lab_b)
+            } else {
+                (lab_b, lab_a)
+            };
             PhaseSpec {
                 body: "cc_body",
                 args: vec![(src_arg, s), (dst_arg, d)],
@@ -85,10 +93,14 @@ pub fn build(scale: Scale) -> Workload {
         },
     );
 
-    let program = Rc::new(asm.assemble().expect("components assembles"));
+    let program = Arc::new(asm.assemble().expect("components assembles"));
     let chunk = (gm.v / 16).max(16);
     let phases = util::make_phase_tasks(&program, gm.v, chunk, &specs);
-    let final_base = if rounds.is_multiple_of(2) { lab_a } else { lab_b };
+    let final_base = if rounds.is_multiple_of(2) {
+        lab_a
+    } else {
+        lab_b
+    };
 
     Workload {
         name: "components",
@@ -103,7 +115,11 @@ pub fn build(scale: Scale) -> Workload {
             if got == expect {
                 Ok(())
             } else {
-                let i = got.iter().zip(&expect).position(|(g, e)| g != e).unwrap_or(0);
+                let i = got
+                    .iter()
+                    .zip(&expect)
+                    .position(|(g, e)| g != e)
+                    .unwrap_or(0);
                 Err(format!(
                     "components mismatch at {i}: got {} want {}",
                     got[i], expect[i]

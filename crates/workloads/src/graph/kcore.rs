@@ -11,7 +11,7 @@ use crate::workload::{regs, Scale, Workload, WorkloadClass};
 use bvl_isa::asm::Assembler;
 use bvl_isa::reg::XReg;
 use bvl_mem::SimMemory;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn reference(g: &gen::CsrGraph, k: u32) -> (u64, Vec<u32>) {
     let v = g.vertices();
@@ -24,11 +24,7 @@ fn reference(g: &gen::CsrGraph, k: u32) -> (u64, Vec<u32>) {
                 if alive[w] == 0 {
                     return 0;
                 }
-                let d: u32 = g
-                    .neighbours(w)
-                    .iter()
-                    .map(|&u| alive[u as usize])
-                    .sum();
+                let d: u32 = g.neighbours(w).iter().map(|&u| alive[u as usize]).sum();
                 u32::from(d >= k)
             })
             .collect();
@@ -42,7 +38,11 @@ fn reference(g: &gen::CsrGraph, k: u32) -> (u64, Vec<u32>) {
 
 /// Builds `kcore` at `scale`.
 pub fn build(scale: Scale) -> Workload {
-    let g = gen::rmat(scale.seed ^ 106, scale.vertices as usize, scale.degree as usize);
+    let g = gen::rmat(
+        scale.seed ^ 106,
+        scale.vertices as usize,
+        scale.degree as usize,
+    );
     let v = g.vertices();
     let k = ((g.num_edges() / v) as u32).max(2);
     let (rounds, expect) = reference(&g, k);
@@ -58,7 +58,11 @@ pub fn build(scale: Scale) -> Workload {
     let mut asm = Assembler::new();
     let specs: Vec<PhaseSpec> = (0..rounds)
         .map(|r| {
-            let (s, d) = if r % 2 == 0 { (alive_a, alive_b) } else { (alive_b, alive_a) };
+            let (s, d) = if r % 2 == 0 {
+                (alive_a, alive_b)
+            } else {
+                (alive_b, alive_a)
+            };
             PhaseSpec {
                 body: "kcore_body",
                 args: vec![(src_arg, s), (dst_arg, d)],
@@ -96,7 +100,7 @@ pub fn build(scale: Scale) -> Workload {
         },
     );
 
-    let program = Rc::new(asm.assemble().expect("kcore assembles"));
+    let program = Arc::new(asm.assemble().expect("kcore assembles"));
     let chunk = (gm.v / 16).max(16);
     let phases = util::make_phase_tasks(&program, gm.v, chunk, &specs);
     let final_base = if rounds % 2 == 0 { alive_a } else { alive_b };
@@ -114,7 +118,11 @@ pub fn build(scale: Scale) -> Workload {
             if got == expect {
                 Ok(())
             } else {
-                let i = got.iter().zip(&expect).position(|(g, e)| g != e).unwrap_or(0);
+                let i = got
+                    .iter()
+                    .zip(&expect)
+                    .position(|(g, e)| g != e)
+                    .unwrap_or(0);
                 Err(format!(
                     "kcore mismatch at {i}: got {} want {}",
                     got[i], expect[i]

@@ -12,7 +12,7 @@ use crate::workload::{regs, Scale, Workload, WorkloadClass};
 use bvl_isa::asm::Assembler;
 use bvl_isa::reg::XReg;
 use bvl_mem::SimMemory;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn reference(g: &gen::CsrGraph, prio: &[u32]) -> (u64, Vec<u32>) {
     let v = g.vertices();
@@ -55,7 +55,11 @@ fn reference(g: &gen::CsrGraph, prio: &[u32]) -> (u64, Vec<u32>) {
 
 /// Builds `mis` at `scale`.
 pub fn build(scale: Scale) -> Workload {
-    let g = gen::rmat(scale.seed ^ 104, scale.vertices as usize, scale.degree as usize);
+    let g = gen::rmat(
+        scale.seed ^ 104,
+        scale.vertices as usize,
+        scale.degree as usize,
+    );
     let v = g.vertices();
     // Distinct priorities: permuted indices hashed.
     let prio: Vec<u32> = {
@@ -161,7 +165,7 @@ pub fn build(scale: Scale) -> Workload {
         },
     );
 
-    let program = Rc::new(asm.assemble().expect("mis assembles"));
+    let program = Arc::new(asm.assemble().expect("mis assembles"));
     let chunk = (gm.v / 16).max(16);
     let phases = util::make_phase_tasks(&program, gm.v, chunk, &specs);
     // After `rounds` full rounds, state lives in the buffer written by the
@@ -183,8 +187,15 @@ pub fn build(scale: Scale) -> Workload {
             if got == expect {
                 Ok(())
             } else {
-                let i = got.iter().zip(&expect).position(|(g, e)| g != e).unwrap_or(0);
-                Err(format!("mis mismatch at {i}: got {} want {}", got[i], expect[i]))
+                let i = got
+                    .iter()
+                    .zip(&expect)
+                    .position(|(g, e)| g != e)
+                    .unwrap_or(0);
+                Err(format!(
+                    "mis mismatch at {i}: got {} want {}",
+                    got[i], expect[i]
+                ))
             }
         }),
     }

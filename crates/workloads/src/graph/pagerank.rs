@@ -11,14 +11,18 @@ use crate::workload::{regs, Scale, Workload, WorkloadClass};
 use bvl_isa::asm::Assembler;
 use bvl_isa::reg::{FReg, XReg};
 use bvl_mem::SimMemory;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Damping factor.
 const D: f32 = 0.85;
 
 /// Builds `pagerank` at `scale` (`scale.iters` iterations).
 pub fn build(scale: Scale) -> Workload {
-    let g = gen::rmat(scale.seed ^ 101, scale.vertices as usize, scale.degree as usize);
+    let g = gen::rmat(
+        scale.seed ^ 101,
+        scale.vertices as usize,
+        scale.degree as usize,
+    );
     let v = g.vertices();
     let iters = scale.iters;
     let init_rank = 1.0f32 / v as f32;
@@ -55,7 +59,11 @@ pub fn build(scale: Scale) -> Workload {
         cur = nxt;
     }
     let expect = cur;
-    let final_base = if iters.is_multiple_of(2) { rank_a } else { rank_b };
+    let final_base = if iters.is_multiple_of(2) {
+        rank_a
+    } else {
+        rank_b
+    };
 
     let t = regs::T;
     let bs = regs::B;
@@ -69,7 +77,11 @@ pub fn build(scale: Scale) -> Workload {
     // gather(src=contrib, dst=rank_y).
     let mut specs: Vec<PhaseSpec> = Vec::new();
     for it in 0..iters {
-        let (ra, rb) = if it % 2 == 0 { (rank_a, rank_b) } else { (rank_b, rank_a) };
+        let (ra, rb) = if it % 2 == 0 {
+            (rank_a, rank_b)
+        } else {
+            (rank_b, rank_a)
+        };
         specs.push(PhaseSpec {
             body: "contrib_body",
             args: vec![(src_arg, ra), (dst_arg, contrib)],
@@ -132,7 +144,7 @@ pub fn build(scale: Scale) -> Workload {
         },
     );
 
-    let program = Rc::new(asm.assemble().expect("pagerank assembles"));
+    let program = Arc::new(asm.assemble().expect("pagerank assembles"));
     let chunk = (gm.v / 16).max(16);
     let phases = util::make_phase_tasks(&program, gm.v, chunk, &specs);
 

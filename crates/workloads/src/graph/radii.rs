@@ -11,7 +11,7 @@ use crate::workload::{regs, Scale, Workload, WorkloadClass};
 use bvl_isa::asm::Assembler;
 use bvl_isa::reg::XReg;
 use bvl_mem::SimMemory;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn reference(g: &gen::CsrGraph) -> (u64, Vec<u32>, Vec<u32>) {
     let v = g.vertices();
@@ -48,7 +48,11 @@ fn reference(g: &gen::CsrGraph) -> (u64, Vec<u32>, Vec<u32>) {
 
 /// Builds `radii` at `scale`.
 pub fn build(scale: Scale) -> Workload {
-    let g = gen::rmat(scale.seed ^ 103, scale.vertices as usize, scale.degree as usize);
+    let g = gen::rmat(
+        scale.seed ^ 103,
+        scale.vertices as usize,
+        scale.degree as usize,
+    );
     let v = g.vertices();
     let sources = v.min(32);
     let (rounds, _final_vis, expect_radii) = reference(&g);
@@ -72,7 +76,11 @@ pub fn build(scale: Scale) -> Workload {
     let mut asm = Assembler::new();
     let specs: Vec<PhaseSpec> = (0..rounds)
         .map(|r| {
-            let (s, d) = if r % 2 == 0 { (vis_a, vis_b) } else { (vis_b, vis_a) };
+            let (s, d) = if r % 2 == 0 {
+                (vis_a, vis_b)
+            } else {
+                (vis_b, vis_a)
+            };
             PhaseSpec {
                 body: "radii_body",
                 args: vec![(src_arg, s), (dst_arg, d), (round_arg, r + 1)],
@@ -111,7 +119,7 @@ pub fn build(scale: Scale) -> Workload {
         },
     );
 
-    let program = Rc::new(asm.assemble().expect("radii assembles"));
+    let program = Arc::new(asm.assemble().expect("radii assembles"));
     let chunk = (gm.v / 16).max(16);
     let phases = util::make_phase_tasks(&program, gm.v, chunk, &specs);
 

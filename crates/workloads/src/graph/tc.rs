@@ -13,7 +13,7 @@ use crate::workload::{regs, Scale, Workload, WorkloadClass};
 use bvl_isa::asm::Assembler;
 use bvl_isa::reg::XReg;
 use bvl_mem::SimMemory;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn reference(g: &gen::CsrGraph) -> (Vec<u32>, u32) {
     let v = g.vertices();
@@ -52,7 +52,11 @@ fn reference(g: &gen::CsrGraph) -> (Vec<u32>, u32) {
 
 /// Builds `trianglecount` at `scale`.
 pub fn build(scale: Scale) -> Workload {
-    let g = gen::rmat(scale.seed ^ 108, scale.vertices as usize, scale.degree as usize);
+    let g = gen::rmat(
+        scale.seed ^ 108,
+        scale.vertices as usize,
+        scale.degree as usize,
+    );
     let (expect_counts, expect_total) = reference(&g);
 
     let mut mem = SimMemory::default();
@@ -102,8 +106,8 @@ pub fn build(scale: Scale) -> Workload {
             asm.add(bs[1], bs[1], t[4]);
             asm.lw(t[7], bs[1], 0); // b start
             asm.lw(t[4], bs[1], 4); // b end
-            // pointers: bs[2] = &edges[a_i], bs[3] = &edges[b_j];
-            // limits: bs[4] = &edges[a_end], bs[5] = &edges[b_end]
+                                    // pointers: bs[2] = &edges[a_i], bs[3] = &edges[b_j];
+                                    // limits: bs[4] = &edges[a_end], bs[5] = &edges[b_end]
             asm.li(bs[1], gm.edges as i64);
             asm.slli(t[5], t[5], 2);
             asm.add(bs[2], bs[1], t[5]);
@@ -118,7 +122,7 @@ pub fn build(scale: Scale) -> Workload {
             asm.bge(bs[3], bs[5], "tc$next");
             asm.lw(t[4], bs[2], 0); // x
             asm.lw(t[5], bs[3], 0); // y
-            // skip elements <= b
+                                    // skip elements <= b
             asm.blt(t[2], t[4], "tc$x_ok");
             asm.addi(bs[2], bs[2], 4);
             asm.j("tc$merge");
@@ -167,7 +171,7 @@ pub fn build(scale: Scale) -> Workload {
     asm.sw(t[2], bs[1], 0);
     asm.jalr(XReg::ZERO, XReg::RA, 0);
 
-    let program = Rc::new(asm.assemble().expect("tc assembles"));
+    let program = Arc::new(asm.assemble().expect("tc assembles"));
     let chunk = (gm.v / 16).max(16);
     let mut phases = util::make_phase_tasks(&program, gm.v, chunk, &specs);
     // The reduction is inherently single-task.

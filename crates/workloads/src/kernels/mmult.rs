@@ -12,7 +12,7 @@ use bvl_isa::reg::{VReg, XReg};
 use bvl_isa::vcfg::Sew;
 use bvl_mem::SimMemory;
 use bvl_runtime::parallel_for_tasks;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Builds `mmult` at `scale` (a `scale.dim`² matrix).
 pub fn build(scale: Scale) -> Workload {
@@ -100,7 +100,7 @@ pub fn build(scale: Scale) -> Workload {
     asm.beq(t[6], XReg::ZERO, "v_i_next");
     asm.vsetvli(vl, t[6], Sew::E32);
     asm.vmv_v_x(VReg::new(1), XReg::ZERO); // acc tile = 0.0
-    // a_ptr = A + i*row; b_ptr = B + j*4
+                                           // a_ptr = A + i*row; b_ptr = B + j*4
     asm.li(bs[0], a as i64);
     asm.li(t[3], row_bytes);
     asm.mul(t[4], t[0], t[3]);
@@ -142,11 +142,19 @@ pub fn build(scale: Scale) -> Workload {
     asm.li(end, d as i64);
     asm.j("vector_task");
 
-    let program = Rc::new(asm.assemble().expect("mmult assembles"));
+    let program = Arc::new(asm.assemble().expect("mmult assembles"));
     let scalar_pc = program.label("scalar_task").expect("label");
     let vector_pc = program.label("vector_task").expect("label");
     let chunk = (d / 8).max(2);
-    let tasks = parallel_for_tasks(d, chunk, scalar_pc, Some(vector_pc), regs::START, regs::END, &[]);
+    let tasks = parallel_for_tasks(
+        d,
+        chunk,
+        scalar_pc,
+        Some(vector_pc),
+        regs::START,
+        regs::END,
+        &[],
+    );
 
     Workload {
         name: "mmult",

@@ -10,7 +10,7 @@ use bvl_isa::reg::{VReg, XReg};
 use bvl_isa::vcfg::Sew;
 use bvl_mem::SimMemory;
 use bvl_runtime::parallel_for_tasks;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The scalar coefficient `a`.
 const A: f32 = 2.5;
@@ -99,11 +99,19 @@ pub fn build(scale: Scale) -> Workload {
     asm.li(end, n as i64);
     asm.j("vector_task");
 
-    let program = Rc::new(asm.assemble().expect("saxpy assembles"));
+    let program = Arc::new(asm.assemble().expect("saxpy assembles"));
     let scalar_pc = program.label("scalar_task").expect("label");
     let vector_pc = program.label("vector_task").expect("label");
     let chunk = (n / 32).max(64);
-    let tasks = parallel_for_tasks(n, chunk, scalar_pc, Some(vector_pc), regs::START, regs::END, &[]);
+    let tasks = parallel_for_tasks(
+        n,
+        chunk,
+        scalar_pc,
+        Some(vector_pc),
+        regs::START,
+        regs::END,
+        &[],
+    );
 
     Workload {
         name: "saxpy",

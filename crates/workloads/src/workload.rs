@@ -4,7 +4,7 @@ use bvl_isa::asm::Program;
 use bvl_mem::SimMemory;
 use bvl_runtime::Task;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Input-size scaling knob.
 ///
@@ -101,7 +101,7 @@ pub struct Workload {
     /// Suite membership.
     pub class: WorkloadClass,
     /// The program (all entry points share one text image).
-    pub program: Rc<Program>,
+    pub program: Arc<Program>,
     /// Initialized data image.
     pub mem: SimMemory,
     /// Scalar whole-run entry (used by `1L`, `1b`, and serial fallbacks).
@@ -111,8 +111,11 @@ pub struct Workload {
     /// Barrier-delimited task phases (used by the multi-core systems).
     pub phases: Vec<Phase>,
     /// Verifies the final memory image against the pure-Rust reference.
+    ///
+    /// `Send + Sync` so prebuilt workloads can be fanned out across sweep
+    /// worker threads; checkers capture only plain data (expected outputs).
     #[allow(clippy::type_complexity)]
-    pub check: Box<dyn Fn(&SimMemory) -> Result<(), String>>,
+    pub check: Box<dyn Fn(&SimMemory) -> Result<(), String> + Send + Sync>,
 }
 
 impl fmt::Debug for Workload {
@@ -184,6 +187,14 @@ mod tests {
     use super::*;
 
     #[test]
+    fn workload_is_send_and_sync() {
+        // The sweep harness moves prebuilt workloads across worker threads;
+        // this fails to compile if any field regresses to a thread-local type.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Workload>();
+    }
+
+    #[test]
     fn scales_are_ordered() {
         let (t, d, l) = (Scale::tiny(), Scale::default_eval(), Scale::large());
         assert!(t.n < d.n && d.n < l.n);
@@ -193,7 +204,13 @@ mod tests {
     #[test]
     fn reg_conventions_do_not_collide() {
         use regs::*;
-        let mut all = vec![START.index(), END.index(), ARG2.index(), ARG3.index(), VL.index()];
+        let mut all = vec![
+            START.index(),
+            END.index(),
+            ARG2.index(),
+            ARG3.index(),
+            VL.index(),
+        ];
         all.extend(T.iter().map(|r| r.index()));
         all.extend(B.iter().map(|r| r.index()));
         let n = all.len();

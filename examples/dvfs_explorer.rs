@@ -15,7 +15,10 @@ fn main() -> Result<(), String> {
     let mut points = Vec::new();
 
     println!("vvadd on 1b-4VL across the V/F grid:\n");
-    println!("{:>10} {:>10} {:>12} {:>10}", "big", "little", "time (µs)", "power (W)");
+    println!(
+        "{:>10} {:>10} {:>12} {:>10}",
+        "big", "little", "time (µs)", "power (W)"
+    );
     for b in BIG_LEVELS {
         for l in LITTLE_LEVELS {
             let mut params = SimParams::default();

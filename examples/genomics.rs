@@ -22,7 +22,10 @@ fn main() -> Result<(), String> {
     );
 
     let scalar_big = simulate(SystemKind::B1, &workload, &params)?;
-    println!("1b     (scalar DP):           {:>9.1} µs", scalar_big.wall_ns / 1000.0);
+    println!(
+        "1b     (scalar DP):           {:>9.1} µs",
+        scalar_big.wall_ns / 1000.0
+    );
 
     let tasks = simulate(SystemKind::B4L, &workload, &params)?;
     let rt = tasks.runtime.expect("task run");

@@ -15,7 +15,11 @@ fn main() -> Result<(), String> {
 
     println!("saxpy, {} elements\n", Scale::default_eval().n);
     let base = simulate(SystemKind::L1, &workload, &params)?;
-    println!("{:>8}: {:>10.1} µs  (baseline)", "1L", base.wall_ns / 1000.0);
+    println!(
+        "{:>8}: {:>10.1} µs  (baseline)",
+        "1L",
+        base.wall_ns / 1000.0
+    );
 
     for kind in [SystemKind::BIv, SystemKind::BDv, SystemKind::B4Vl] {
         let r = simulate(kind, &workload, &params)?;

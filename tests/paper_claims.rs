@@ -66,13 +66,7 @@ fn vlittle_has_no_scalar_mode_overhead() {
 #[test]
 fn data_parallel_ordering_dve_vlittle_ivu() {
     let dp = all_data_parallel(Scale::tiny());
-    let gm = |k: SystemKind| {
-        geomean(
-            &dp.iter()
-                .map(|w| 1.0 / wall(k, w))
-                .collect::<Vec<_>>(),
-        )
-    };
+    let gm = |k: SystemKind| geomean(&dp.iter().map(|w| 1.0 / wall(k, w)).collect::<Vec<_>>());
     let (dve, vlittle, ivu) = (
         gm(SystemKind::BDv),
         gm(SystemKind::B4Vl),
