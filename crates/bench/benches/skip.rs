@@ -1,0 +1,46 @@
+//! Quiescence-skip speedup: single-run `simulate` with the event-aware
+//! tick-skip engine on versus the naive cycle-by-cycle loop (`no_skip`).
+//!
+//! One memory-bound workload (vvadd — long DRAM-latency windows the skip
+//! engine batch-advances over) and one compute-bound workload (mmult —
+//! dense per-cycle activity, the skip engine's worst case) on the two
+//! vector-engine systems. The skip/naive pairs produce byte-identical
+//! results (enforced by `crates/sim/tests/skip_equivalence.rs`); these
+//! benches track how much wall time the batching buys.
+
+use bvl_sim::{simulate, SimParams, SystemKind};
+use bvl_workloads::kernels::{mmult, vvadd};
+use bvl_workloads::{Scale, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_pair(c: &mut Criterion, name: &str, kind: SystemKind, w: &Workload) {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    for (id, no_skip) in [("skip", false), ("naive", true)] {
+        let params = SimParams {
+            no_skip,
+            ..SimParams::default()
+        };
+        g.bench_function(id, |b| {
+            b.iter(|| black_box(simulate(kind, w, &params).expect("runs")));
+        });
+    }
+    g.finish();
+}
+
+/// Memory-bound: streaming vvadd, dominated by DRAM round-trips.
+fn skip_memory_bound(c: &mut Criterion) {
+    let w = vvadd::build(Scale::tiny());
+    bench_pair(c, "skip_vvadd_1bIV", SystemKind::BIv, &w);
+    bench_pair(c, "skip_vvadd_1bDV", SystemKind::BDv, &w);
+}
+
+/// Compute-bound: blocked mmult with reuse, few idle windows.
+fn skip_compute_bound(c: &mut Criterion) {
+    let w = mmult::build(Scale::tiny());
+    bench_pair(c, "skip_mmult_1bDV", SystemKind::BDv, &w);
+}
+
+criterion_group!(skip, skip_memory_bound, skip_compute_bound);
+criterion_main!(skip);

@@ -16,7 +16,7 @@ fn tab45(c: &mut Criterion) {
     g.bench_function("saxpy_vector_entry", |b| {
         b.iter(|| {
             let w = saxpy::build(Scale::tiny());
-            let mut m = Machine::new(w.mem.clone(), 512);
+            let mut m = Machine::new(w.mem.fork(), 512);
             m.set_pc(w.vector_entry.expect("vectorized"));
             m.run(&w.program, 1_000_000_000).expect("runs");
             black_box(m.counters())

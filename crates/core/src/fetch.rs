@@ -104,6 +104,18 @@ impl FetchUnit {
         self.pending_line.is_some()
     }
 
+    /// The cycle the front-end becomes usable again after a redirect
+    /// (`now < redirect_free_at` means fetch is blocked this cycle).
+    pub fn redirect_free_at(&self) -> u64 {
+        self.redirect_free_at
+    }
+
+    /// True when the line containing `pc` is already buffered — a fetch
+    /// at `pc` would deliver without touching the hierarchy.
+    pub fn has_line(&self, pc: u32) -> bool {
+        self.buffered_line == Some(self.line_of(pc))
+    }
+
     /// Forgets the buffered line (used when a core is reassigned to a new
     /// program/task far away).
     pub fn flush(&mut self) {

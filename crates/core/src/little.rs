@@ -11,10 +11,11 @@
 //! (execute-at-decode); the timing model replays its effects.
 
 use crate::fetch::FetchUnit;
-use crate::types::{CoreStats, StallKind};
+use crate::types::{CoreStats, Quiescence, StallKind};
 use bvl_isa::asm::Program;
 use bvl_isa::exec::{ExecError, StepInfo};
-use bvl_isa::meta::{scalar_meta, FuClass};
+use bvl_isa::meta::FuClass;
+use bvl_isa::predecode::{DestReg, InstrMeta, PreDecoded, SrcReg};
 use bvl_isa::reg::NUM_REGS;
 use bvl_isa::Machine;
 use bvl_mem::{AccessKind, MemHierarchy, MemReq, PortId, SharedMem};
@@ -42,13 +43,6 @@ impl Default for LittleParams {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-enum Dest {
-    X(usize),
-    F(usize),
-    None,
-}
-
 #[derive(Debug)]
 struct Pending {
     info: StepInfo,
@@ -61,12 +55,13 @@ pub struct LittleCore {
     params: LittleParams,
     machine: Machine<SharedMem>,
     program: Arc<Program>,
+    pre: Arc<PreDecoded>,
     fetch: FetchUnit,
     x_ready: [u64; NUM_REGS],
     f_ready: [u64; NUM_REGS],
     muldiv_busy_until: u64,
     pending: Option<Pending>,
-    load_wait: Option<(u64, Dest)>,
+    load_wait: Option<(u64, DestReg)>,
     outstanding_stores: HashSet<u64>,
     next_mem_id: u64,
     stats: CoreStats,
@@ -91,6 +86,7 @@ impl LittleCore {
             id,
             params,
             machine: Machine::new(mem, 64),
+            pre: program.predecoded(),
             program,
             fetch: FetchUnit::new(PortId::LittleFetch(id), text_base, line_bytes),
             x_ready: [0; NUM_REGS],
@@ -166,9 +162,9 @@ impl LittleCore {
             } else if let Some((id, dest)) = self.load_wait {
                 debug_assert_eq!(id, resp.id, "single outstanding load");
                 match dest {
-                    Dest::X(r) => self.x_ready[r] = now,
-                    Dest::F(r) => self.f_ready[r] = now,
-                    Dest::None => {}
+                    DestReg::X(r) => self.x_ready[r as usize] = now,
+                    DestReg::F(r) => self.f_ready[r as usize] = now,
+                    DestReg::None => {}
                 }
                 self.load_wait = None;
             }
@@ -204,14 +200,15 @@ impl LittleCore {
     fn try_issue(&mut self, now: u64, hier: &mut MemHierarchy) -> StallKind {
         let info = &self.pending.as_ref().expect("pending refilled").info;
         let instr = info.instr;
+        let im = *self.pre.at(info.pc);
         debug_assert!(
-            !instr.is_vector(),
+            !im.is_vector,
             "little cores execute scalar task variants only"
         );
-        let meta = scalar_meta(&instr);
+        let meta = im.meta;
 
         // RAW hazards via the scoreboard.
-        if let Some(kind) = self.source_hazard(now, &instr) {
+        if let Some(kind) = self.source_hazard(now, &im) {
             return kind;
         }
 
@@ -244,7 +241,7 @@ impl LittleCore {
                 return StallKind::Struct;
             }
             if is_load {
-                let dest = self.dest_of(&instr);
+                let dest = im.scoreboard_dest;
                 self.set_dest_pending(dest);
                 self.load_wait = Some((self.next_mem_id, dest));
             } else {
@@ -252,15 +249,14 @@ impl LittleCore {
             }
         } else {
             // Register result ready after the FU latency.
-            let dest = self.dest_of(&instr);
-            self.set_dest_ready(dest, now + u64::from(meta.latency));
+            self.set_dest_ready(im.scoreboard_dest, now + u64::from(meta.latency));
             if meta.fu == FuClass::MulDiv {
                 self.muldiv_busy_until = now + u64::from(meta.latency);
             }
         }
 
         // Control flow.
-        if instr.is_control() {
+        if im.is_control {
             let info = &self.pending.as_ref().expect("pending").info;
             if let bvl_isa::instr::Instr::Branch { target, .. } = instr {
                 self.stats.branches += 1;
@@ -283,10 +279,10 @@ impl LittleCore {
         StallKind::Busy
     }
 
-    fn source_hazard(&self, now: u64, instr: &bvl_isa::instr::Instr) -> Option<StallKind> {
-        let ready_times = source_ready_times(instr, &self.x_ready, &self.f_ready);
+    fn source_hazard(&self, now: u64, im: &InstrMeta) -> Option<StallKind> {
         let mut worst: Option<StallKind> = None;
-        for t in ready_times {
+        for &s in im.srcs() {
+            let t = self.src_ready(s);
             if t == LOAD_PENDING {
                 worst = Some(StallKind::RawMem);
             } else if t > now && worst.is_none() {
@@ -296,98 +292,126 @@ impl LittleCore {
         worst
     }
 
-    fn dest_of(&self, instr: &bvl_isa::instr::Instr) -> Dest {
-        use bvl_isa::instr::Instr::*;
-        match *instr {
-            Op { rd, .. } | OpImm { rd, .. } | Lui { rd, .. } | Load { rd, .. } => {
-                Dest::X(rd.index())
-            }
-            Jal { rd, .. } | Jalr { rd, .. } => Dest::X(rd.index()),
-            FpCmp { rd, .. } | FpCvtToInt { rd, .. } | FpMvToInt { rd, .. } => Dest::X(rd.index()),
-            FpOp { rd, .. } | FpFma { rd, .. } | FpLoad { rd, .. } => Dest::F(rd.index()),
-            FpCvtFromInt { rd, .. } | FpMvFromInt { rd, .. } => Dest::F(rd.index()),
-            _ => Dest::None,
+    fn src_ready(&self, s: SrcReg) -> u64 {
+        match s {
+            SrcReg::X(r) => self.x_ready[r as usize],
+            SrcReg::F(r) => self.f_ready[r as usize],
         }
     }
 
-    fn set_dest_ready(&mut self, dest: Dest, at: u64) {
+    fn set_dest_ready(&mut self, dest: DestReg, at: u64) {
         match dest {
-            Dest::X(0) => {}
-            Dest::X(r) => self.x_ready[r] = at,
-            Dest::F(r) => self.f_ready[r] = at,
-            Dest::None => {}
+            DestReg::X(0) => {}
+            DestReg::X(r) => self.x_ready[r as usize] = at,
+            DestReg::F(r) => self.f_ready[r as usize] = at,
+            DestReg::None => {}
         }
     }
 
-    fn set_dest_pending(&mut self, dest: Dest) {
+    fn set_dest_pending(&mut self, dest: DestReg) {
         self.set_dest_ready(dest, LOAD_PENDING);
     }
-}
 
-/// Scoreboard ready-times of every source register an instruction reads.
-/// Shared with the big core's wakeup logic.
-pub(crate) fn source_ready_times(
-    instr: &bvl_isa::instr::Instr,
-    x_ready: &[u64; NUM_REGS],
-    f_ready: &[u64; NUM_REGS],
-) -> Vec<u64> {
-    use bvl_isa::instr::Instr::*;
-    let mut out = Vec::with_capacity(3);
-    let mut x = |r: bvl_isa::reg::XReg| {
-        if r.index() != 0 {
-            out.push(x_ready[r.index()]);
+    /// Reports whether ticking this core before some future cycle can do
+    /// anything beyond repeating one constant stall accounting.
+    ///
+    /// Callers must additionally check the hierarchy for pending
+    /// responses on this core's fetch/data ports: a quiescent core is
+    /// woken by them (the reported window assumes none arrive).
+    pub fn quiescence(&self, now: u64) -> Quiescence {
+        if self.halted {
+            // Idle or draining: halted ticks account nothing, and any
+            // in-flight loads/stores complete via external responses.
+            return Quiescence::Idle {
+                until: None,
+                account: None,
+            };
         }
-    };
-    match *instr {
-        Op { rs1, rs2, .. } | Store { rs2, rs1, .. } | Branch { rs1, rs2, .. } => {
-            x(rs1);
-            x(rs2);
-        }
-        OpImm { rs1, .. }
-        | Load { rs1, .. }
-        | FpLoad { rs1, .. }
-        | Jalr { rs1, .. }
-        | FpCvtFromInt { rs1, .. }
-        | FpMvFromInt { rs1, .. } => x(rs1),
-        FpStore { rs1, rs2, .. } => {
-            x(rs1);
-            out.push(f_ready[rs2.index()]);
-        }
-        FpOp { rs1, rs2, .. } | FpCmp { rs1, rs2, .. } => {
-            out.push(f_ready[rs1.index()]);
-            out.push(f_ready[rs2.index()]);
-        }
-        FpFma { rs1, rs2, rs3, .. } => {
-            out.push(f_ready[rs1.index()]);
-            out.push(f_ready[rs2.index()]);
-            out.push(f_ready[rs3.index()]);
-        }
-        FpCvtToInt { rs1, .. } | FpMvToInt { rs1, .. } => out.push(f_ready[rs1.index()]),
-        // Vector instructions: scalar sources carried into the engine.
-        VSetVl {
-            avl: bvl_isa::instr::AvlSrc::Reg(r),
-            ..
-        } => x(r),
-        VLoad { base, mode, .. } | VStore { base, mode, .. } => {
-            x(base);
-            if let bvl_isa::instr::VMemMode::Strided(s) = mode {
-                x(s);
+        let Some(p) = &self.pending else {
+            let free_at = self.fetch.redirect_free_at();
+            if now < free_at {
+                // Redirect shadow: front-end starvation until it expires.
+                return Quiescence::Idle {
+                    until: Some(free_at),
+                    account: Some(StallKind::Misc),
+                };
             }
-        }
-        VArith { src1, .. } | VCmp { src1, .. } => {
-            if let Some(r) = src1.xreg() {
-                x(r);
+            if self.fetch.has_line(self.machine.pc()) {
+                return Quiescence::Active; // would deliver and decode now
             }
-            if let Some(r) = src1.freg() {
-                out.push(f_ready[r.index()]);
+            if self.fetch.fetch_pending() {
+                // Waiting on the L1I line (an external response).
+                return Quiescence::Idle {
+                    until: None,
+                    account: Some(StallKind::Misc),
+                };
             }
-        }
-        VSlideUp { amt, .. } | VSlideDown { amt, .. } => x(amt),
-        VMvVX { rs1, .. } | VMvSX { rs1, .. } => x(rs1),
-        VFMvVF { fs1, .. } => out.push(f_ready[fs1.index()]),
-        _ => {}
+            return Quiescence::Active; // would issue the line fetch
+        };
+        self.issue_quiescence(now, &p.info)
     }
-    out
+
+    /// Quiescence of a core stalled on its pending instruction. Mirrors
+    /// the hazard checks of `try_issue` without side effects, in order.
+    fn issue_quiescence(&self, now: u64, info: &StepInfo) -> Quiescence {
+        let im = self.pre.at(info.pc);
+        // RAW hazards: a pending-load source pins the stall at RawMem
+        // until the (external) response; otherwise the latest LLFU ready
+        // time is an exact internal deadline.
+        let mut pending_load = false;
+        let mut llfu_until = 0u64;
+        for &s in im.srcs() {
+            let t = self.src_ready(s);
+            if t == LOAD_PENDING {
+                pending_load = true;
+            } else if t > now {
+                llfu_until = llfu_until.max(t);
+            }
+        }
+        if pending_load {
+            return Quiescence::Idle {
+                until: None,
+                account: Some(StallKind::RawMem),
+            };
+        }
+        if llfu_until > now {
+            return Quiescence::Idle {
+                until: Some(llfu_until),
+                account: Some(StallKind::RawLlfu),
+            };
+        }
+        if im.meta.fu == FuClass::MulDiv && self.muldiv_busy_until > now {
+            return Quiescence::Idle {
+                until: Some(self.muldiv_busy_until),
+                account: Some(StallKind::Struct),
+            };
+        }
+        let instr = info.instr;
+        let is_load = instr.is_scalar_mem() && !info.mem.is_empty() && !info.mem[0].is_store;
+        let is_store = instr.is_scalar_mem() && !info.mem.is_empty() && info.mem[0].is_store;
+        if is_load && self.load_wait.is_some() {
+            return Quiescence::Idle {
+                until: None,
+                account: Some(StallKind::Struct),
+            };
+        }
+        if is_store && self.outstanding_stores.len() >= self.params.store_buffer {
+            return Quiescence::Idle {
+                until: None,
+                account: Some(StallKind::Struct),
+            };
+        }
+        Quiescence::Active // would issue (or retry the L1D port) now
+    }
+
+    /// Batch-accounts `cycles` skipped quiescent cycles. Callers must
+    /// have observed an [`Quiescence::Idle`] with this `account` covering
+    /// the whole window.
+    pub fn skip_idle(&mut self, cycles: u64, account: Option<StallKind>) {
+        if let Some(kind) = account {
+            self.stats.account_many(kind, cycles);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -506,6 +530,64 @@ mod tests {
         // 8 independent loads: structural single-load limit forces
         // serialization; struct stalls must appear.
         assert!(core.stats().of(StallKind::Struct) > 0);
+    }
+
+    #[test]
+    fn quiescence_predicts_naive_ticks() {
+        // Oracle for the event-skip contract: whenever the core claims
+        // quiescence and nothing external (hierarchy event or pending
+        // response) is due, the naive tick must retire nothing and account
+        // exactly the predicted stall kind.
+        let mut a = Assembler::new();
+        a.li(x(1), 0x2000);
+        a.lw(x(2), x(1), 0); // cold miss: long RawMem window
+        a.addi(x(3), x(2), 1);
+        a.li(x(4), 100);
+        a.li(x(5), 7);
+        a.div(x(6), x(4), x(5)); // RawLlfu + muldiv structural windows
+        a.mul(x(7), x(6), x(5));
+        a.addi(x(8), x(7), 1);
+        a.sw(x(8), x(1), 4);
+        a.halt();
+        let prog = Arc::new(a.assemble().unwrap());
+        let shared = SharedMem::new(SimMemory::new(1 << 20));
+        let mut hier = MemHierarchy::new(HierConfig::with_little(1));
+        let mut core = LittleCore::new(
+            0,
+            shared,
+            prog,
+            TEXT_BASE,
+            hier.line_bytes(),
+            LittleParams::default(),
+        );
+        core.assign(0);
+        let mut checked = 0u64;
+        for t in 0..2_000_000u64 {
+            let q = core.quiescence(t);
+            let external = hier.next_event(t).is_some_and(|e| e <= t)
+                || hier.response_pending(PortId::LittleFetch(0))
+                || hier.response_pending(PortId::LittleData(0));
+            hier.tick(t);
+            let before = *core.stats();
+            core.tick(t, &mut hier);
+            if !external {
+                if let crate::types::Quiescence::Idle { until, account } = q {
+                    if until.is_none_or(|u| t < u) {
+                        checked += 1;
+                        let mut expect = before;
+                        if let Some(kind) = account {
+                            expect.account(kind);
+                        }
+                        assert_eq!(*core.stats(), expect, "t={t} q={q:?}");
+                    }
+                }
+            }
+            if core.done() {
+                assert!(checked > 50, "quiescent windows exercised: {checked}");
+                return;
+            }
+        }
+        panic!("core did not finish");
     }
 
     #[test]

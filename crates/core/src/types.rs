@@ -74,12 +74,19 @@ pub struct CoreStats {
 impl CoreStats {
     /// Records one cycle attributed to `kind`.
     pub fn account(&mut self, kind: StallKind) {
-        self.cycles += 1;
+        self.account_many(kind, 1);
+    }
+
+    /// Records `n` cycles attributed to `kind` at once — the batch form
+    /// of [`CoreStats::account`] used when the simulator skips a window
+    /// of quiescent cycles whose accounting is known to be constant.
+    pub fn account_many(&mut self, kind: StallKind, n: u64) {
+        self.cycles += n;
         let idx = StallKind::ALL
             .iter()
             .position(|k| *k == kind)
             .expect("kind is in ALL");
-        self.breakdown[idx] += 1;
+        self.breakdown[idx] += n;
     }
 
     /// Cycles attributed to `kind`.
@@ -99,6 +106,34 @@ impl CoreStats {
             self.retired as f64 / self.cycles as f64
         }
     }
+}
+
+/// A ticked component's self-assessment of upcoming work, used by the
+/// simulator's quiescence-skip engine (see DESIGN.md, "The event-skip
+/// contract").
+///
+/// The contract: while a component reports `Idle`, every naive tick
+/// strictly before `until` (every tick, when `until` is `None`) is a
+/// no-op except for accounting exactly one cycle of `account` — provided
+/// no memory response is pending on the component's ports and no other
+/// component acts on it in the window. The first cycle at which its
+/// behavior may differ must be covered by `until`; reporting an earlier
+/// `until` is allowed (it only shrinks the skip), a later one is a bug.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Quiescence {
+    /// Ticking now may change state: do not skip.
+    Active,
+    /// Quiescent until `until` (exclusive). `None` means quiescent until
+    /// externally woken (a memory response, an engine event, or a new
+    /// work assignment).
+    Idle {
+        /// First cycle the component may act on its own, if any.
+        until: Option<u64>,
+        /// The per-cycle stall accounting each skipped tick would have
+        /// performed (`None`: the tick accounts nothing, e.g. a halted
+        /// core).
+        account: Option<StallKind>,
+    },
 }
 
 /// A vector instruction handed from the big core to a vector engine, with

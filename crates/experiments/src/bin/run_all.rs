@@ -1,5 +1,6 @@
 //! Regenerates every figure, table and ablation with one command,
-//! printing a per-artifact timing summary at the end.
+//! printing a per-artifact timing/throughput summary at the end and
+//! persisting it as JSON next to the results.
 //!
 //! All artifacts run in-process through one shared
 //! [`bvl_experiments::sweep::SweepCache`], so simulation points common to
@@ -9,8 +10,15 @@
 //! ```sh
 //! cargo run --release -p bvl-experiments --bin run_all -- --scale tiny --jobs 8
 //! ```
+//!
+//! The summary reports, per artifact: host wall seconds, simulate calls
+//! executed (cache hits excluded), simulated clock-domain cycles,
+//! aggregate Mcycles/s, and the fraction of cycles the quiescence engine
+//! batch-skipped (zero under `--no-skip`).
 
+use bvl_experiments::sweep::Throughput;
 use bvl_experiments::{figs, print_table, ExpOpts};
+use serde::Serialize;
 use std::time::Instant;
 
 /// A named experiment entry point.
@@ -35,32 +43,119 @@ const ARTIFACTS: [Artifact; 15] = [
     ("abl_scaling", figs::abl_scaling::run),
 ];
 
+/// One artifact's timing/throughput record (JSON row).
+#[derive(Serialize)]
+struct ArtifactTiming {
+    artifact: String,
+    /// Wall-clock seconds for the whole artifact (including cache hits,
+    /// table printing and JSON writes).
+    host_secs: f64,
+    /// Simulate calls actually executed for this artifact.
+    sim_runs: u64,
+    /// Simulated clock-domain cycles (run + skipped edges).
+    sim_cycles: u64,
+    /// Cycles batch-skipped by the quiescence engine.
+    cycles_skipped: u64,
+    /// `cycles_skipped` as a percentage of `sim_cycles`.
+    skipped_pct: f64,
+    /// Aggregate simulated Mcycles per wall second.
+    mcycles_per_sec: f64,
+    /// Seconds inside `simulate`, summed over worker threads.
+    sim_thread_secs: f64,
+}
+
+impl ArtifactTiming {
+    fn of(name: &str, host_secs: f64, t: Throughput) -> Self {
+        ArtifactTiming {
+            artifact: name.to_string(),
+            host_secs,
+            sim_runs: t.runs,
+            sim_cycles: t.sim_cycles(),
+            cycles_skipped: t.edges_skipped,
+            skipped_pct: t.skipped_pct(),
+            mcycles_per_sec: t.mcycles_per_sec(host_secs),
+            sim_thread_secs: t.sim_thread_secs,
+        }
+    }
+
+    fn row(&self) -> Vec<String> {
+        vec![
+            self.artifact.clone(),
+            format!("{:.2}", self.host_secs),
+            self.sim_runs.to_string(),
+            format!("{:.1}", self.sim_cycles as f64 / 1e6),
+            format!("{:.1}", self.mcycles_per_sec),
+            format!("{:.1}", self.skipped_pct),
+        ]
+    }
+}
+
+/// The whole summary, persisted as `run_all_timing.<scale>.json`.
+#[derive(Serialize)]
+struct TimingSummary {
+    scale: String,
+    jobs: usize,
+    no_skip: bool,
+    artifacts: Vec<ArtifactTiming>,
+    total: ArtifactTiming,
+    memoized_points: usize,
+}
+
 fn main() {
     let opts = ExpOpts::from_args();
     let total_start = Instant::now();
-    let mut timings = Vec::new();
+    let mut artifacts = Vec::new();
     for (name, run) in ARTIFACTS {
+        let before = opts.throughput.snapshot();
         let start = Instant::now();
         run(&opts);
-        timings.push((name, start.elapsed()));
+        let secs = start.elapsed().as_secs_f64();
+        artifacts.push(ArtifactTiming::of(
+            name,
+            secs,
+            opts.throughput.snapshot().since(&before),
+        ));
     }
-    let total = total_start.elapsed();
+    let total = ArtifactTiming::of(
+        "TOTAL",
+        total_start.elapsed().as_secs_f64(),
+        opts.throughput.snapshot(),
+    );
 
     println!(
-        "\n## run_all timing summary (scale = {}, jobs = {})\n",
-        opts.scale_name, opts.jobs
+        "\n## run_all timing summary (scale = {}, jobs = {}{})\n",
+        opts.scale_name,
+        opts.jobs,
+        if opts.no_skip { ", no-skip" } else { "" }
     );
-    let rows: Vec<Vec<String>> = timings
+    let rows: Vec<Vec<String>> = artifacts
         .iter()
-        .map(|(name, t)| vec![name.to_string(), format!("{:.2}", t.as_secs_f64())])
-        .chain(std::iter::once(vec![
-            "TOTAL".to_string(),
-            format!("{:.2}", total.as_secs_f64()),
-        ]))
+        .chain(std::iter::once(&total))
+        .map(ArtifactTiming::row)
         .collect();
-    print_table(&["artifact", "seconds"], &rows);
+    print_table(
+        &[
+            "artifact",
+            "seconds",
+            "runs",
+            "Mcycles",
+            "Mcyc/s",
+            "% skipped",
+        ],
+        &rows,
+    );
     println!(
         "\n{} simulation points memoized across artifacts",
         opts.cache.len()
     );
+
+    let summary = TimingSummary {
+        scale: opts.scale_name.clone(),
+        jobs: opts.jobs,
+        no_skip: opts.no_skip,
+        artifacts,
+        total,
+        memoized_points: opts.cache.len(),
+    };
+    opts.save_json("run_all_timing", &summary);
 }

@@ -31,7 +31,7 @@ struct ScalePoint {
 
 /// Runs a workload's vectorized entry on a custom-width VLITTLE cluster.
 fn run_vlittle(w: &Workload, lanes: u8) -> u64 {
-    let shared = SharedMem::new(w.mem.clone());
+    let shared = SharedMem::new(w.mem.fork());
     let mut hier = MemHierarchy::new(HierConfig::with_little(lanes as usize));
     hier.set_vector_mode(true);
     let params = EngineParams {

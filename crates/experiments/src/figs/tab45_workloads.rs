@@ -29,7 +29,7 @@ struct Characterization {
 fn characterize(w: &Workload) -> Characterization {
     // Vectorized entry when available (Table V's VOp), scalar otherwise.
     let entry = w.vector_entry.unwrap_or(w.serial_entry);
-    let mut m = Machine::new(w.mem.clone(), 512);
+    let mut m = Machine::new(w.mem.fork(), 512);
     m.set_pc(entry);
     m.run(&w.program, 2_000_000_000).expect("workload runs");
     (w.check)(m.mem()).expect("reference check");

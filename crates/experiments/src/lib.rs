@@ -53,9 +53,18 @@ pub struct ExpOpts {
     pub persist_cache: bool,
     /// On-disk cache location (default `<out>/cache`, `--cache-dir DIR`).
     pub cache_dir: PathBuf,
+    /// Force the naive cycle-by-cycle simulation loop for every run
+    /// (`--no-skip`): sets [`SimParams::no_skip`] on each sweep point.
+    /// Results are bit-identical either way; this exists for A/B timing
+    /// and for auditing the quiescence-skip engine in the field.
+    pub no_skip: bool,
     /// The in-memory memo layer, shared by every sweep run through this
     /// `ExpOpts` (clones share the same map).
     pub cache: SweepCache,
+    /// Simulator-throughput counters (runs, simulated edges, skip rate,
+    /// host seconds), accumulated by every sweep run through this
+    /// `ExpOpts` — clones share the same counters.
+    pub throughput: sweep::ThroughputTracker,
 }
 
 impl ExpOpts {
@@ -81,7 +90,9 @@ impl ExpOpts {
             use_cache: true,
             persist_cache: false,
             cache_dir,
+            no_skip: false,
             cache: SweepCache::new(),
+            throughput: sweep::ThroughputTracker::new(),
         }
     }
 
@@ -93,7 +104,8 @@ impl ExpOpts {
     }
 
     /// Parses `--scale`, `--out`, `--jobs`, `--no-cache`,
-    /// `--persist-cache` and `--cache-dir` from `std::env::args`.
+    /// `--persist-cache`, `--cache-dir` and `--no-skip` from
+    /// `std::env::args`.
     ///
     /// # Panics
     ///
@@ -105,6 +117,7 @@ impl ExpOpts {
         let mut use_cache = true;
         let mut persist_cache = false;
         let mut cache_dir = None;
+        let mut no_skip = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -124,6 +137,7 @@ impl ExpOpts {
                 }
                 "--no-cache" => use_cache = false,
                 "--persist-cache" => persist_cache = true,
+                "--no-skip" => no_skip = true,
                 "--cache-dir" => {
                     cache_dir = Some(PathBuf::from(
                         args.next().expect("--cache-dir needs a value"),
@@ -131,7 +145,7 @@ impl ExpOpts {
                 }
                 other => panic!(
                     "unknown argument `{other}` (use --scale tiny|default|large, --out DIR, \
-                     --jobs N, --no-cache, --persist-cache, --cache-dir DIR)"
+                     --jobs N, --no-cache, --persist-cache, --cache-dir DIR, --no-skip)"
                 ),
             }
         }
@@ -139,6 +153,7 @@ impl ExpOpts {
         opts.jobs = jobs;
         opts.use_cache = use_cache;
         opts.persist_cache = persist_cache;
+        opts.no_skip = no_skip;
         if let Some(dir) = cache_dir {
             opts.cache_dir = dir;
         }

@@ -29,12 +29,14 @@
 //! accepts an explicit key for custom-built workloads.
 
 use crate::ExpOpts;
-use bvl_sim::{simulate, RunResult, SimParams, SystemKind};
+use bvl_sim::{simulate_with_stats, RunResult, SimParams, SystemKind};
 use bvl_workloads::Workload;
+use serde::Serialize;
 use std::collections::HashMap;
 use std::fs;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One point of a sweep matrix: run `workload` on `system` under `params`.
 pub struct SweepJob {
@@ -83,13 +85,19 @@ impl SweepJob {
     /// which covers every knob the figures sweep (clocks, engine
     /// geometry, queue depths, cycle caps).
     pub fn cache_key(&self) -> String {
-        format!(
-            "{}__{}__{:016x}",
-            self.system.label(),
-            self.workload_key,
-            fnv1a(format!("{:?}", self.params).as_bytes())
-        )
+        cache_key_for(self.system, &self.workload_key, &self.params)
     }
+}
+
+/// The cache key for a (system, workload-instance, params) point; see
+/// [`SweepJob::cache_key`].
+fn cache_key_for(system: SystemKind, workload_key: &str, params: &SimParams) -> String {
+    format!(
+        "{}__{}__{:016x}",
+        system.label(),
+        workload_key,
+        fnv1a(format!("{params:?}").as_bytes())
+    )
 }
 
 /// FNV-1a over `bytes` (64-bit).
@@ -133,6 +141,90 @@ impl SweepCache {
 
     fn insert(&self, key: String, result: RunResult) {
         self.inner.lock().expect("cache lock").insert(key, result);
+    }
+}
+
+/// Aggregate simulator-throughput counters for the `simulate` calls a
+/// process has actually executed (cache hits cost no simulation and are
+/// not counted).
+///
+/// "Cycles" here are clock-domain *edges*: every uncore/big/little cycle
+/// the naive loop would process counts once, whether the skip engine ran
+/// it or batch-skipped it — so Mcycles/s is comparable across skip-on and
+/// `--no-skip` runs of the same points.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct Throughput {
+    /// Number of `simulate` calls executed.
+    pub runs: u64,
+    /// Clock-domain edges processed cycle-by-cycle.
+    pub edges_run: u64,
+    /// Clock-domain edges batch-skipped by the quiescence engine.
+    pub edges_skipped: u64,
+    /// Host seconds spent inside `simulate`, summed over worker threads.
+    pub sim_thread_secs: f64,
+}
+
+impl Throughput {
+    /// Total simulated clock-domain edges (run + skipped).
+    pub fn sim_cycles(&self) -> u64 {
+        self.edges_run + self.edges_skipped
+    }
+
+    /// Fraction of edges the skip engine batch-advanced over, in percent.
+    pub fn skipped_pct(&self) -> f64 {
+        if self.sim_cycles() == 0 {
+            0.0
+        } else {
+            100.0 * self.edges_skipped as f64 / self.sim_cycles() as f64
+        }
+    }
+
+    /// Simulated Mcycles per host second of `secs` (callers pass wall
+    /// time for aggregate throughput, or [`Throughput::sim_thread_secs`]
+    /// for per-worker throughput).
+    pub fn mcycles_per_sec(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.sim_cycles() as f64 / 1e6 / secs
+        }
+    }
+
+    /// The counters accumulated since `earlier` (a prior snapshot).
+    pub fn since(&self, earlier: &Throughput) -> Throughput {
+        Throughput {
+            runs: self.runs - earlier.runs,
+            edges_run: self.edges_run - earlier.edges_run,
+            edges_skipped: self.edges_skipped - earlier.edges_skipped,
+            sim_thread_secs: self.sim_thread_secs - earlier.sim_thread_secs,
+        }
+    }
+}
+
+/// Shared [`Throughput`] accumulator; clones share the counters, so every
+/// sweep run through one [`ExpOpts`] reports into the same totals.
+#[derive(Clone, Default)]
+pub struct ThroughputTracker {
+    inner: Arc<Mutex<Throughput>>,
+}
+
+impl ThroughputTracker {
+    /// A zeroed tracker.
+    pub fn new() -> Self {
+        ThroughputTracker::default()
+    }
+
+    /// The counters so far.
+    pub fn snapshot(&self) -> Throughput {
+        *self.inner.lock().expect("throughput lock")
+    }
+
+    fn record(&self, stats: bvl_sim::SkipStats, secs: f64) {
+        let mut t = self.inner.lock().expect("throughput lock");
+        t.runs += 1;
+        t.edges_run += stats.edges_run;
+        t.edges_skipped += stats.edges_skipped;
+        t.sim_thread_secs += secs;
     }
 }
 
@@ -194,7 +286,23 @@ where
 /// panic with the workload/system context, matching
 /// [`run_checked`](crate::run_checked).
 pub fn run_sweep(jobs: &[SweepJob], opts: &ExpOpts) -> Vec<RunResult> {
-    let keys: Vec<String> = jobs.iter().map(SweepJob::cache_key).collect();
+    // `--no-skip` applies to every point of every sweep. It changes the
+    // cache key (the params hash covers `no_skip`), so naive-loop runs
+    // never reuse — or pollute — skip-on cache entries, even though the
+    // results are identical by the skip-equivalence contract.
+    let params: Vec<SimParams> = jobs
+        .iter()
+        .map(|j| {
+            let mut p = j.params.clone();
+            p.no_skip |= opts.no_skip;
+            p
+        })
+        .collect();
+    let keys: Vec<String> = jobs
+        .iter()
+        .zip(&params)
+        .map(|(j, p)| cache_key_for(j.system, &j.workload_key, p))
+        .collect();
 
     // Dedup to first occurrences: `unique[slot]` is a job index, and every
     // job maps to the slot that computes (or fetched) its result.
@@ -229,8 +337,11 @@ pub fn run_sweep(jobs: &[SweepJob], opts: &ExpOpts) -> Vec<RunResult> {
         .collect();
     let computed = run_parallel(&misses, opts.jobs, |&slot| {
         let job = &jobs[unique[slot]];
-        simulate(job.system, &job.workload, &job.params)
-            .unwrap_or_else(|e| panic!("{} on {}: {e}", job.workload_key, job.system.label()))
+        let start = Instant::now();
+        let (result, stats) = simulate_with_stats(job.system, &job.workload, &params[unique[slot]])
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", job.workload_key, job.system.label()));
+        opts.throughput.record(stats, start.elapsed().as_secs_f64());
+        result
     });
     for (&slot, result) in misses.iter().zip(computed) {
         let key = &keys[unique[slot]];
@@ -484,6 +595,31 @@ mod tests {
             run_parallel(&items, 1, |&x| x * x),
             run_parallel(&items, 6, |&x| x * x)
         );
+    }
+
+    #[test]
+    fn no_skip_opt_rekeys_but_results_match() {
+        let w = Arc::new(bvl_workloads::kernels::vvadd::build(
+            bvl_workloads::Scale::tiny(),
+        ));
+        let jobs = [SweepJob::new(
+            SystemKind::L1,
+            &w,
+            "tiny",
+            SimParams::default(),
+        )];
+        let mut opts = ExpOpts::for_scale("tiny", std::env::temp_dir()).with_jobs(1);
+        let skip_on = run_sweep(&jobs, &opts);
+        opts.no_skip = true;
+        // The flag changes the cache key, so this re-simulates naively
+        // rather than replaying the memoized skip-on result.
+        let naive = run_sweep(&jobs, &opts);
+        assert_eq!(skip_on, naive);
+        let t = opts.throughput.snapshot();
+        assert_eq!(t.runs, 2);
+        assert!(t.edges_skipped > 0, "skip-on run never skipped");
+        assert!(t.edges_run > t.edges_skipped);
+        assert_eq!(t.since(&t), Throughput::default());
     }
 
     #[test]

@@ -26,16 +26,29 @@ use crate::instr::{
     AluOp, AvlSrc, BranchOp, FpCmpOp, FpOp, FpPrec, Instr, MemWidth, VArithOp, VCmpOp, VMaskOp,
     VMemMode, VRedOp, VSrc,
 };
+use crate::predecode::PreDecoded;
 use crate::reg::{FReg, VReg, XReg};
 use crate::vcfg::Sew;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// An assembled program: resolved instructions plus its label table.
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// Equality and hashing ignore the lazily-built predecode cache.
+#[derive(Clone, Debug, Default)]
 pub struct Program {
     instrs: Vec<Instr>,
     labels: HashMap<String, u32>,
+    /// Per-PC timing metadata, built on first use and shared by every
+    /// core executing this program.
+    pre: OnceLock<Arc<PreDecoded>>,
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.instrs == other.instrs && self.labels == other.labels
+    }
 }
 
 impl Program {
@@ -67,6 +80,13 @@ impl Program {
     /// Iterates over the instructions.
     pub fn iter(&self) -> std::slice::Iter<'_, Instr> {
         self.instrs.iter()
+    }
+
+    /// The predecoded per-PC metadata table, built once on first use.
+    pub fn predecoded(&self) -> Arc<PreDecoded> {
+        self.pre
+            .get_or_init(|| Arc::new(PreDecoded::of(self)))
+            .clone()
     }
 }
 
@@ -218,6 +238,7 @@ impl Assembler {
         Ok(Program {
             instrs,
             labels: self.labels.clone(),
+            pre: OnceLock::new(),
         })
     }
 

@@ -52,6 +52,7 @@ pub mod exec;
 pub mod instr;
 pub mod mem;
 pub mod meta;
+pub mod predecode;
 pub mod reg;
 pub mod vcfg;
 

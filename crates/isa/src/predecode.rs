@@ -1,0 +1,289 @@
+//! Per-program predecoded timing metadata.
+//!
+//! The timing cores repeatedly ask the same questions about the same
+//! instruction slot: which FU does it occupy, which scalar registers does
+//! it read and write, is it a vector instruction. Answering those with
+//! per-issue `match`es over [`Instr`] (and a heap-allocated source list)
+//! on every cycle an instruction sits stalled is pure overhead, so each
+//! [`Program`](crate::asm::Program) is predecoded once into a dense
+//! per-PC table of [`InstrMeta`] that the cores index directly.
+
+use crate::instr::{AvlSrc, Instr, VMemMode};
+use crate::meta::{scalar_meta, ScalarMeta};
+use crate::reg::{FReg, XReg};
+
+/// A predecoded source operand: the register file and index a timing model
+/// consults for RAW scheduling. Reads of `x0` are dropped at predecode
+/// time (the zero register is always ready).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SrcReg {
+    /// Integer register.
+    X(u8),
+    /// Floating-point register.
+    F(u8),
+}
+
+/// A predecoded scalar destination register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DestReg {
+    /// Integer register.
+    X(u8),
+    /// Floating-point register.
+    F(u8),
+    /// No scalar destination.
+    #[default]
+    None,
+}
+
+/// Predecoded metadata of one instruction slot.
+#[derive(Clone, Copy, Debug)]
+pub struct InstrMeta {
+    /// FU class and latency, as [`scalar_meta`] reports.
+    pub meta: ScalarMeta,
+    /// Scalar destination in the *renaming* view: includes scalar writes
+    /// performed by vector instructions (`vsetvl`, `vpopc`, ...), which
+    /// the big core's rename map must track.
+    pub dest: DestReg,
+    /// Scalar destination in the in-order *scoreboard* view: scalar
+    /// writes by vector instructions are excluded, matching the little
+    /// core's model (its scoreboard prices scalar FUs only).
+    pub scoreboard_dest: DestReg,
+    srcs: [SrcReg; 3],
+    n_srcs: u8,
+    /// Cached [`Instr::is_vector`].
+    pub is_vector: bool,
+    /// Cached [`Instr::is_control`].
+    pub is_control: bool,
+}
+
+impl InstrMeta {
+    /// Predecodes one instruction.
+    pub fn of(instr: &Instr) -> Self {
+        let mut srcs = [SrcReg::X(0); 3];
+        let mut n = 0usize;
+        collect_srcs(instr, &mut |s| {
+            if !matches!(s, SrcReg::X(0)) {
+                srcs[n] = s;
+                n += 1;
+            }
+        });
+        let (dest, scoreboard_dest) = dests(instr);
+        InstrMeta {
+            meta: scalar_meta(instr),
+            dest,
+            scoreboard_dest,
+            srcs,
+            n_srcs: n as u8,
+            is_vector: instr.is_vector(),
+            is_control: instr.is_control(),
+        }
+    }
+
+    /// The scalar source registers this instruction reads (`x0` elided).
+    pub fn srcs(&self) -> &[SrcReg] {
+        &self.srcs[..self.n_srcs as usize]
+    }
+}
+
+/// A predecoded program: one [`InstrMeta`] per instruction index.
+#[derive(Debug)]
+pub struct PreDecoded {
+    metas: Vec<InstrMeta>,
+}
+
+impl PreDecoded {
+    /// Predecodes every instruction of `prog`.
+    pub fn of(prog: &crate::asm::Program) -> Self {
+        PreDecoded {
+            metas: prog.iter().map(InstrMeta::of).collect(),
+        }
+    }
+
+    /// The metadata of the instruction at index `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range (the cores only look up PCs the
+    /// golden machine has already executed).
+    pub fn at(&self, pc: u32) -> &InstrMeta {
+        &self.metas[pc as usize]
+    }
+
+    /// Number of predecoded slots.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// True for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+}
+
+/// Enumerates the scalar registers `instr` reads, in operand order.
+fn collect_srcs(instr: &Instr, push: &mut impl FnMut(SrcReg)) {
+    use Instr::*;
+    let x = |r: XReg| SrcReg::X(r.index() as u8);
+    let f = |r: FReg| SrcReg::F(r.index() as u8);
+    match *instr {
+        Op { rs1, rs2, .. } | Store { rs2, rs1, .. } | Branch { rs1, rs2, .. } => {
+            push(x(rs1));
+            push(x(rs2));
+        }
+        OpImm { rs1, .. }
+        | Load { rs1, .. }
+        | FpLoad { rs1, .. }
+        | Jalr { rs1, .. }
+        | FpCvtFromInt { rs1, .. }
+        | FpMvFromInt { rs1, .. } => push(x(rs1)),
+        FpStore { rs1, rs2, .. } => {
+            push(x(rs1));
+            push(f(rs2));
+        }
+        FpOp { rs1, rs2, .. } | FpCmp { rs1, rs2, .. } => {
+            push(f(rs1));
+            push(f(rs2));
+        }
+        FpFma { rs1, rs2, rs3, .. } => {
+            push(f(rs1));
+            push(f(rs2));
+            push(f(rs3));
+        }
+        FpCvtToInt { rs1, .. } | FpMvToInt { rs1, .. } => push(f(rs1)),
+        // Vector instructions: scalar sources carried into the engine.
+        VSetVl {
+            avl: AvlSrc::Reg(r),
+            ..
+        } => push(x(r)),
+        VLoad { base, mode, .. } | VStore { base, mode, .. } => {
+            push(x(base));
+            if let VMemMode::Strided(s) = mode {
+                push(x(s));
+            }
+        }
+        VArith { src1, .. } | VCmp { src1, .. } => {
+            if let Some(r) = src1.xreg() {
+                push(x(r));
+            }
+            if let Some(r) = src1.freg() {
+                push(f(r));
+            }
+        }
+        VSlideUp { amt, .. } | VSlideDown { amt, .. } => push(x(amt)),
+        VMvVX { rs1, .. } | VMvSX { rs1, .. } => push(x(rs1)),
+        VFMvVF { fs1, .. } => push(f(fs1)),
+        _ => {}
+    }
+}
+
+/// The (rename-view, scoreboard-view) scalar destinations of `instr`.
+fn dests(instr: &Instr) -> (DestReg, DestReg) {
+    use Instr::*;
+    let scoreboard = match *instr {
+        Op { rd, .. }
+        | OpImm { rd, .. }
+        | Lui { rd, .. }
+        | Load { rd, .. }
+        | Jal { rd, .. }
+        | Jalr { rd, .. }
+        | FpCmp { rd, .. }
+        | FpCvtToInt { rd, .. }
+        | FpMvToInt { rd, .. } => DestReg::X(rd.index() as u8),
+        FpOp { rd, .. }
+        | FpFma { rd, .. }
+        | FpLoad { rd, .. }
+        | FpCvtFromInt { rd, .. }
+        | FpMvFromInt { rd, .. } => DestReg::F(rd.index() as u8),
+        _ => DestReg::None,
+    };
+    let rename = match *instr {
+        // Vector instructions writing scalars.
+        VSetVl { rd, .. } | VPopc { rd, .. } | VFirst { rd, .. } | VMvXS { rd, .. } => {
+            DestReg::X(rd.index() as u8)
+        }
+        VFMvFS { rd, .. } => DestReg::F(rd.index() as u8),
+        _ => scoreboard,
+    };
+    (rename, scoreboard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::meta::FuClass;
+    use crate::reg::{FReg, VReg, XReg};
+    use crate::vcfg::Sew;
+
+    #[test]
+    fn fma_reads_three_fp_sources() {
+        let i = Instr::FpFma {
+            prec: crate::instr::FpPrec::S,
+            rd: FReg::new(1),
+            rs1: FReg::new(2),
+            rs2: FReg::new(3),
+            rs3: FReg::new(4),
+        };
+        let m = InstrMeta::of(&i);
+        assert_eq!(m.srcs(), &[SrcReg::F(2), SrcReg::F(3), SrcReg::F(4)]);
+        assert_eq!(m.dest, DestReg::F(1));
+        assert_eq!(m.scoreboard_dest, DestReg::F(1));
+        assert_eq!(m.meta.fu, FuClass::Fpu);
+    }
+
+    #[test]
+    fn x0_sources_are_elided() {
+        let i = Instr::Op {
+            op: crate::instr::AluOp::Add,
+            rd: XReg::new(5),
+            rs1: XReg::new(0),
+            rs2: XReg::new(7),
+        };
+        let m = InstrMeta::of(&i);
+        assert_eq!(m.srcs(), &[SrcReg::X(7)]);
+    }
+
+    #[test]
+    fn vsetvl_dest_differs_between_views() {
+        // The big core renames vsetvl's rd; the little core's scoreboard
+        // does not track it. Both views must be preserved exactly.
+        let i = Instr::VSetVl {
+            rd: XReg::new(3),
+            avl: AvlSrc::Reg(XReg::new(4)),
+            sew: Sew::E32,
+        };
+        let m = InstrMeta::of(&i);
+        assert_eq!(m.dest, DestReg::X(3));
+        assert_eq!(m.scoreboard_dest, DestReg::None);
+        assert_eq!(m.srcs(), &[SrcReg::X(4)]);
+        assert!(!m.is_vector, "vsetvl executes in the scalar core");
+    }
+
+    #[test]
+    fn strided_vload_reads_base_and_stride() {
+        let i = Instr::VLoad {
+            vd: VReg::new(1),
+            base: XReg::new(10),
+            mode: VMemMode::Strided(XReg::new(11)),
+            masked: false,
+        };
+        let m = InstrMeta::of(&i);
+        assert_eq!(m.srcs(), &[SrcReg::X(10), SrcReg::X(11)]);
+        assert!(m.is_vector);
+    }
+
+    #[test]
+    fn table_is_per_pc_and_cached() {
+        let mut a = Assembler::new();
+        a.li(XReg::new(1), 7);
+        a.add(XReg::new(2), XReg::new(1), XReg::new(1));
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let pre = prog.predecoded();
+        assert_eq!(pre.len(), prog.len());
+        let add_pc = prog.len() as u32 - 2; // the add before halt
+        assert_eq!(pre.at(add_pc).srcs(), &[SrcReg::X(1), SrcReg::X(1)]);
+        // Second call returns the same shared table.
+        assert!(std::sync::Arc::ptr_eq(&pre, &prog.predecoded()));
+    }
+}

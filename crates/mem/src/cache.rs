@@ -344,6 +344,17 @@ impl Cache {
         self.mshrs.iter().any(|m| m.line_addr == tag)
     }
 
+    /// The first cycle at which ticking the cache does anything: the hit
+    /// pipe's head maturing, or `Some(now)` while undelivered output sits
+    /// on the response/miss/writeback ports. `None` means ticking is a
+    /// no-op until some external `access`/`fill` arrives.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if !self.resp_out.is_empty() || !self.miss_out.is_empty() || !self.wb_out.is_empty() {
+            return Some(now);
+        }
+        self.hit_pipe.next_ready().map(|t| t.max(now))
+    }
+
     /// Pops a completed request (hit or fill completion).
     pub fn pop_response(&mut self) -> Option<MemReq> {
         self.resp_out.pop_front()
@@ -488,6 +499,27 @@ mod tests {
         assert!(!c.probe(0x100));
         assert_eq!(c.invalidate(0x100), None);
         assert_eq!(c.pop_writeback(), Some(0x100));
+    }
+
+    #[test]
+    fn next_event_tracks_hit_pipe_and_output_ports() {
+        let mut c = small_cache();
+        c.tick(0);
+        assert_eq!(c.next_event(0), None);
+        // A miss leaves the line request on the miss port: event now.
+        assert_eq!(c.access(0, req(1, 0x100, false)), AccessOutcome::Miss);
+        assert_eq!(c.next_event(0), Some(0));
+        assert_eq!(c.pop_miss(), Some(0x100));
+        assert_eq!(c.next_event(0), None);
+        // A fill at cycle 5 matures through the 2-cycle hit pipe at 7.
+        c.fill(5, 0x100);
+        assert_eq!(c.next_event(5), Some(7));
+        c.tick(6);
+        assert!(c.pop_response().is_none());
+        c.tick(7);
+        assert_eq!(c.next_event(7), Some(7));
+        assert_eq!(c.pop_response().unwrap().id, 1);
+        assert_eq!(c.next_event(7), None);
     }
 
     #[test]

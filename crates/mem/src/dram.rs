@@ -107,6 +107,20 @@ impl<T> Dram<T> {
         self.done.pop_front()
     }
 
+    /// The first cycle at which ticking the DRAM does anything: `Some(c)`
+    /// when a request completes at `c` (or a completion is already
+    /// poppable), `None` when fully drained.
+    ///
+    /// In-flight entries share one fixed latency and arrive with
+    /// monotonically nondecreasing `now`, so the FIFO front carries the
+    /// earliest completion.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if !self.done.is_empty() {
+            return Some(now);
+        }
+        self.inflight.front().map(|(done, _)| (*done).max(now))
+    }
+
     /// Requests currently in flight.
     pub fn inflight(&self) -> usize {
         self.inflight.len()
@@ -145,6 +159,29 @@ mod tests {
         assert_eq!(d.stats().rejects, 1);
         d.tick(1);
         assert!(d.try_request(1, false, 2));
+    }
+
+    #[test]
+    fn next_event_matches_completion_cycle() {
+        let mut d = Dram::new(DramParams {
+            latency: 10,
+            max_inflight: 4,
+            accepts_per_cycle: 1,
+        });
+        d.tick(0);
+        assert_eq!(d.next_event(0), None);
+        assert!(d.try_request(0, false, "a"));
+        assert_eq!(d.next_event(0), Some(10));
+        // Quiescent until the reported cycle: ticks earlier pop nothing.
+        for t in 1..10 {
+            d.tick(t);
+            assert!(d.pop_done().is_none());
+            assert_eq!(d.next_event(t), Some(10));
+        }
+        d.tick(10);
+        // An undrained completion keeps the DRAM "hot".
+        assert_eq!(d.next_event(10), Some(10));
+        assert_eq!(d.pop_done(), Some("a"));
     }
 
     #[test]

@@ -585,6 +585,62 @@ impl MemHierarchy {
         debug_assert!(refreshed.is_empty());
     }
 
+    /// The first uncore cycle at which [`MemHierarchy::tick`] would do
+    /// observable work: queue entries maturing, DRAM returns, or
+    /// one-per-cycle backpressure processing. While `now` is strictly
+    /// before the reported cycle, a tick only refreshes `self.now` and the
+    /// per-cycle port counters — state the tick at the event cycle
+    /// re-establishes identically.
+    ///
+    /// `None` means the hierarchy is fully drained: ticking stays a no-op
+    /// until a core or engine injects a new request.
+    ///
+    /// Per-port response queues are deliberately *not* considered — they
+    /// are consumed by core ticks, not hierarchy ticks; callers must gate
+    /// skipping on [`MemHierarchy::response_pending`] for every live port.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        // One-per-cycle processing queues advance every tick.
+        if !self.pending_l2.is_empty() || !self.pending_dram.is_empty() {
+            return Some(now);
+        }
+        let mut ev: Option<u64> = None;
+        let mut fold = |c: Option<u64>| {
+            ev = match (ev, c) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+        };
+        fold(self.dram.next_event(now));
+        fold(self.to_l2.next_ready().map(|t| t.max(now)));
+        fold(self.from_l2.next_ready().map(|t| t.max(now)));
+        fold(self.l2.next_event(now));
+        for c in self.little_l1i.iter().chain(self.little_l1d.iter()) {
+            fold(c.next_event(now));
+        }
+        if let Some(c) = self.big_l1i.as_ref() {
+            fold(c.next_event(now));
+        }
+        if let Some(c) = self.big_l1d.as_ref() {
+            fold(c.next_event(now));
+        }
+        ev
+    }
+
+    /// True while an undelivered response sits in `port`'s queue (the
+    /// consuming core/engine must tick to drain it).
+    pub fn response_pending(&self, port: PortId) -> bool {
+        match port {
+            PortId::LittleData(c) => !self.resp_little_d[c as usize].is_empty(),
+            PortId::LittleFetch(c) => !self.resp_little_i[c as usize].is_empty(),
+            PortId::BigData => !self.resp_big_d.is_empty(),
+            PortId::BigFetch => !self.resp_big_i.is_empty(),
+            PortId::Ivu => !self.resp_ivu.is_empty(),
+            PortId::Vmu(_) => !self.resp_vmu.is_empty(),
+            PortId::DveL2 => !self.resp_dve.is_empty(),
+        }
+    }
+
     /// Pops a completed response for the given port.
     pub fn pop_response(&mut self, port: PortId) -> Option<MemResp> {
         match port {
@@ -760,6 +816,65 @@ mod tests {
             }
         }
         assert_eq!(got, 4);
+    }
+
+    /// A quiescent hierarchy never does observable work before the cycle
+    /// `next_event` reports: skipping straight to the event cycle must
+    /// reproduce the naive tick-by-tick run exactly.
+    #[test]
+    fn next_event_skip_matches_naive_ticking() {
+        let mut naive = MemHierarchy::new(HierConfig::with_little(2));
+        naive.tick(0);
+        assert!(naive.request(req(1, 0x4000, false, PortId::LittleData(0))));
+        let mut skippy = naive.clone();
+
+        let mut t_naive = 1;
+        let naive_arrival = loop {
+            naive.tick(t_naive);
+            if naive.pop_response(PortId::LittleData(0)).is_some() {
+                break t_naive;
+            }
+            t_naive += 1;
+            assert!(t_naive < 400);
+        };
+
+        let mut t = 0u64;
+        let skip_arrival = loop {
+            let ev = skippy.next_event(t).expect("request in flight");
+            assert!(ev >= t, "event {ev} in the past of {t}");
+            t = ev.max(t + 1);
+            skippy.tick(t);
+            if skippy.pop_response(PortId::LittleData(0)).is_some() {
+                break t;
+            }
+            assert!(t < 400);
+        };
+        assert_eq!(naive_arrival, skip_arrival);
+        assert_eq!(naive.stats(), skippy.stats());
+        assert_eq!(naive.dram_stats(), skippy.dram_stats());
+        assert_eq!(naive.l2_stats(), skippy.l2_stats());
+    }
+
+    #[test]
+    fn response_pending_reports_per_port() {
+        let mut h = MemHierarchy::new(HierConfig::with_little(1));
+        h.tick(0);
+        assert!(h.request(req(1, 0x4000, false, PortId::LittleData(0))));
+        run_until_response_peek(&mut h, PortId::LittleData(0));
+        assert!(h.response_pending(PortId::LittleData(0)));
+        assert!(!h.response_pending(PortId::LittleFetch(0)));
+        h.pop_response(PortId::LittleData(0));
+        assert!(!h.response_pending(PortId::LittleData(0)));
+    }
+
+    fn run_until_response_peek(h: &mut MemHierarchy, port: PortId) {
+        for t in 1..400 {
+            h.tick(t);
+            if h.response_pending(port) {
+                return;
+            }
+        }
+        panic!("no response within 400 cycles");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //!   cores execute against, plus a bump allocator for workload data.
 //! * [`req`] — memory request/response types and port identifiers.
 //! * [`queue`] — fixed-latency delay queues used to model pipelined paths.
+//! * [`idmap`] — a dense sliding-window map over monotonically allocated
+//!   transaction ids (the hot-path replacement for `HashMap<u64, _>`).
 //! * [`cache`] — a set-associative write-back cache timing model with
 //!   MSHRs, LRU replacement and per-access statistics.
 //! * [`dram`] — a latency/bandwidth-limited DRAM model.
@@ -30,6 +32,7 @@ pub mod cache;
 pub mod coherence;
 pub mod dram;
 pub mod hier;
+pub mod idmap;
 pub mod queue;
 pub mod req;
 pub mod simmem;
@@ -38,6 +41,7 @@ pub mod sram_fifo;
 pub use cache::{Cache, CacheParams, CacheStats};
 pub use dram::{Dram, DramParams};
 pub use hier::{HierConfig, MemHierarchy, MemStats};
+pub use idmap::IdMap;
 pub use req::{AccessKind, MemReq, MemResp, PortId};
 pub use simmem::{SharedMem, SimMemory};
 pub use sram_fifo::SramFifo;

@@ -53,6 +53,14 @@ impl<T> DelayQueue<T> {
             .map(|(_, v)| v)
     }
 
+    /// The cycle the oldest entry becomes poppable, if any is queued.
+    ///
+    /// Entries are FIFO, so with head-of-line blocking the front's ready
+    /// time is exactly the first cycle a `pop_ready` can succeed.
+    pub fn next_ready(&self) -> Option<u64> {
+        self.entries.front().map(|(t, _)| *t)
+    }
+
     /// Number of queued entries (ready or not).
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -173,6 +181,19 @@ mod tests {
         assert!(q.pop_ready(5).is_none());
         assert_eq!(q.pop_ready(10), Some("slow"));
         assert_eq!(q.pop_ready(10), Some("fast"));
+    }
+
+    #[test]
+    fn next_ready_reports_front_deadline() {
+        let mut q = DelayQueue::new(3);
+        assert_eq!(q.next_ready(), None);
+        q.push(10, "a");
+        q.push_with_extra(11, 5, "b");
+        assert_eq!(q.next_ready(), Some(13));
+        // Before the reported cycle nothing pops; at it, the front does.
+        assert!(q.pop_ready(12).is_none());
+        assert_eq!(q.pop_ready(13), Some("a"));
+        assert_eq!(q.next_ready(), Some(19));
     }
 
     #[test]

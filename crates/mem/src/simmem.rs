@@ -19,6 +19,9 @@ pub struct SimMemory {
     /// Next free address for [`SimMemory::alloc`]. Starts above a reserved
     /// low region so null-ish addresses fault loudly in tests.
     brk: u64,
+    /// One past the highest byte ever written — the live prefix that
+    /// [`SimMemory::fork`] must copy (everything above is still zero).
+    high_water: u64,
 }
 
 impl SimMemory {
@@ -27,6 +30,24 @@ impl SimMemory {
         SimMemory {
             bytes: vec![0; size],
             brk: 0x1000,
+            high_water: 0,
+        }
+    }
+
+    /// A logical copy at a fraction of `clone()`'s cost: the fresh backing
+    /// comes zeroed from the allocator (lazy zero pages), and only the
+    /// prefix that has ever been written — tracked by a high-water mark —
+    /// is actually copied. With a 64 MiB default backing and workloads
+    /// touching a few hundred KiB, this turns the per-`simulate` image
+    /// copy from tens of milliseconds into microseconds.
+    pub fn fork(&self) -> SimMemory {
+        let live = (self.high_water.max(self.brk) as usize).min(self.bytes.len());
+        let mut bytes = vec![0; self.bytes.len()];
+        bytes[..live].copy_from_slice(&self.bytes[..live]);
+        SimMemory {
+            bytes,
+            brk: self.brk,
+            high_water: self.high_water,
         }
     }
 
@@ -115,7 +136,9 @@ impl Memory for SimMemory {
 
     fn write(&mut self, addr: u64, buf: &[u8]) {
         let a = addr as usize;
-        self.bytes[a..a + buf.len()].copy_from_slice(buf);
+        let end = a + buf.len();
+        self.bytes[a..end].copy_from_slice(buf);
+        self.high_water = self.high_water.max(end as u64);
     }
 }
 
@@ -179,6 +202,24 @@ mod tests {
     fn alloc_exhaustion_panics() {
         let mut m = SimMemory::new(1 << 16);
         let _ = m.alloc(1 << 20, 8);
+    }
+
+    #[test]
+    fn fork_matches_clone_and_stays_independent() {
+        let mut m = SimMemory::new(1 << 20);
+        let base = m.alloc_u32(&[7, 8, 9]);
+        // A direct write above brk must still be carried by fork.
+        m.write_uint(0x8_0000, 8, 0xFEED);
+        let mut f = m.fork();
+        assert_eq!(f.read_u32_array(base, 3), vec![7, 8, 9]);
+        assert_eq!(f.read_uint(0x8_0000, 8), 0xFEED);
+        assert_eq!(f.len(), m.len());
+        // Forks don't alias.
+        f.write_uint(base, 4, 42);
+        assert_eq!(m.read_uint(base, 4), 7);
+        // The fork allocates where the original left off.
+        let next = f.alloc(16, 64);
+        assert!(next >= base + 12);
     }
 
     #[test]

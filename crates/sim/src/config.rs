@@ -110,6 +110,11 @@ pub struct SimParams {
     pub engine: EngineParams,
     /// Hard cap on simulated uncore cycles before the run aborts.
     pub max_uncore_cycles: u64,
+    /// Force the naive cycle-by-cycle loop, disabling quiescence-aware
+    /// tick skipping. Results are bit-identical either way (the
+    /// skip-equivalence test suite enforces it); this exists for
+    /// debugging and as the oracle side of that suite.
+    pub no_skip: bool,
 }
 
 impl Default for SimParams {
@@ -118,6 +123,7 @@ impl Default for SimParams {
             clocks: ClockConfig::default(),
             engine: EngineParams::paper_default(),
             max_uncore_cycles: 400_000_000,
+            no_skip: false,
         }
     }
 }

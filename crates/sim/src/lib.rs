@@ -31,4 +31,4 @@ pub mod system;
 
 pub use config::{ClockConfig, SimParams, SystemKind};
 pub use result::RunResult;
-pub use system::simulate;
+pub use system::{simulate, simulate_with_stats, SkipStats};

@@ -4,13 +4,44 @@ use crate::config::{ClockConfig, SimParams, SystemKind};
 use crate::result::RunResult;
 use bvl_baseline::{dve_params, ivu_params, SimpleVecMachine};
 use bvl_core::fetch::TEXT_BASE;
-use bvl_core::types::VectorEngine;
+use bvl_core::types::{Quiescence, StallKind, VectorEngine};
 use bvl_core::{BigCore, BigParams, LittleCore, LittleParams};
-use bvl_mem::{HierConfig, MemHierarchy, SharedMem};
+use bvl_mem::{HierConfig, MemHierarchy, PortId, SharedMem};
 use bvl_runtime::{Fetched, RuntimeParams, WorkStealing};
 use bvl_vengine::VLittleEngine;
 use bvl_workloads::{Workload, WorkloadClass};
 use std::sync::Arc;
+
+/// Tick-skip effectiveness counters for one run.
+///
+/// A side channel next to [`RunResult`] — deliberately **not** part of
+/// it, so skip-on and skip-off runs stay byte-identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SkipStats {
+    /// Clock edges processed by the naive loop body.
+    pub edges_run: u64,
+    /// Clock edges batch-advanced by the quiescence engine.
+    pub edges_skipped: u64,
+    /// Number of batch advances (`edges_skipped / windows` is the mean
+    /// window length — the amortization factor for planning cost).
+    pub windows: u64,
+}
+
+impl SkipStats {
+    /// Fraction of all clock edges that were skipped.
+    pub fn skipped_frac(&self) -> f64 {
+        let total = self.edges_run + self.edges_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.edges_skipped as f64 / total as f64
+        }
+    }
+}
+
+/// Failed-plan backoff ramp cap: after repeated vetoes the planner rests
+/// for up to `2^this` edge steps between attempts (see the loop comment).
+const PLAN_BACKOFF_LOG_CAP: u32 = 3;
 
 /// The attached vector engine, kept concrete for stats access.
 enum Engine {
@@ -95,8 +126,22 @@ pub fn simulate(
     workload: &Workload,
     params: &SimParams,
 ) -> Result<RunResult, String> {
+    simulate_with_stats(kind, workload, params).map(|(r, _)| r)
+}
+
+/// Like [`simulate`], additionally returning tick-skip counters.
+///
+/// # Errors
+///
+/// Fails if the run exceeds the configured cycle budget or the final
+/// memory image does not match the workload's reference.
+pub fn simulate_with_stats(
+    kind: SystemKind,
+    workload: &Workload,
+    params: &SimParams,
+) -> Result<(RunResult, SkipStats), String> {
     let mode = pick_mode(kind, workload);
-    let shared = SharedMem::new(workload.mem.clone());
+    let shared = SharedMem::new(workload.mem.fork());
     let program = Arc::clone(&workload.program);
 
     // ---- memory hierarchy
@@ -198,6 +243,12 @@ pub fn simulate(
     let big_active = big.is_some();
     let little_active = !littles.is_empty() || engine.on_little_clock();
 
+    let mut skip_stats = SkipStats::default();
+    // Hoisted scratch for the skip planner (at most one entry per little).
+    let mut little_accts: Vec<Option<StallKind>> = Vec::with_capacity(littles.len());
+    let mut big_acct: Option<StallKind> = None;
+
+    let (mut plan_cooldown, mut plan_streak) = (0u32, 0u32);
     let mut t_fs;
     loop {
         // Completion check.
@@ -239,6 +290,185 @@ pub fn simulate(
             ));
         }
 
+        // ---- quiescence-aware tick skipping --------------------------
+        // Every component certifies, via its `quiescence`/`next_event`
+        // method, the earliest future cycle at which ticking it could do
+        // more than repeat one constant stall accounting. When all
+        // components across all live clock domains are quiescent *now*,
+        // jump every domain straight to the earliest such event edge,
+        // batch-applying exactly the accounting the skipped naive ticks
+        // would have produced. Reported cycle counts and all statistics
+        // are bit-identical to the naive loop (see the skip-equivalence
+        // suite in `tests/`).
+        // Planning costs a sweep over every component even when a busy
+        // component vetoes it; during long active stretches that cost is
+        // pure overhead. Back off exponentially after failed attempts
+        // (results are unaffected — an unplanned edge is simply ticked
+        // naively; only the entry into an idle window is delayed by at
+        // most the cooldown).
+        let attempt = !params.no_skip && plan_cooldown == 0;
+        plan_cooldown = plan_cooldown.saturating_sub(1);
+        let t_star: Option<u64> = 'plan: {
+            if !attempt {
+                break 'plan None;
+            }
+            big_acct = None;
+            little_accts.clear();
+            let fold = |t: Option<u64>, fs: u64| Some(t.map_or(fs, |x: u64| x.min(fs)));
+            // fs time of the edge that processes cycle `e` of a domain.
+            let edge_fs = |e: u64, cyc: u64, next: u64, period: u64| next + (e - cyc) * period;
+            let mut t: Option<u64> = None;
+
+            // Uncore: the hierarchy's own event horizon.
+            match hier.next_event(cyc_u) {
+                Some(e) if e <= cyc_u => break 'plan None,
+                Some(e) => t = fold(t, edge_fs(e, cyc_u, next_u, pu)),
+                None => {}
+            }
+
+            // Big domain: core, big-clocked engine, worker 0.
+            if let Some(b) = big.as_ref() {
+                if hier.response_pending(PortId::BigFetch) || hier.response_pending(PortId::BigData)
+                {
+                    break 'plan None;
+                }
+                let (eca, esp, emd) = match &engine {
+                    Engine::None => (false, false, true),
+                    Engine::VLittle(e) => (e.can_accept(), e.scalar_pending(), e.mem_drained()),
+                    // A deliverable Simple-machine scalar forces that
+                    // machine's quiescence to `Active` below.
+                    Engine::Simple(m) => (m.can_accept(), false, m.mem_drained()),
+                };
+                match b.quiescence(cyc_b, eca, esp, emd) {
+                    Quiescence::Active => break 'plan None,
+                    Quiescence::Idle { until, account } => {
+                        big_acct = account;
+                        if let Some(u) = until {
+                            t = fold(t, edge_fs(u, cyc_b, next_b, pb));
+                        }
+                    }
+                }
+                if let Engine::Simple(m) = &engine {
+                    if hier.response_pending(m.port()) {
+                        break 'plan None;
+                    }
+                    match m.quiescence(cyc_b) {
+                        Quiescence::Active => break 'plan None,
+                        Quiescence::Idle { until, .. } => {
+                            if let Some(u) = until {
+                                t = fold(t, edge_fs(u, cyc_b, next_b, pb));
+                            }
+                        }
+                    }
+                }
+                if big_worker_exists {
+                    match worker_event(worker_state[0], cyc_b, b.done()) {
+                        Err(()) => break 'plan None,
+                        Ok(Some(u)) => t = fold(t, edge_fs(u, cyc_b, next_b, pb)),
+                        Ok(None) => {}
+                    }
+                }
+            }
+
+            // Little domain: cores, the VLITTLE engine, their workers.
+            if let Engine::VLittle(e) = &engine {
+                if hier.response_pending(PortId::Vmu(0)) {
+                    break 'plan None;
+                }
+                match e.quiescence(cyc_l) {
+                    Quiescence::Active => break 'plan None,
+                    Quiescence::Idle { until, .. } => {
+                        if let Some(u) = until {
+                            t = fold(t, edge_fs(u, cyc_l, next_l, pl));
+                        }
+                    }
+                }
+            }
+            for (i, lc) in littles.iter().enumerate() {
+                if hier.response_pending(PortId::LittleFetch(i as u8))
+                    || hier.response_pending(PortId::LittleData(i as u8))
+                {
+                    break 'plan None;
+                }
+                match lc.quiescence(cyc_l) {
+                    Quiescence::Active => break 'plan None,
+                    Quiescence::Idle { until, account } => {
+                        little_accts.push(account);
+                        if let Some(u) = until {
+                            t = fold(t, edge_fs(u, cyc_l, next_l, pl));
+                        }
+                    }
+                }
+                if mode == Mode::Tasks {
+                    let w = usize::from(big_worker_exists) + i;
+                    match worker_event(worker_state[w], cyc_l, lc.done()) {
+                        Err(()) => break 'plan None,
+                        Ok(Some(u)) => t = fold(t, edge_fs(u, cyc_l, next_l, pl)),
+                        Ok(None) => {}
+                    }
+                }
+            }
+
+            // No pending event at all means the system is wedged waiting
+            // for something that will never come — fall back to naive
+            // stepping so the cycle budget aborts exactly as it would
+            // have.
+            t
+        };
+        if attempt {
+            if t_star.is_some() {
+                plan_streak = 0;
+            } else {
+                plan_cooldown = 1u32 << plan_streak.min(PLAN_BACKOFF_LOG_CAP);
+                plan_streak += 1;
+            }
+        }
+
+        if let Some(t_star) = t_star {
+            // Skip every edge strictly before the earliest event edge.
+            let mut skipped = 0u64;
+            if next_u < t_star {
+                let n = (t_star - next_u).div_ceil(pu);
+                cyc_u += n;
+                next_u += n * pu;
+                skipped += n;
+                // Re-sync any lazily advanced hierarchy bookkeeping by
+                // replaying the last skipped (no-op) tick.
+                hier.tick(cyc_u - 1);
+            }
+            if big_active && next_b < t_star {
+                let n = (t_star - next_b).div_ceil(pb);
+                if let Some(b) = big.as_mut() {
+                    b.skip_idle(n, big_acct);
+                }
+                if let Engine::Simple(m) = &mut engine {
+                    m.skip_idle(n);
+                }
+                cyc_b += n;
+                next_b += n * pb;
+                skipped += n;
+            }
+            if little_active && next_l < t_star {
+                let n = (t_star - next_l).div_ceil(pl);
+                if let Engine::VLittle(e) = &mut engine {
+                    e.skip_idle(cyc_l, n);
+                }
+                for (i, lc) in littles.iter_mut().enumerate() {
+                    lc.skip_idle(n, little_accts[i]);
+                }
+                cyc_l += n;
+                next_l += n * pl;
+                skipped += n;
+            }
+            if skipped > 0 {
+                skip_stats.edges_skipped += skipped;
+                skip_stats.windows += 1;
+                continue;
+            }
+            // The next event sits on the very next edge: process it
+            // naively below.
+        }
+
         // Advance to the earliest pending clock edge.
         t_fs = next_u;
         if big_active {
@@ -252,6 +482,7 @@ pub fn simulate(
             hier.tick(cyc_u);
             cyc_u += 1;
             next_u += pu;
+            skip_stats.edges_run += 1;
         }
         let little_edge = little_active && t_fs == next_l;
         let big_edge = big_active && t_fs == next_b;
@@ -288,6 +519,7 @@ pub fn simulate(
             }
             cyc_b += 1;
             next_b += pb;
+            skip_stats.edges_run += 1;
         }
 
         if little_edge {
@@ -307,6 +539,7 @@ pub fn simulate(
             }
             cyc_l += 1;
             next_l += pl;
+            skip_stats.edges_run += 1;
         }
     }
 
@@ -345,7 +578,31 @@ pub fn simulate(
     if let Engine::VLittle(e) = &engine {
         result.lanes = (0..e.num_lanes()).map(|c| *e.lane_stats(c)).collect();
     }
-    Ok(result)
+    Ok((result, skip_stats))
+}
+
+/// The cycle a worker's scheduling state machine next acts, if any.
+/// `Err(())` means it may act this very cycle (so no skipping).
+fn worker_event(state: WorkerState, now: u64, core_done: bool) -> Result<Option<u64>, ()> {
+    match state {
+        WorkerState::Parked => Ok(None),
+        // Both states transition the moment the core drains; while it is
+        // busy the core's own quiescence bounds the window.
+        WorkerState::Running | WorkerState::NeedWork => {
+            if core_done {
+                Err(())
+            } else {
+                Ok(None)
+            }
+        }
+        WorkerState::Overhead(until, _) => {
+            if until <= now {
+                Err(())
+            } else {
+                Ok(Some(until))
+            }
+        }
+    }
 }
 
 /// A worker's core, unified for task servicing.

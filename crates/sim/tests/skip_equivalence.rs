@@ -1,0 +1,75 @@
+//! Skip-equivalence suite: the quiescence-aware tick-skip engine must be
+//! invisible in results.
+//!
+//! For every system kind and a representative set of workloads, a run
+//! with tick skipping enabled must produce a [`RunResult`] that is
+//! *byte-identical* to the naive cycle-by-cycle loop (`no_skip`) — every
+//! cycle count, every stall-breakdown bucket, every cache counter, the
+//! exact `wall_ns` bits.
+
+use bvl_sim::{simulate_with_stats, RunResult, SimParams, SkipStats, SystemKind};
+use bvl_workloads::{graph, kernels, Scale, Workload};
+
+fn representative_workloads() -> Vec<Workload> {
+    let s = Scale::tiny();
+    vec![
+        // Data-parallel kernels: vvadd is memory-bound, saxpy mixes FP
+        // compute, mmult is compute-bound with reuse.
+        kernels::vvadd::build(s),
+        kernels::saxpy::build(s),
+        kernels::mmult::build(s),
+        // A task-parallel graph app exercises the work-stealing path.
+        graph::bfs::build(s),
+    ]
+}
+
+fn run(kind: SystemKind, w: &Workload, no_skip: bool) -> (RunResult, SkipStats) {
+    let params = SimParams {
+        no_skip,
+        ..SimParams::default()
+    };
+    simulate_with_stats(kind, w, &params)
+        .unwrap_or_else(|e| panic!("{} on {kind} (no_skip={no_skip}): {e}", w.name))
+}
+
+#[test]
+fn skip_matches_naive_on_every_system() {
+    let workloads = representative_workloads();
+    let mut total_skipped = 0u64;
+    for kind in SystemKind::ALL {
+        for w in &workloads {
+            let (naive, base_stats) = run(kind, w, true);
+            let (skipped, skip_stats) = run(kind, w, false);
+            assert_eq!(
+                base_stats.edges_skipped, 0,
+                "no_skip run skipped edges on {kind}/{}",
+                w.name
+            );
+            // Same total edge work, just batched.
+            assert_eq!(
+                base_stats.edges_run,
+                skip_stats.edges_run + skip_stats.edges_skipped,
+                "edge accounting diverged on {kind}/{}",
+                w.name
+            );
+            assert_eq!(
+                naive, skipped,
+                "skip-on result diverged from naive on {kind}/{}",
+                w.name
+            );
+            // Byte-level: the full debug rendering (every field, exact
+            // float bits via Debug) must match too.
+            assert_eq!(
+                format!("{naive:?}"),
+                format!("{skipped:?}"),
+                "debug rendering diverged on {kind}/{}",
+                w.name
+            );
+            total_skipped += skip_stats.edges_skipped;
+        }
+    }
+    assert!(
+        total_skipped > 0,
+        "the suite never exercised a skipped window"
+    );
+}

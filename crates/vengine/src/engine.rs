@@ -11,9 +11,9 @@ use crate::regmap::RegMap;
 use crate::vcu::{expand, Expansion, Target, Vcu, VcuParams};
 use crate::vmu::{Vmu, VmuParams};
 use crate::vxu::{Vxu, VxuParams};
-use bvl_core::types::{CoreStats, VecCmd, VectorEngine};
-use bvl_mem::MemHierarchy;
-use std::collections::{HashMap, VecDeque};
+use bvl_core::types::{CoreStats, Quiescence, VecCmd, VectorEngine};
+use bvl_mem::{IdMap, MemHierarchy};
+use std::collections::VecDeque;
 
 /// Full engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -69,8 +69,8 @@ pub struct VLittleEngine {
     vcu: Vcu,
     vmu: Vmu,
     vxu: Vxu,
-    mem_track: HashMap<u64, MemTrack>,
-    vx_track: HashMap<u64, VxTrack>,
+    mem_track: IdMap<MemTrack>,
+    vx_track: IdMap<VxTrack>,
     pending_events: Vec<TimedEvent>,
     scalar_done: VecDeque<u64>,
     next_mem_id: u64,
@@ -91,8 +91,8 @@ impl VLittleEngine {
             vcu: Vcu::new(params.vcu),
             vmu: Vmu::new(params.regmap.cores as usize, params.vmu),
             vxu: Vxu::new(params.vxu),
-            mem_track: HashMap::new(),
-            vx_track: HashMap::new(),
+            mem_track: IdMap::starting_at(1),
+            vx_track: IdMap::starting_at(1),
             pending_events: Vec::new(),
             scalar_done: VecDeque::new(),
             next_mem_id: 0,
@@ -137,7 +137,7 @@ impl VLittleEngine {
     fn apply_event(&mut self, ev: LaneEvent, now: u64) {
         match ev {
             LaneEvent::IdxSent { mem_id } => {
-                if let Some(t) = self.mem_track.get_mut(&mem_id) {
+                if let Some(t) = self.mem_track.get_mut(mem_id) {
                     t.idx_events = t.idx_events.saturating_sub(1);
                     if t.idx_events == 0 {
                         self.vmu.idx_ready(mem_id);
@@ -145,20 +145,20 @@ impl VLittleEngine {
                 }
             }
             LaneEvent::StoreSent { mem_id } => {
-                if let Some(t) = self.mem_track.get_mut(&mem_id) {
+                if let Some(t) = self.mem_track.get_mut(mem_id) {
                     t.store_events = t.store_events.saturating_sub(1);
                     if t.store_events == 0 {
                         self.vmu.store_data_done(mem_id);
-                        self.mem_track.remove(&mem_id);
+                        self.mem_track.remove(mem_id);
                     }
                 }
             }
             LaneEvent::LoadWbDone { mem_id } => {
-                if let Some(t) = self.mem_track.get_mut(&mem_id) {
+                if let Some(t) = self.mem_track.get_mut(mem_id) {
                     t.loadwb_events = t.loadwb_events.saturating_sub(1);
                     if t.loadwb_events == 0 {
                         self.vmu.retire_load(mem_id);
-                        self.mem_track.remove(&mem_id);
+                        self.mem_track.remove(mem_id);
                     }
                 }
             }
@@ -166,11 +166,11 @@ impl VLittleEngine {
                 self.vxu.read_done(vx_id, now);
             }
             LaneEvent::VxConsumed { vx_id } => {
-                if let Some(t) = self.vx_track.get_mut(&vx_id) {
+                if let Some(t) = self.vx_track.get_mut(vx_id) {
                     t.consumers = t.consumers.saturating_sub(1);
                     if t.consumers == 0 {
                         self.vxu.complete(vx_id);
-                        self.vx_track.remove(&vx_id);
+                        self.vx_track.remove(vx_id);
                     }
                 }
             }
@@ -213,6 +213,130 @@ impl VLittleEngine {
                 },
             );
         }
+    }
+
+    /// True while a scalar response awaits the big core's poll (the big
+    /// core's next tick consumes it, so its domain must keep stepping).
+    pub fn scalar_pending(&self) -> bool {
+        !self.scalar_done.is_empty()
+    }
+
+    /// The engine's self-assessment for the tick-skip engine.
+    ///
+    /// `Active` means a tick at `now` may change state. `Idle` means
+    /// every tick strictly before `until` — absent memory responses on
+    /// the engine's VMU ports and new dispatches from the big core — is a
+    /// no-op except for the constant per-lane stall accounting (and VMIU
+    /// backpressure counting) that [`VLittleEngine::skip_idle`] applies in
+    /// batch. The returned `account` is always `None`: per-lane
+    /// attribution does not fit one component-level kind.
+    pub fn quiescence(&self, now: u64) -> Quiescence {
+        let mut until: Option<u64> = None;
+        let mut fold = |t: u64| until = Some(until.map_or(t, |u| u.min(t)));
+
+        // The VMU acts on its own (VLU delivery, request issue, line
+        // generation)?
+        if self.vmu.quiescence().is_none() {
+            return Quiescence::Active;
+        }
+        // Command-bus / response-bus transfers complete?
+        for t in [self.vcu.bus_next_ready(), self.vcu.resp_next_ready()]
+            .into_iter()
+            .flatten()
+        {
+            if t <= now {
+                return Quiescence::Active;
+            }
+            fold(t);
+        }
+        // A broadcast would go out this cycle?
+        let can_broadcast = match self.vcu.head().map(|q| q.target) {
+            Some(Target::All) => self.lanes.iter().all(Lane::can_accept),
+            Some(Target::One(c)) => self.lanes[c as usize].can_accept(),
+            None => false,
+        };
+        if can_broadcast {
+            return Quiescence::Active;
+        }
+        // Matured (or maturing) lane events?
+        for e in &self.pending_events {
+            if e.at <= now {
+                return Quiescence::Active;
+            }
+            fold(e.at);
+        }
+        // A scalar-only ring transaction completing?
+        for (id, t) in self.vx_track.iter() {
+            if t.consumers == 0 && t.scalar_seq.is_some() {
+                match self.vxu.ready_at(id) {
+                    Some(r) if r <= now => return Quiescence::Active,
+                    Some(r) => fold(r),
+                    None => {}
+                }
+            }
+        }
+        // The lanes themselves.
+        let env = LaneEnv {
+            vmu: &self.vmu,
+            vxu: &self.vxu,
+            vcu_busy: self.vcu.busy(),
+        };
+        for lane in &self.lanes {
+            match lane.quiescence(now, &env) {
+                Quiescence::Active => return Quiescence::Active,
+                Quiescence::Idle { until: Some(t), .. } => {
+                    if t <= now {
+                        return Quiescence::Active;
+                    }
+                    fold(t);
+                }
+                Quiescence::Idle { until: None, .. } => {}
+            }
+        }
+        Quiescence::Idle {
+            until,
+            account: None,
+        }
+    }
+
+    /// Batch-applies the effects of `cycles` skipped quiescent engine
+    /// ticks starting at `now`: each lane records `cycles` of its current
+    /// stall kind, the VMIU's backpressure counter advances if it was
+    /// counting, and the engine clock moves so a later dispatch stamps
+    /// the command bus exactly as the naive loop would have.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics unless [`VLittleEngine::quiescence`] reports `Idle`
+    /// covering the window.
+    pub fn skip_idle(&mut self, now: u64, cycles: u64) {
+        debug_assert!(
+            match self.quiescence(now) {
+                Quiescence::Active => false,
+                Quiescence::Idle { until, .. } => until.is_none_or(|u| now + cycles <= u),
+            },
+            "skip_idle outside a quiescent window"
+        );
+        let backpressured = self
+            .vmu
+            .quiescence()
+            .expect("quiescent window implies a quiescent VMU");
+        self.vmu.skip_idle(cycles, backpressured);
+        let env = LaneEnv {
+            vmu: &self.vmu,
+            vxu: &self.vxu,
+            vcu_busy: self.vcu.busy(),
+        };
+        for lane in &mut self.lanes {
+            let kind = match lane.quiescence(now, &env) {
+                Quiescence::Idle {
+                    account: Some(k), ..
+                } => k,
+                q => unreachable!("lane not quiescent during engine skip: {q:?}"),
+            };
+            lane.skip_idle(cycles, kind);
+        }
+        self.now += cycles;
     }
 }
 
@@ -257,46 +381,47 @@ impl VectorEngine for VLittleEngine {
         // 1. Memory side.
         self.vmu.tick(now, hier);
 
-        // 2. Lane events that mature this cycle.
-        let due: Vec<LaneEvent> = {
-            let (due, rest): (Vec<_>, Vec<_>) =
-                self.pending_events.drain(..).partition(|e| e.at <= now);
-            self.pending_events = rest;
-            due.into_iter().map(|e| e.event).collect()
-        };
-        for ev in due {
-            self.apply_event(ev, now);
+        // 2. Lane events that mature this cycle, drained in place (their
+        //    relative order is immaterial: each only decrements a counter
+        //    or timestamps the ring with the same `now`).
+        let mut i = 0;
+        while i < self.pending_events.len() {
+            if self.pending_events[i].at <= now {
+                let ev = self.pending_events.swap_remove(i).event;
+                self.apply_event(ev, now);
+            } else {
+                i += 1;
+            }
         }
 
-        // 3. Scalar-only ring transactions (vcpop/vfirst/vmv.x.s).
-        let ready_scalars: Vec<(u64, u64)> = self
-            .vx_track
-            .iter()
-            .filter(|(_, t)| t.consumers == 0)
-            .filter_map(|(&id, t)| {
-                t.scalar_seq
-                    .filter(|_| self.vxu.ready(id, now))
-                    .map(|seq| (id, seq))
-            })
-            .collect();
-        for (id, seq) in ready_scalars {
+        // 3. Scalar-only ring transactions (vcpop/vfirst/vmv.x.s). The
+        //    VXU serializes, so at most one transaction can be ready.
+        loop {
+            let ready = self.vx_track.iter().find_map(|(id, t)| {
+                if t.consumers == 0 {
+                    t.scalar_seq
+                        .filter(|_| self.vxu.ready(id, now))
+                        .map(|seq| (id, seq))
+                } else {
+                    None
+                }
+            });
+            let Some((id, seq)) = ready else { break };
             self.scalar_done.push_back(seq);
             self.vxu.complete(id);
-            self.vx_track.remove(&id);
+            self.vx_track.remove(id);
         }
 
-        // 4. Lanes issue.
+        // 4. Lanes issue, pushing completion events for future cycles.
         let vcu_busy = self.vcu.busy();
-        let mut new_events = Vec::new();
+        let env = LaneEnv {
+            vmu: &self.vmu,
+            vxu: &self.vxu,
+            vcu_busy,
+        };
         for lane in &mut self.lanes {
-            let env = LaneEnv {
-                vmu: &self.vmu,
-                vxu: &self.vxu,
-                vcu_busy,
-            };
-            new_events.extend(lane.tick(now, &env));
+            lane.tick(now, &env, &mut self.pending_events);
         }
-        self.pending_events.extend(new_events);
 
         // 5. VCU-produced scalar responses.
         while let Some(seq) = self.vcu.pop_scalar(now) {
@@ -530,6 +655,105 @@ mod tests {
                 assert_eq!(bvl_isa::mem::Memory::read_uint(m, 0x8000 + i * 4, 4), i);
             }
         });
+    }
+
+    /// Oracle for the tick-skip contract: whenever `quiescence` reports
+    /// `Idle` and no external wake (hierarchy event or pending VMU
+    /// response) exists, the naive tick must change nothing observable
+    /// except the exact accounting `skip_idle` would batch-apply: one
+    /// cycle of each lane's predicted stall kind plus (possibly) one
+    /// VMIU backpressure cycle.
+    #[test]
+    fn quiescence_predicts_naive_ticks() {
+        use bvl_mem::PortId;
+
+        let n = 32u64;
+        let mut mem = SimMemory::new(1 << 22);
+        let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let xa = mem.alloc_f32(&xs);
+        let ya = mem.alloc_f32(&xs);
+        let a = saxpy_vector_program(n, xa, ya);
+        let params = EngineParams::paper_default();
+
+        let prog = Arc::new(a.assemble().unwrap());
+        let _shared = SharedMem::new(mem);
+        let mut hier = MemHierarchy::new(HierConfig::with_little(params.regmap.cores as usize));
+        hier.set_vector_mode(true);
+        let mut engine = VLittleEngine::new(params, hier.line_bytes());
+        let mut big = BigCore::new(
+            _shared.clone(),
+            prog,
+            TEXT_BASE,
+            hier.line_bytes(),
+            engine.vlen_bits(),
+            BigParams::default(),
+        );
+        big.assign(0);
+
+        let mut idle_checked = 0u64;
+        for t in 0..1_000_000u64 {
+            let q = engine.quiescence(t);
+            let external =
+                hier.next_event(t).is_some_and(|e| e <= t) || hier.response_pending(PortId::Vmu(0));
+            let predicted = if matches!(q, Quiescence::Idle { .. }) && !external {
+                let env = LaneEnv {
+                    vmu: &engine.vmu,
+                    vxu: &engine.vxu,
+                    vcu_busy: engine.vcu.busy(),
+                };
+                let kinds: Vec<_> = engine
+                    .lanes
+                    .iter()
+                    .map(|l| match l.quiescence(t, &env) {
+                        Quiescence::Idle {
+                            account: Some(k), ..
+                        } => k,
+                        other => panic!("lane not idle inside idle engine window: {other:?}"),
+                    })
+                    .collect();
+                let bp = engine
+                    .vmu
+                    .quiescence()
+                    .expect("idle engine implies quiescent VMU");
+                let lanes_before: Vec<CoreStats> = (0..engine.num_lanes())
+                    .map(|c| *engine.lane_stats(c))
+                    .collect();
+                Some((
+                    kinds,
+                    bp,
+                    lanes_before,
+                    *engine.vmu_stats(),
+                    *engine.vxu_stats(),
+                ))
+            } else {
+                None
+            };
+
+            hier.tick(t);
+            engine.tick(t, &mut hier);
+            big.tick(t, &mut hier, Some(&mut engine));
+
+            if let Some((kinds, bp, lanes_before, vmu_before, vxu_before)) = predicted {
+                idle_checked += 1;
+                for (c, kind) in kinds.iter().enumerate() {
+                    let mut want = lanes_before[c];
+                    want.account(*kind);
+                    assert_eq!(*engine.lane_stats(c), want, "lane {c} accounting at t={t}");
+                }
+                let mut want_vmu = vmu_before;
+                if bp {
+                    want_vmu.vmiu_backpressure += 1;
+                }
+                assert_eq!(*engine.vmu_stats(), want_vmu, "vmu stats at t={t}");
+                assert_eq!(*engine.vxu_stats(), vxu_before, "vxu stats at t={t}");
+            }
+
+            if big.done() && engine.idle() {
+                assert!(idle_checked > 0, "run never exercised an idle window");
+                return;
+            }
+        }
+        panic!("vlittle system did not finish");
     }
 
     #[test]

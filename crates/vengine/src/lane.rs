@@ -17,7 +17,7 @@ use crate::regmap::RegMap;
 use crate::uop::{Uop, UopKind};
 use crate::vmu::Vmu;
 use crate::vxu::Vxu;
-use bvl_core::types::{CoreStats, StallKind};
+use bvl_core::types::{CoreStats, Quiescence, StallKind};
 use bvl_isa::instr::VArithOp;
 use bvl_isa::meta::{reduction_step_latency, vector_op_latency, LAT_ALU, LAT_DIV};
 use std::collections::VecDeque;
@@ -152,16 +152,20 @@ impl Lane {
         usize::from(chime.min(1))
     }
 
-    fn srcs_ready(&self, uop: &Uop, now: u64) -> Result<(), StallKind> {
+    /// Checks the head micro-op's sources; on failure reports the stall
+    /// kind charged this cycle and the cycle the failing source becomes
+    /// ready (the first not-ready source in operand order decides both).
+    fn srcs_ready(&self, uop: &Uop, now: u64) -> Result<(), (StallKind, u64)> {
         let k = Self::chime_idx(uop.chime);
         for src in uop.sources() {
             let r = self.ready[k][src as usize];
             if r > now {
-                return Err(match self.pend[k][src as usize] {
+                let kind = match self.pend[k][src as usize] {
                     PendKind::Mem => StallKind::RawMem,
                     PendKind::Llfu | PendKind::Alu => StallKind::RawLlfu,
                     PendKind::Xelem => StallKind::Xelem,
-                });
+                };
+                return Err((kind, r));
             }
         }
         Ok(())
@@ -173,12 +177,12 @@ impl Lane {
         self.pend[k][reg as usize] = kind;
     }
 
-    /// Advances the lane one cycle, returning completion events.
-    pub fn tick(&mut self, now: u64, env: &LaneEnv<'_>) -> Vec<TimedEvent> {
+    /// Advances the lane one cycle, pushing completion events to `out`.
+    pub fn tick(&mut self, now: u64, env: &LaneEnv<'_>, out: &mut Vec<TimedEvent>) {
         // Still occupied by a multi-cycle micro-op: that's useful work.
         if now < self.issue_free_at {
             self.stats.account(StallKind::Busy);
-            return Vec::new();
+            return;
         }
         let Some(uop) = self.inq.front() else {
             self.stats.account(if env.vcu_busy {
@@ -186,17 +190,16 @@ impl Lane {
             } else {
                 StallKind::Misc
             });
-            return Vec::new();
+            return;
         };
 
         // RAW hazards on this lane's register slice.
-        if let Err(kind) = self.srcs_ready(uop, now) {
+        if let Err((kind, _)) = self.srcs_ready(uop, now) {
             self.stats.account(kind);
-            return Vec::new();
+            return;
         }
 
         let elems = self.regmap.elems_on(self.core, uop.chime, uop.vl, uop.sew);
-        let mut events = Vec::new();
 
         match uop.kind.clone() {
             UopKind::Arith { op, dst, .. } => {
@@ -204,7 +207,7 @@ impl Lane {
                 if op == VArithOp::Div || op == VArithOp::Divu || op == VArithOp::Rem {
                     if self.div_busy_until > now {
                         self.stats.account(StallKind::Struct);
-                        return Vec::new();
+                        return;
                     }
                     self.div_busy_until = now + occ + u64::from(lat);
                 }
@@ -219,11 +222,11 @@ impl Lane {
             UopKind::LoadWb { mem_id, dst } => {
                 if !env.vmu.load_ready(mem_id, now) {
                     self.stats.account(StallKind::RawMem);
-                    return Vec::new();
+                    return;
                 }
                 self.issue_free_at = now + 1;
                 self.set_dest(uop.chime, dst, now + 1, PendKind::Mem);
-                events.push(TimedEvent {
+                out.push(TimedEvent {
                     at: now + 1,
                     event: LaneEvent::LoadWbDone { mem_id },
                 });
@@ -231,7 +234,7 @@ impl Lane {
             UopKind::StoreRd { mem_id, .. } => {
                 let occ = u64::from(elems.max(1));
                 self.issue_free_at = now + occ;
-                events.push(TimedEvent {
+                out.push(TimedEvent {
                     at: now + occ,
                     event: LaneEvent::StoreSent { mem_id },
                 });
@@ -239,7 +242,7 @@ impl Lane {
             UopKind::IdxRd { mem_id, .. } => {
                 let occ = u64::from(elems.max(1));
                 self.issue_free_at = now + occ;
-                events.push(TimedEvent {
+                out.push(TimedEvent {
                     at: now + occ,
                     event: LaneEvent::IdxSent { mem_id },
                 });
@@ -247,7 +250,7 @@ impl Lane {
             UopKind::VxRead { vx_id, .. } => {
                 let occ = u64::from(elems.max(1));
                 self.issue_free_at = now + occ;
-                events.push(TimedEvent {
+                out.push(TimedEvent {
                     at: now + occ,
                     event: LaneEvent::VxReadDone { vx_id },
                 });
@@ -255,12 +258,12 @@ impl Lane {
             UopKind::VxWrite { vx_id, dst } => {
                 if !env.vxu.ready(vx_id, now) {
                     self.stats.account(StallKind::Xelem);
-                    return Vec::new();
+                    return;
                 }
                 let occ = u64::from(elems.max(1));
                 self.issue_free_at = now + occ;
                 self.set_dest(uop.chime, dst, now + occ, PendKind::Xelem);
-                events.push(TimedEvent {
+                out.push(TimedEvent {
                     at: now + occ,
                     event: LaneEvent::VxConsumed { vx_id },
                 });
@@ -268,14 +271,14 @@ impl Lane {
             UopKind::VxReduce { vx_id, op, dst } => {
                 if !env.vxu.ready(vx_id, now) {
                     self.stats.account(StallKind::Xelem);
-                    return Vec::new();
+                    return;
                 }
                 // One element arrives per cycle from the ring; each is fed
                 // to the FU. Total vl elements plus the final step latency.
                 let occ = u64::from(uop.vl.max(1)) + u64::from(reduction_step_latency(op));
                 self.issue_free_at = now + occ;
                 self.set_dest(uop.chime, dst, now + occ, PendKind::Xelem);
-                events.push(TimedEvent {
+                out.push(TimedEvent {
                     at: now + occ,
                     event: LaneEvent::VxConsumed { vx_id },
                 });
@@ -285,7 +288,71 @@ impl Lane {
         self.inq.pop_front();
         self.stats.retired += 1;
         self.stats.account(StallKind::Busy);
-        events
+    }
+
+    /// The lane's self-assessment for the tick-skip engine, mirroring
+    /// [`Lane::tick`]'s decision tree exactly: `Active` when a tick would
+    /// issue the head micro-op, otherwise the stall kind each skipped tick
+    /// would record, bounded by the earliest internally-known wake-up
+    /// (`None` when the wake comes from an engine event or a memory
+    /// response instead).
+    pub fn quiescence(&self, now: u64, env: &LaneEnv<'_>) -> Quiescence {
+        if now < self.issue_free_at {
+            return Quiescence::Idle {
+                until: Some(self.issue_free_at),
+                account: Some(StallKind::Busy),
+            };
+        }
+        let Some(uop) = self.inq.front() else {
+            let kind = if env.vcu_busy {
+                StallKind::Simd
+            } else {
+                StallKind::Misc
+            };
+            // Wakes only when the VCU broadcasts (an engine-level event).
+            return Quiescence::Idle {
+                until: None,
+                account: Some(kind),
+            };
+        };
+        if let Err((kind, ready_at)) = self.srcs_ready(uop, now) {
+            // The first failing source decides the charged kind; once it
+            // resolves the charge may change, so the window ends there.
+            return Quiescence::Idle {
+                until: Some(ready_at),
+                account: Some(kind),
+            };
+        }
+        match uop.kind {
+            UopKind::Arith { op, .. }
+                if (op == VArithOp::Div || op == VArithOp::Divu || op == VArithOp::Rem)
+                    && self.div_busy_until > now =>
+            {
+                Quiescence::Idle {
+                    until: Some(self.div_busy_until),
+                    account: Some(StallKind::Struct),
+                }
+            }
+            UopKind::LoadWb { mem_id, .. } if !env.vmu.load_ready(mem_id, now) => {
+                // Delivery time is known once the VLU has scheduled the
+                // last line; before that the wake is a bank response.
+                Quiescence::Idle {
+                    until: env.vmu.load_ready_at(mem_id).filter(|&t| t > now),
+                    account: Some(StallKind::RawMem),
+                }
+            }
+            UopKind::VxWrite { vx_id, .. } | UopKind::VxReduce { vx_id, .. }
+                if !env.vxu.ready(vx_id, now) =>
+            {
+                // The ring's delivery time is known once all reads are in;
+                // before that the wake is a lane `VxReadDone` event.
+                Quiescence::Idle {
+                    until: env.vxu.ready_at(vx_id).filter(|&t| t > now),
+                    account: Some(StallKind::Xelem),
+                }
+            }
+            _ => Quiescence::Active,
+        }
     }
 
     /// (occupancy cycles, result latency) of an arithmetic micro-op on
@@ -302,6 +369,12 @@ impl Lane {
             // non-trivial area in the little cores).
             (u64::from(elems.max(1)), lat)
         }
+    }
+
+    /// Applies the accounting `cycles` skipped quiescent ticks would have
+    /// performed: one cycle of `kind` each (see [`Lane::quiescence`]).
+    pub fn skip_idle(&mut self, cycles: u64, kind: StallKind) {
+        self.stats.account_many(kind, cycles);
     }
 
     /// Worst-case divide latency exposure (used by tests).
@@ -361,8 +434,8 @@ mod tests {
     fn empty_lane_attributes_simd_vs_misc() {
         let (vmu, vxu) = fixtures();
         let mut lane = Lane::new(0, RegMap::paper_default(), 2);
-        lane.tick(0, &env(&vmu, &vxu, true));
-        lane.tick(1, &env(&vmu, &vxu, false));
+        lane.tick(0, &env(&vmu, &vxu, true), &mut Vec::new());
+        lane.tick(1, &env(&vmu, &vxu, false), &mut Vec::new());
         assert_eq!(lane.stats().of(StallKind::Simd), 1);
         assert_eq!(lane.stats().of(StallKind::Misc), 1);
     }
@@ -373,8 +446,8 @@ mod tests {
         let mut lane = Lane::new(0, RegMap::paper_default(), 2);
         lane.receive(add_uop(0, 3, vec![1, 2]));
         lane.receive(add_uop(0, 4, vec![1, 2]));
-        lane.tick(0, &env(&vmu, &vxu, true));
-        lane.tick(1, &env(&vmu, &vxu, true));
+        lane.tick(0, &env(&vmu, &vxu, true), &mut Vec::new());
+        lane.tick(1, &env(&vmu, &vxu, true), &mut Vec::new());
         assert_eq!(lane.stats().retired, 2);
         assert_eq!(lane.stats().of(StallKind::Busy), 2);
     }
@@ -394,7 +467,7 @@ mod tests {
         lane.receive(add_uop(0, 4, vec![3, 1])); // reads v3
         let mut t = 0;
         while lane.stats().retired < 2 {
-            lane.tick(t, &env(&vmu, &vxu, true));
+            lane.tick(t, &env(&vmu, &vxu, true), &mut Vec::new());
             t += 1;
             assert!(t < 100);
         }
@@ -419,10 +492,10 @@ mod tests {
             },
         ));
         lane.receive(add_uop(0, 5, vec![1, 2]));
-        lane.tick(0, &env(&vmu, &vxu, true)); // FMul issues, occ 2
-        lane.tick(1, &env(&vmu, &vxu, true)); // busy (occupied)
+        lane.tick(0, &env(&vmu, &vxu, true), &mut Vec::new()); // FMul issues, occ 2
+        lane.tick(1, &env(&vmu, &vxu, true), &mut Vec::new()); // busy (occupied)
         assert_eq!(lane.stats().retired, 1);
-        lane.tick(2, &env(&vmu, &vxu, true)); // Add issues
+        lane.tick(2, &env(&vmu, &vxu, true), &mut Vec::new()); // Add issues
         assert_eq!(lane.stats().retired, 2);
     }
 
@@ -431,7 +504,7 @@ mod tests {
         let (vmu, vxu) = fixtures();
         let mut lane = Lane::new(0, RegMap::paper_default(), 2);
         lane.receive(uop(0, UopKind::LoadWb { mem_id: 9, dst: 1 }));
-        lane.tick(0, &env(&vmu, &vxu, true));
+        lane.tick(0, &env(&vmu, &vxu, true), &mut Vec::new());
         assert_eq!(lane.stats().of(StallKind::RawMem), 1);
         assert_eq!(lane.stats().retired, 0);
     }
@@ -442,11 +515,12 @@ mod tests {
         let mut lane = Lane::new(0, RegMap::paper_default(), 2);
         vxu.begin(5, 1, 4);
         lane.receive(uop(0, UopKind::VxWrite { vx_id: 5, dst: 2 }));
-        lane.tick(0, &env(&vmu, &vxu, true));
+        lane.tick(0, &env(&vmu, &vxu, true), &mut Vec::new());
         assert_eq!(lane.stats().of(StallKind::Xelem), 1);
         vxu.read_done(5, 0);
         // ready at 0 + 4 + 2 = 6.
-        let evs = lane.tick(6, &env(&vmu, &vxu, true));
+        let mut evs = Vec::new();
+        lane.tick(6, &env(&vmu, &vxu, true), &mut evs);
         assert_eq!(evs.len(), 1);
         assert!(matches!(evs[0].event, LaneEvent::VxConsumed { vx_id: 5 }));
     }
@@ -465,7 +539,8 @@ mod tests {
         );
         u.vl = 8; // 2 elements on this lane's chime-0 register
         lane.receive(u);
-        let evs = lane.tick(0, &env(&vmu, &vxu, true));
+        let mut evs = Vec::new();
+        lane.tick(0, &env(&vmu, &vxu, true), &mut evs);
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].at, 2); // 2 elements, 1/cycle
     }
@@ -479,7 +554,8 @@ mod tests {
         let mut u = uop(0, UopKind::VxRead { vx_id: 1, src: 4 });
         u.vl = 2;
         lane.receive(u);
-        let evs = lane.tick(0, &env(&vmu, &vxu, true));
+        let mut evs = Vec::new();
+        lane.tick(0, &env(&vmu, &vxu, true), &mut evs);
         assert_eq!(evs.len(), 1);
         assert_eq!(lane.stats().retired, 1);
     }

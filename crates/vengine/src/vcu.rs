@@ -635,6 +635,18 @@ impl Vcu {
         self.mem_on_bus
     }
 
+    /// The cycle the command bus's oldest instruction finishes its
+    /// transfer, if any is in flight (a tick-skip wake-up).
+    pub fn bus_next_ready(&self) -> Option<u64> {
+        self.bus.next_ready()
+    }
+
+    /// The cycle the oldest VCU-produced scalar response becomes
+    /// poppable, if any is queued (a tick-skip wake-up).
+    pub fn resp_next_ready(&self) -> Option<u64> {
+        self.resp.next_ready()
+    }
+
     /// Micro-ops currently queued.
     pub fn uopq_len(&self) -> usize {
         self.uopq.len()

@@ -118,19 +118,23 @@ impl Vxu {
     /// cycle `now` (all reads done + N-element shift + pipeline; an
     /// idealized crossbar skips the shift).
     pub fn ready(&self, id: u64, now: u64) -> bool {
+        self.ready_at(id).is_some_and(|t| now >= t)
+    }
+
+    /// The cycle transaction `id` becomes deliverable, once every read is
+    /// in (`None` before that — the readiness deadline is unknown until
+    /// the last `vxread` lands).
+    pub fn ready_at(&self, id: u64) -> Option<u64> {
         match self.tx {
-            Some(tx) if tx.id == id => match tx.all_reads_done_at {
-                Some(done) => {
-                    let shift = if self.params.crossbar {
-                        0
-                    } else {
-                        u64::from(tx.total_elems)
-                    };
-                    now >= done + shift + self.params.pipeline
-                }
-                None => false,
-            },
-            _ => false,
+            Some(tx) if tx.id == id => tx.all_reads_done_at.map(|done| {
+                let shift = if self.params.crossbar {
+                    0
+                } else {
+                    u64::from(tx.total_elems)
+                };
+                done + shift + self.params.pipeline
+            }),
+            _ => None,
         }
     }
 
