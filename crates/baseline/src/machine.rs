@@ -130,6 +130,18 @@ impl SimpleVecMachine {
         &self.stats
     }
 
+    /// Certifies that no in-flight engine activity can still affect
+    /// architectural state: the command queue, memory transactions,
+    /// scalar-done handoffs and compute pipeline are all drained.
+    ///
+    /// The engine is timing-only (architectural state lives in the issuing
+    /// core's golden machine), so this is the precondition under which a
+    /// final-state snapshot of that machine is well defined — the oracle
+    /// contract checked by the differential-test harness.
+    pub fn arch_drained(&self) -> bool {
+        VectorEngine::idle(self)
+    }
+
     /// The hierarchy port this machine's requests and responses use
     /// (skip logic gates on `response_pending` for it).
     pub fn port(&self) -> PortId {
@@ -147,6 +159,14 @@ impl SimpleVecMachine {
             if lines.last() != Some(&l) {
                 lines.push(l);
             }
+        }
+        if lines.is_empty() {
+            // Fully masked-off (or vl=0) access: no memory traffic at
+            // all. Retire immediately — a transaction with no lines to
+            // issue would otherwise wait forever for a response that
+            // never comes. The destination register keeps its old value
+            // (and readiness): a masked load writes no elements.
+            return;
         }
         let snap = |r: u8, epochs: &[u64; 32]| (r, epochs[r as usize]);
         let (is_store, gates, dest_reg) = match cmd.instr {

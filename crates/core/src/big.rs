@@ -207,6 +207,14 @@ impl BigCore {
         &self.machine
     }
 
+    /// Snapshot of the core's final architectural state for differential
+    /// comparison. Only meaningful once [`BigCore::done`] — while the
+    /// pipeline is in flight the golden machine runs *ahead* of
+    /// architectural commit (execute-at-dispatch).
+    pub fn arch_snapshot(&self) -> bvl_isa::exec::ArchSnapshot {
+        self.machine.snapshot()
+    }
+
     /// Starts execution at `pc`.
     pub fn assign(&mut self, pc: u32) {
         self.machine.set_pc(pc);

@@ -126,6 +126,14 @@ impl LittleCore {
         &self.machine
     }
 
+    /// Snapshot of the core's final architectural state for differential
+    /// comparison. Only meaningful once [`LittleCore::done`] — while the
+    /// pipeline is in flight the golden machine runs *ahead* of
+    /// architectural commit (execute-at-dispatch).
+    pub fn arch_snapshot(&self) -> bvl_isa::exec::ArchSnapshot {
+        self.machine.snapshot()
+    }
+
     /// True when the core has halted (finished its assigned work) and the
     /// pipeline has fully drained.
     pub fn done(&self) -> bool {

@@ -1,0 +1,14 @@
+# Hand-minimal reproducer (shrunk by ddmin from seed 0xe220a8397b1dcdaf's
+# 74-line program) of the zero-active-element livelocks. v0 is never
+# written and no vsetvli runs, so the masked load has no active elements
+# (vl = 0) and produces no memory traffic. Two engines hung on it:
+#  * the decoupled-access baseline engine (1bIV/1bDV) built an empty
+#    memory transaction and waited forever for its response;
+#  * the VLITTLE engine (1b-4VL) expanded it to zero lane writeback
+#    micro-ops, so the VMU's load command could never be retired by its
+#    (nonexistent) consumers.
+serial:
+  halt
+vector:
+  vle.v v5, (x21), v0.t
+  halt

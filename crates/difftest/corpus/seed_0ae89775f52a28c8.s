@@ -1,0 +1,73 @@
+# seed 0x0ae89775f52a28c8 — scalar-heavy program with a single e8 vector
+# section: loops, forward branches, FP moves, byte loads/stores.
+
+serial:
+  li x20, 8192
+  li x21, 12288
+  li x22, 16384
+  li x23, 20480
+  blt x8, x10, L1
+  or x12, x6, x13
+  li x12, -3269
+L1:
+  fmv.w.x f3, x10
+  sd x7, 2192(x22)
+  srai x5, x8, 60
+  bge x9, x6, L2
+  andi x7, x12, -1135
+L2:
+  li x28, 1
+L3:
+  fsw f6, 3932(x22)
+  fsw f2, 328(x23)
+  lbu x12, 2754(x22)
+  addi x28, x28, -1
+  bne x28, x0, L3
+  li x28, 2
+L4:
+  divu x11, x6, x7
+  remu x14, x14, x12
+  addi x28, x28, -1
+  bne x28, x0, L4
+  bne x5, x10, L5
+  andi x5, x15, 1412
+  srai x8, x9, 48
+L5:
+  lbu x15, 2835(x23)
+  divu x9, x7, x10
+  ld x6, 904(x20)
+  li x28, 2
+L6:
+  li x8, -2773
+  addi x15, x5, 152
+  addi x14, x5, -1593
+  addi x28, x28, -1
+  bne x28, x0, L6
+  halt
+vector:
+  li x20, 8192
+  li x21, 12288
+  li x22, 16384
+  li x23, 20480
+  li x26, 4
+  li x27, 113
+  vsetvli x15, x27, e8
+  lbu x5, 2135(x22)
+  vadd.vv v4, v2, v6
+  andi x14, x5, -323
+  divu x14, x5, x13
+  ld x6, 1488(x21)
+  flw f1, 1360(x23)
+  rem x15, x5, x14
+  li x6, -1029
+  vse.v v6, (x23)
+  mul x15, x6, x15
+  vpopc.m x5, v2
+  fsw f3, 2844(x20)
+  bne x9, x5, L7
+  sd x13, 552(x22)
+L7:
+  bltu x8, x14, L8
+  addi x14, x13, -1389
+L8:
+  halt

@@ -1,0 +1,82 @@
+# seed 0x43e6aaed49082e36 — strided + masked memory ops, reductions,
+# slides and vmerge across e64 reconfigurations.
+
+serial:
+  li x20, 8192
+  li x21, 12288
+  li x22, 16384
+  li x23, 20480
+  sub x8, x5, x9
+  divu x7, x11, x5
+  li x5, -1540
+  flw f2, 1664(x22)
+  li x10, -845
+  flw f1, 3536(x22)
+  sd x13, 112(x22)
+  fmv.w.x f1, x7
+  li x28, 2
+L1:
+  flw f2, 616(x21)
+  lbu x12, 557(x21)
+  addi x28, x28, -1
+  bne x28, x0, L1
+  li x28, 3
+L2:
+  slli x9, x10, 8
+  fmv.w.x f2, x7
+  fmul.s f3, f2, f4
+  addi x28, x28, -1
+  bne x28, x0, L2
+  rem x8, x8, x9
+  lw x10, 2380(x22)
+  fsw f1, 532(x23)
+  andi x14, x14, -1252
+  xor x12, x11, x5
+  fmv.w.x f4, x10
+  remu x13, x13, x10
+  halt
+vector:
+  li x20, 8192
+  li x21, 12288
+  li x22, 16384
+  li x23, 20480
+  li x26, 1
+  li x27, 16
+  vsetvli x9, x27, e64
+  bltu x12, x11, L3
+  vfsub.vv v6, v2, v2
+  sb x10, 3775(x23)
+  vfadd.vv v1, v2, v2
+L3:
+  vslideup.vx v5, v3, x14
+  vid.v v3
+  li x5, 125
+  vmv.v.x v5, x5
+  vmslt.vv v0, v3, v5
+  vmerge.vvm v6, v5, v3, v0
+  vmslt.vv v5, v4, v4
+  vsse.v v6, (x21), x26
+  addi x10, x14, 1668
+  vmerge.vvm v6, v1, v3, v0
+  vfadd.vv v5, v6, v4
+  li x28, 5
+L4:
+  vle.v v2, (x20)
+  or x15, x8, x7
+  vfmacc.vv v4, v5, v4
+  addi x28, x28, -1
+  bne x28, x0, L4
+  vand.vv v4, v1, v1
+  vfmacc.vv v5, v3, v2
+  vredmax.vs v5, v6, v6
+  ld x14, 4056(x21)
+  vid.v v5
+  vse.v v4, (x22), v0.t
+  fmax.s f5, f6, f2
+  vsse.v v4, (x22), x26
+  vmslt.vv v6, v2, v6
+  vlse.v v5, (x21), x26
+  vmul.vv v4, v1, v3
+  li x27, 152
+  vsetvli x14, x27, e16
+  halt

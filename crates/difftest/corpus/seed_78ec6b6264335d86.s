@@ -1,0 +1,75 @@
+# seed 0x78ec6b6264335d86 — three vsetvli reconfigurations spanning both
+# SEW extremes (e8 and e64) with strided + masked traffic in between.
+
+serial:
+  li x20, 8192
+  li x21, 12288
+  li x22, 16384
+  li x23, 20480
+  sw x5, 2680(x20)
+  fmv.w.x f2, x5
+  srai x15, x13, 37
+  sd x9, 1456(x23)
+  li x13, -3109
+  ld x12, 240(x23)
+  andi x10, x15, -153
+  li x28, 3
+L1:
+  lbu x14, 2574(x23)
+  lbu x7, 2891(x23)
+  sd x7, 8(x22)
+  addi x28, x28, -1
+  bne x28, x0, L1
+  halt
+vector:
+  li x20, 8192
+  li x21, 12288
+  li x22, 16384
+  li x23, 20480
+  li x26, 2
+  li x27, 177
+  vsetvli x13, x27, e64
+  sb x8, 3294(x20)
+  vid.v v4
+  li x11, 6
+  vmv.v.x v3, x11
+  vmslt.vv v0, v4, v3
+  vse.v v4, (x23), v0.t
+  fmv.w.x f5, x7
+  vmslt.vv v4, v5, v1
+  vle.v v3, (x20)
+  xor x13, x12, x8
+  li x28, 2
+L2:
+  fadd.s f6, f6, f4
+  sd x15, 3024(x20)
+  li x27, 174
+  vsetvli x5, x27, e64
+  vmflt.vv v4, v1, v6
+  vsse.v v5, (x20), x26
+  addi x28, x28, -1
+  bne x28, x0, L2
+  vid.v v3
+  li x5, 96
+  vmv.v.x v3, x5
+  vmslt.vv v0, v3, v3
+  vmerge.vvm v6, v5, v6, v0
+  sd x7, 1680(x22)
+  vse.v v6, (x20)
+  li x28, 1
+L3:
+  flw f4, 532(x21)
+  vmerge.vvm v2, v1, v2, v0
+  fmv.w.x f3, x8
+  vadd.vv v1, v3, v5
+  addi x28, x28, -1
+  bne x28, x0, L3
+  li x28, 5
+L4:
+  vmslt.vv v1, v5, v1
+  sb x13, 2562(x22)
+  li x27, 182
+  vsetvli x5, x27, e8
+  addi x28, x28, -1
+  bne x28, x0, L4
+  halt

@@ -1,0 +1,103 @@
+# seed 0x7af796f7d49f96c7 — four vsetvli reconfigurations, masked ops and
+# vmerge at e8, FP vector arithmetic.
+
+serial:
+  li x20, 8192
+  li x21, 12288
+  li x22, 16384
+  li x23, 20480
+  fmul.s f5, f6, f5
+  andi x5, x14, -1852
+  li x14, -487
+  li x8, -1187
+  flw f2, 3688(x22)
+  li x11, 3564
+  lw x7, 3572(x23)
+  sb x6, 2731(x20)
+  sw x6, 884(x23)
+  sb x14, 2192(x22)
+  slli x11, x5, 24
+  fsub.s f5, f3, f6
+  lbu x5, 2467(x23)
+  li x13, 602
+  fadd.s f3, f2, f5
+  ld x12, 2608(x21)
+  andi x12, x6, -475
+  li x28, 1
+L1:
+  fmax.s f1, f3, f1
+  sb x5, 3282(x21)
+  addi x28, x28, -1
+  bne x28, x0, L1
+  sb x14, 1228(x20)
+  sw x12, 3444(x21)
+  flw f3, 3756(x21)
+  li x28, 4
+L2:
+  slli x15, x9, 47
+  li x12, 69
+  sd x8, 1304(x20)
+  addi x28, x28, -1
+  bne x28, x0, L2
+  bge x8, x9, L3
+  ld x6, 3048(x20)
+L3:
+  halt
+vector:
+  li x20, 8192
+  li x21, 12288
+  li x22, 16384
+  li x23, 20480
+  li x26, 2
+  li x27, 177
+  vsetvli x5, x27, e16
+  bgeu x15, x11, L4
+  li x27, 2
+  vsetvli x9, x27, e32
+  vadd.vx v3, v6, x15
+L4:
+  bne x6, x8, L5
+  vmv.v.x v3, x12
+  remu x7, x10, x13
+L5:
+  li x27, 4
+  vsetvli x9, x27, e32
+  fadd.s f5, f6, f2
+  divu x13, x7, x6
+  or x12, x13, x14
+  vsub.vv v4, v3, v2
+  vsub.vv v6, v6, v3
+  vfmacc.vv v2, v2, v1
+  vle.v v6, (x20)
+  vfmacc.vv v5, v6, v2
+  blt x6, x6, L6
+  sb x12, 2022(x21)
+  ld x5, 1216(x22)
+  vmflt.vv v3, v5, v1
+L6:
+  li x28, 5
+L7:
+  vid.v v2
+  li x7, 17
+  vmv.v.x v6, x7
+  vmslt.vv v0, v2, v6
+  vmerge.vvm v4, v4, v6, v0
+  vse.v v3, (x22)
+  sw x11, 3768(x20)
+  li x27, 167
+  vsetvli x8, x27, e8
+  vfsub.vv v4, v6, v2
+  addi x28, x28, -1
+  bne x28, x0, L7
+  blt x11, x15, L8
+  li x9, -123
+  vle.v v6, (x23)
+L8:
+  vsub.vv v3, v6, v6
+  vid.v v4
+  li x14, 177
+  vmv.v.x v4, x14
+  vmslt.vv v0, v4, v4
+  vle.v v1, (x20), v0.t
+  vfmul.vv v2, v4, v4
+  halt

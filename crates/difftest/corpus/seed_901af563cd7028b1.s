@@ -1,0 +1,82 @@
+# seed 0x901af563cd7028b1 — masked *indexed* loads/stores (vluxei/vsuxei
+# with v0.t) plus vrgather and slides at e8.
+
+serial:
+  li x20, 8192
+  li x21, 12288
+  li x22, 16384
+  li x23, 20480
+  bge x14, x5, L1
+  flw f3, 1080(x23)
+  slli x9, x14, 50
+  slli x12, x12, 57
+L1:
+  ld x13, 320(x22)
+  andi x10, x9, -70
+  fadd.s f3, f4, f6
+  addi x9, x6, -55
+  andi x14, x8, 600
+  fmv.w.x f4, x8
+  sd x12, 400(x20)
+  sw x9, 2460(x23)
+  sltu x5, x6, x9
+  andi x7, x11, -1424
+  fsw f1, 3116(x22)
+  sw x13, 2300(x23)
+  sub x9, x14, x8
+  li x6, -2026
+  flw f4, 1736(x22)
+  lbu x11, 3289(x22)
+  halt
+vector:
+  li x20, 8192
+  li x21, 12288
+  li x22, 16384
+  li x23, 20480
+  li x26, 1
+  li x27, 93
+  vsetvli x8, x27, e8
+  vsse.v v5, (x21), x26
+  vid.v v4
+  li x14, 77
+  vmv.v.x v6, x14
+  vmslt.vv v0, v4, v6
+  vid.v v7
+  vsll.vi v7, v7, 2
+  vsuxei.v v5, (x20), v7, v0.t
+  vid.v v2
+  vrgather.vv v6, v6, v3
+  vse.v v1, (x22), v0.t
+  vfsub.vv v1, v3, v3
+  lbu x14, 3378(x22)
+  li x9, 3962
+  vmv.x.s x14, v4
+  fsw f5, 2656(x23)
+  vmin.vv v5, v6, v6
+  srli x15, x11, 25
+  vfmul.vv v2, v6, v4
+  li x15, 1162
+  vmax.vx v5, v6, x12
+  vid.v v7
+  vsll.vi v7, v7, 2
+  vsuxei.v v4, (x22), v7
+  vadd.vx v2, v6, x10
+  vslidedown.vx v2, v6, x6
+  vmax.vx v2, v3, x12
+  vmflt.vv v4, v2, v1
+  lbu x14, 881(x20)
+  li x9, -313
+  vrgather.vv v2, v5, v1
+  andi x10, x13, 373
+  vid.v v7
+  vsll.vi v7, v7, 3
+  vsuxei.v v5, (x22), v7
+  vfmacc.vv v1, v1, v6
+  lw x12, 1324(x23)
+  vid.v v7
+  vsll.vi v7, v7, 1
+  vluxei.v v1, (x20), v7, v0.t
+  vslideup.vx v6, v5, x11
+  vmin.vv v3, v1, v4
+  vle.v v2, (x20), v0.t
+  halt

@@ -1,0 +1,80 @@
+# seed 0xe220a8397b1dcdaf — regression: masked vector load whose mask
+# idiom collides registers (vmslt.vv with equal sources -> all-false
+# mask). The zero-active-element access livelocked the decoupled-access
+# baseline engine (1bIV/1bDV): an empty memory transaction waited
+# forever for a response that never comes.
+
+serial:
+  li x20, 8192
+  li x21, 12288
+  li x22, 16384
+  li x23, 20480
+  sb x8, 3874(x22)
+  andi x6, x5, 592
+  sd x10, 2584(x20)
+  div x11, x9, x10
+  addi x9, x7, -1682
+  li x13, -4015
+  xor x12, x14, x10
+  fmul.s f5, f6, f5
+  li x28, 3
+L1:
+  fmax.s f6, f4, f3
+  li x6, -1106
+  sub x10, x5, x6
+  addi x28, x28, -1
+  bne x28, x0, L1
+  rem x14, x13, x8
+  lw x7, 372(x20)
+  or x9, x7, x8
+  ld x7, 1824(x22)
+  lbu x13, 25(x21)
+  lbu x14, 960(x22)
+  halt
+vector:
+  li x20, 8192
+  li x21, 12288
+  li x22, 16384
+  li x23, 20480
+  li x26, 1
+  li x27, 110
+  vsetvli x14, x27, e8
+  vmflt.vv v3, v3, v4
+  li x27, 105
+  vsetvli x10, x27, e16
+  li x14, 3995
+  sb x5, 3332(x23)
+  li x27, 115
+  vsetvli x15, x27, e8
+  fmv.w.x f3, x11
+  li x28, 4
+L2:
+  vrgather.vv v3, v6, v4
+  fmin.s f6, f3, f6
+  vlse.v v4, (x22), x26
+  vid.v v2
+  li x7, 32
+  vmv.v.x v2, x7
+  vmslt.vv v0, v2, v2
+  vle.v v5, (x21), v0.t
+  addi x28, x28, -1
+  bne x28, x0, L2
+  vfmacc.vv v6, v6, v3
+  fmul.s f1, f5, f3
+  li x27, 120
+  vsetvli x11, x27, e32
+  lw x13, 3664(x22)
+  vadd.vv v5, v2, v3
+  vfredosum.vs v3, v6, v3
+  vmax.vx v5, v6, x9
+  lbu x9, 1568(x22)
+  sltu x13, x15, x7
+  add x12, x5, x12
+  vid.v v6
+  li x8, 57
+  vmv.v.x v5, x8
+  vmslt.vv v0, v6, v5
+  vmerge.vvm v4, v6, v2, v0
+  srai x12, x10, 50
+  andi x13, x9, 1902
+  halt

@@ -1,0 +1,116 @@
+//! Divergence minimization.
+//!
+//! The vendored `proptest` subset deliberately omits shrinking, so the
+//! difftest crate ships its own: a delta-debugging (`ddmin`) pass over
+//! program lines. [`shrink`] repeatedly deletes chunks of lines —
+//! halving the chunk size down to single lines — and keeps any candidate
+//! for which `still_failing` holds, looping until no single-line
+//! deletion reproduces the failure. The result is 1-minimal: removing
+//! any one remaining line makes the divergence disappear.
+//!
+//! Candidates that no longer assemble, terminate or define the entry
+//! labels are simply rejected by the predicate (the harness classifies
+//! them as `Invalid`, which is not a divergence), so the shrinker needs
+//! no structural knowledge of the program beyond its line list.
+
+use crate::text::DtProgram;
+
+/// Minimizes `prog` while `still_failing` keeps returning true.
+///
+/// `still_failing(prog)` must be true on entry; the returned program
+/// also satisfies it and no single line can be removed without losing
+/// the failure.
+pub fn shrink(prog: &DtProgram, still_failing: &dyn Fn(&DtProgram) -> bool) -> DtProgram {
+    debug_assert!(still_failing(prog), "shrink called on a passing program");
+    let mut best = prog.clone();
+    let mut reduced = true;
+    while reduced {
+        reduced = false;
+        let mut chunk = (best.lines.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < best.lines.len() {
+                let end = (start + chunk).min(best.lines.len());
+                let mut candidate = best.clone();
+                candidate.lines.drain(start..end);
+                if !candidate.lines.is_empty() && still_failing(&candidate) {
+                    best = candidate;
+                    reduced = true;
+                    // Re-test the same position: the next chunk slid in.
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::text::DtOp;
+
+    /// Synthetic failure: "the program still contains a `mul`".
+    fn has_mul(p: &DtProgram) -> bool {
+        p.lines.iter().any(|l| matches!(l, DtOp::Alu("mul", ..)))
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_line() {
+        let mut p = DtProgram::default();
+        for i in 0..20 {
+            p.lines.push(DtOp::Li(
+                bvl_isa::reg::XReg::new(5 + (i % 8) as u8),
+                i as i64,
+            ));
+        }
+        p.lines.insert(
+            13,
+            DtOp::Alu(
+                "mul",
+                bvl_isa::reg::XReg::new(6),
+                bvl_isa::reg::XReg::new(7),
+                bvl_isa::reg::XReg::new(8),
+            ),
+        );
+        let small = shrink(&p, &has_mul);
+        assert_eq!(small.lines.len(), 1, "{}", small.render());
+        assert!(has_mul(&small));
+    }
+
+    #[test]
+    fn shrink_of_generated_program_is_one_minimal() {
+        // "Failure" = uses at least two distinct vector-memory lines.
+        let vmem_count = |p: &DtProgram| {
+            p.lines
+                .iter()
+                .filter(|l| {
+                    matches!(
+                        l,
+                        DtOp::VMemUnit { .. } | DtOp::VMemStrided { .. } | DtOp::VMemIndexed { .. }
+                    )
+                })
+                .count()
+        };
+        let pred = |p: &DtProgram| vmem_count(p) >= 2;
+        // Find a seed whose program satisfies the predicate.
+        let p = (0..100)
+            .map(generate)
+            .find(|p| pred(p))
+            .expect("some seed emits two vector memory ops");
+        let small = shrink(&p, &pred);
+        assert_eq!(small.lines.len(), 2, "{}", small.render());
+        // 1-minimality: removing either remaining line breaks it.
+        for i in 0..small.lines.len() {
+            let mut c = small.clone();
+            c.lines.remove(i);
+            assert!(!pred(&c));
+        }
+    }
+}

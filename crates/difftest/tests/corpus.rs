@@ -1,0 +1,60 @@
+//! Corpus replay: every committed `corpus/*.s` program must pass the
+//! full differential check on all seven systems, forever.
+//!
+//! Programs land here in two ways: curated generator output covering a
+//! feature (strided, indexed, masked, reductions, `vsetvli`
+//! reconfiguration), and shrunken reproducers of fixed divergences. A
+//! failure in this suite is a regression in a simulator timing model,
+//! the functional executor, or the extraction hooks — never flaky.
+
+use bvl_difftest::{check_program, DiffResult, DtProgram};
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("corpus dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "s"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_not_empty() {
+    assert!(
+        !corpus_files().is_empty(),
+        "the committed regression corpus vanished"
+    );
+}
+
+#[test]
+fn every_corpus_program_passes_on_all_systems() {
+    for path in corpus_files() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).expect("read corpus program");
+        let prog = DtProgram::parse(&text).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+        match check_program(&prog) {
+            DiffResult::Pass => {}
+            DiffResult::Invalid(why) => panic!("{name}: became untestable: {why}"),
+            DiffResult::Diverged(d) => panic!("{name}: regressed: {d}"),
+        }
+    }
+}
+
+#[test]
+fn corpus_programs_round_trip_through_the_text_format() {
+    for path in corpus_files() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).expect("read corpus program");
+        let prog = DtProgram::parse(&text).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+        let rendered = prog.render();
+        let back = DtProgram::parse(&rendered).unwrap_or_else(|e| panic!("{name}: reparse: {e}"));
+        assert_eq!(
+            prog.lines, back.lines,
+            "{name}: render/parse round trip changed the program"
+        );
+    }
+}

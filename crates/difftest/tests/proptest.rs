@@ -1,0 +1,33 @@
+//! Property layer over the fuzzing pipeline: arbitrary seeds must yield
+//! generated programs that pass the differential check on every system.
+//!
+//! This is a bounded in-tree slice of the campaign the `difftest` binary
+//! runs at scale — a handful of cases keeps `cargo test` fast while still
+//! exercising the full generate → oracle → simulate → compare path on
+//! seeds the curated corpus never picked.
+
+use bvl_difftest::{check_program, generate, shrink, DiffResult};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn arbitrary_seeds_pass_on_all_systems(seed in any::<u64>()) {
+        let prog = generate(seed);
+        match check_program(&prog) {
+            DiffResult::Pass => {}
+            DiffResult::Invalid(why) => {
+                prop_assert!(false, "seed {seed:#x}: generator emitted an untestable program: {why}");
+            }
+            DiffResult::Diverged(d) => {
+                let minimal = shrink(&prog, &|p| check_program(p).is_divergence());
+                prop_assert!(
+                    false,
+                    "seed {seed:#x}: divergence on {d}\nminimal reproducer:\n{}",
+                    minimal.render()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Differential-fuzzing campaign driver.
+//!
+//! Generates `--runs` random RVV programs (seeded by `--seed`, so a
+//! campaign is exactly reproducible), fans them across `--jobs` worker
+//! threads with [`bvl_experiments::sweep::run_parallel`], and checks each
+//! against the architectural oracle on every system via
+//! [`bvl_difftest::check_program`]. On the first divergence the program
+//! is delta-debugged to a 1-minimal reproducer and printed in the
+//! corpus `.s` format, ready to commit under `crates/difftest/corpus/`.
+//!
+//! Flags:
+//!
+//! - `--runs N` — number of programs to test (default 100)
+//! - `--seed S` — campaign seed (default 0)
+//! - `--jobs J` — worker threads (default: available parallelism)
+//! - `--emit DIR` — also write every generated program to `DIR` as
+//!   `seed_<seed>.s` (corpus curation)
+//!
+//! Exit status: 0 = all passed, 1 = divergence found, 2 = a generated
+//! program was invalid (generator bug).
+
+use bvl_difftest::{check_program, generate, mix_seed, shrink, DiffResult};
+use bvl_experiments::sweep::{default_jobs, run_parallel};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut runs: u64 = 100;
+    let mut seed: u64 = 0;
+    let mut jobs = default_jobs();
+    let mut emit: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--runs" => runs = value("--runs").parse().expect("--runs N"),
+            "--seed" => seed = value("--seed").parse().expect("--seed S"),
+            "--jobs" => jobs = value("--jobs").parse().expect("--jobs J"),
+            "--emit" => emit = Some(PathBuf::from(value("--emit"))),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                eprintln!("usage: difftest [--runs N] [--seed S] [--jobs J] [--emit DIR]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(dir) = &emit {
+        std::fs::create_dir_all(dir).expect("create --emit dir");
+    }
+
+    let indices: Vec<u64> = (0..runs).collect();
+    let results = run_parallel(&indices, jobs, |&i| {
+        let s = mix_seed(seed, i);
+        let prog = generate(s);
+        if let Some(dir) = &emit {
+            std::fs::write(dir.join(format!("seed_{s:016x}.s")), prog.render())
+                .expect("write emitted program");
+        }
+        (s, check_program(&prog))
+    });
+
+    let mut passed = 0u64;
+    for (s, result) in &results {
+        match result {
+            DiffResult::Pass => passed += 1,
+            DiffResult::Invalid(why) => {
+                eprintln!("seed {s:#018x}: INVALID program ({why})");
+                eprintln!("the generator emitted an untestable program — this is a bug");
+                return ExitCode::from(2);
+            }
+            DiffResult::Diverged(d) => {
+                eprintln!("seed {s:#018x}: DIVERGENCE on {d}");
+                eprintln!("shrinking to a minimal reproducer...");
+                let full = generate(*s);
+                let minimal = shrink(&full, &|p| check_program(p).is_divergence());
+                let outcome = check_program(&minimal);
+                eprintln!(
+                    "minimal reproducer ({} of {} lines, {outcome:?}):",
+                    minimal.lines.len(),
+                    full.lines.len()
+                );
+                eprintln!("{}", minimal.render());
+                eprintln!("commit it under crates/difftest/corpus/ once fixed");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "difftest: {passed}/{runs} programs passed on all 7 systems (seed {seed}, jobs {jobs})"
+    );
+    ExitCode::SUCCESS
+}

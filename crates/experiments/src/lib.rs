@@ -18,6 +18,7 @@
 //! | `tab07_power_levels` | Table VII — V/F levels |
 //! | `abl_vxu_topology` | Ablation — VXU ring vs idealized crossbar |
 //! | `abl_vmu_coalesce` | Ablation — VMIU index coalescing on/off |
+//! | `difftest` | Differential fuzzing — random RVV programs vs the architectural oracle on all systems |
 //!
 //! Every binary accepts `--scale tiny|default|large` and `--out <dir>`
 //! (default `results/`), prints the figure's rows as a markdown table, and

@@ -110,6 +110,71 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// A comparable snapshot of a machine's complete architectural state.
+///
+/// Captured by [`Machine::snapshot`] after a run; two machines that
+/// executed the same instruction stream from the same initial state must
+/// produce *identical* snapshots regardless of the timing model driving
+/// them — the invariant the differential-test harness checks across every
+/// system configuration.
+///
+/// Equality covers every architecturally visible bit: the integer and FP
+/// register files, all 32 vector registers element by element, the vector
+/// configuration (`vl`/`sew`), the PC, the halt flag, and the dynamic
+/// execution counters. Snapshots taken at different hardware vector
+/// lengths compare unequal (`vlen_bits` differs and the vector containers
+/// have different shapes) — compare like against like.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ArchSnapshot {
+    /// Hardware vector length the machine was built with.
+    pub vlen_bits: u32,
+    /// Final program counter (instruction index).
+    pub pc: u32,
+    /// Whether `halt` executed.
+    pub halted: bool,
+    /// Granted vector length in effect.
+    pub vl: u32,
+    /// Selected element width in effect.
+    pub sew: Sew,
+    /// Integer register file (`x0` always 0).
+    pub xregs: [u64; NUM_REGS],
+    /// FP register file (raw bits).
+    pub fregs: [u64; NUM_REGS],
+    /// Vector register file, one container word per element slot.
+    pub vregs: Vec<Vec<u64>>,
+    /// Dynamic instruction counters accumulated during execution.
+    pub counters: ExecCounters,
+}
+
+impl fmt::Debug for ArchSnapshot {
+    /// Compact rendering: scalar state plus only the *non-zero* registers,
+    /// so assertion failures stay readable (a full dump would be 32 vector
+    /// registers of up to 256 elements each).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ArchSnapshot {{ vlen={} pc={} halted={} vl={} sew={}",
+            self.vlen_bits, self.pc, self.halted, self.vl, self.sew
+        )?;
+        for (i, v) in self.xregs.iter().enumerate() {
+            if *v != 0 {
+                writeln!(f, "  x{i} = {v:#x}")?;
+            }
+        }
+        for (i, v) in self.fregs.iter().enumerate() {
+            if *v != 0 {
+                writeln!(f, "  f{i} = {v:#x}")?;
+            }
+        }
+        for (i, v) in self.vregs.iter().enumerate() {
+            if v.iter().any(|e| *e != 0) {
+                writeln!(f, "  v{i} = {v:x?}")?;
+            }
+        }
+        write!(f, "  counters: {:?} }}", self.counters)
+    }
+}
+
 /// The architectural machine state and functional interpreter.
 ///
 /// Generic over [`Memory`] so it can execute against the plain test memory
@@ -237,6 +302,22 @@ impl<M: Memory> Machine<M> {
     /// Consumes the machine and returns the memory.
     pub fn into_mem(self) -> M {
         self.mem
+    }
+
+    /// Captures the complete architectural state for differential
+    /// comparison (see [`ArchSnapshot`]).
+    pub fn snapshot(&self) -> ArchSnapshot {
+        ArchSnapshot {
+            vlen_bits: self.vlen_bits,
+            pc: self.pc,
+            halted: self.halted,
+            vl: self.vcfg.vl,
+            sew: self.vcfg.sew,
+            xregs: self.xregs,
+            fregs: self.fregs,
+            vregs: self.vregs.clone(),
+            counters: self.counters,
+        }
     }
 
     /// Runs until `halt`, returning the number of instructions executed.

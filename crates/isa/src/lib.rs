@@ -57,7 +57,7 @@ pub mod reg;
 pub mod vcfg;
 
 pub use asm::Assembler;
-pub use exec::Machine;
+pub use exec::{ArchSnapshot, Machine};
 pub use instr::Instr;
 pub use mem::Memory;
 pub use reg::{FReg, VReg, XReg};

@@ -236,4 +236,97 @@ mod tests {
         m.remove(2); // base advances past 2
         m.insert(1, ());
     }
+
+    // ---- 3-state slot lifecycle --------------------------------------
+    // Each slot moves Vacant -> Occupied -> Retired; the window base only
+    // ever advances past a Retired prefix. The tests below pin each legal
+    // transition and the illegal ones.
+
+    #[test]
+    fn occupied_slot_replacement_keeps_len() {
+        let mut m = IdMap::new();
+        assert_eq!(m.insert(3, "first"), None);
+        // Occupied -> Occupied is a replacement, not a second entry.
+        assert_eq!(m.insert(3, "second"), Some("first"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(3), Some(&"second"));
+    }
+
+    #[test]
+    fn vacant_slot_survives_remove_and_still_accepts_insert() {
+        let mut m = IdMap::new();
+        m.insert(2, 20);
+        // Id 1 is inside the window but never arrived: removing it is a
+        // no-op that must NOT turn the slot into a tombstone.
+        assert_eq!(m.remove(1), None);
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.get(1), Some(&10));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn tombstones_recycle_once_the_prefix_retires() {
+        let mut m = IdMap::new();
+        for id in 0..8u64 {
+            m.insert(id, id);
+        }
+        // Retire out of order: 3,1,2 leave tombstones behind id 0.
+        m.remove(3);
+        m.remove(1);
+        m.remove(2);
+        assert_eq!(m.len(), 5);
+        // Retiring 0 lets the base sweep the whole tombstone run.
+        m.remove(0);
+        assert_eq!(m.iter().map(|(id, _)| id).collect::<Vec<_>>(), [4, 5, 6, 7]);
+        // The swept ids are gone for good: absent, not re-insertable.
+        for id in 0..4u64 {
+            assert!(!m.contains(id));
+            assert_eq!(m.remove(id), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "re-used")]
+    fn tombstone_inside_window_rejects_reinsertion() {
+        let mut m = IdMap::new();
+        m.insert(0, ());
+        m.insert(2, ());
+        m.remove(2); // retired but NOT swept: id 0 still pins the window
+        assert!(m.contains(0));
+        m.insert(2, ());
+    }
+
+    #[test]
+    fn iteration_stays_ordered_after_heavy_churn() {
+        let mut m = IdMap::starting_at(100);
+        for id in 100..140u64 {
+            m.insert(id, id * 2);
+        }
+        // Retire every third id, then refill a few vacant stragglers.
+        for id in (100..140u64).step_by(3) {
+            m.remove(id);
+        }
+        m.insert(150, 300);
+        m.insert(145, 290);
+        let ids: Vec<u64> = m.iter().map(|(id, _)| id).collect();
+        let mut expect: Vec<u64> = (100..140).filter(|id| id % 3 != 1).collect();
+        expect.extend([145, 150]);
+        assert_eq!(ids, expect);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "iter must be sorted");
+        assert_eq!(m.len(), ids.len());
+        assert!(m.iter().all(|(id, v)| *v == id * 2));
+    }
+
+    #[test]
+    fn starting_at_anchor_rejects_earlier_ids() {
+        let mut m = IdMap::starting_at(10);
+        m.insert(10, ());
+        assert!(!m.contains(9));
+        assert_eq!(m.remove(9), None);
+        m.remove(10);
+        // Fully drained at the anchor: the window re-opens at 11.
+        assert!(m.is_empty());
+        m.insert(11, ());
+        assert_eq!(m.iter().map(|(id, _)| id).collect::<Vec<_>>(), [11]);
+    }
 }

@@ -43,5 +43,5 @@ pub use dram::{Dram, DramParams};
 pub use hier::{HierConfig, MemHierarchy, MemStats};
 pub use idmap::IdMap;
 pub use req::{AccessKind, MemReq, MemResp, PortId};
-pub use simmem::{SharedMem, SimMemory};
+pub use simmem::{MemImage, SharedMem, SimMemory};
 pub use sram_fifo::SramFifo;

@@ -6,6 +6,7 @@
 
 use bvl_isa::mem::Memory;
 use std::cell::RefCell;
+use std::fmt;
 use std::rc::Rc;
 
 /// Default backing size (64 MiB) — enough for every workload at the
@@ -120,6 +121,79 @@ impl SimMemory {
             .map(|i| self.read_f32(base + i as u64 * 4))
             .collect()
     }
+
+    /// One past the highest byte ever written — everything at or above
+    /// this address still reads as zero.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// The live prefix: every byte from 0 up to the high-water mark.
+    pub fn live_bytes(&self) -> &[u8] {
+        &self.bytes[..(self.high_water as usize).min(self.bytes.len())]
+    }
+}
+
+/// A comparable snapshot of a [`SimMemory`]'s live contents.
+///
+/// Captures only the written prefix (up to the high-water mark); bytes
+/// above it are zero by construction in every image of the same total
+/// size, so comparing live prefixes compares the whole address space.
+/// Two runs that performed the same set of writes produce equal images —
+/// the memory half of the differential-test oracle contract.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MemImage {
+    bytes: Vec<u8>,
+    total_len: usize,
+}
+
+impl MemImage {
+    /// Snapshots the live prefix of `mem`.
+    pub fn capture(mem: &SimMemory) -> MemImage {
+        MemImage {
+            bytes: mem.live_bytes().to_vec(),
+            total_len: mem.len(),
+        }
+    }
+
+    /// Length of the captured live prefix (the high-water mark).
+    pub fn live_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The captured bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The first address whose byte differs between the two images,
+    /// treating everything beyond a shorter live prefix as zero.
+    pub fn first_difference(&self, other: &MemImage) -> Option<u64> {
+        let n = self.bytes.len().max(other.bytes.len());
+        (0..n).find_map(|i| {
+            let a = self.bytes.get(i).copied().unwrap_or(0);
+            let b = other.bytes.get(i).copied().unwrap_or(0);
+            (a != b).then_some(i as u64)
+        })
+    }
+}
+
+impl fmt::Debug for MemImage {
+    /// Compact rendering (an image can be megabytes): sizes plus an FNV-1a
+    /// digest of the live bytes, enough to see *that* two images differ.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in &self.bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        write!(
+            f,
+            "MemImage {{ live: {} of {} bytes, fnv1a: {h:016x} }}",
+            self.bytes.len(),
+            self.total_len
+        )
+    }
 }
 
 impl Default for SimMemory {
@@ -220,6 +294,65 @@ mod tests {
         // The fork allocates where the original left off.
         let next = f.alloc(16, 64);
         assert!(next >= base + 12);
+    }
+
+    #[test]
+    fn fork_copies_exactly_the_high_water_prefix() {
+        let mut m = SimMemory::new(1 << 20);
+        assert_eq!(m.high_water(), 0);
+        m.write_uint(0x4000, 4, 0xABCD);
+        // One past the highest written byte, not a page or line round-up.
+        assert_eq!(m.high_water(), 0x4004);
+        let f = m.fork();
+        assert_eq!(f.high_water(), m.high_water());
+        assert_eq!(f.read_uint(0x4000, 4), 0xABCD);
+        // The live prefix view and the captured image agree.
+        assert_eq!(f.live_bytes(), m.live_bytes());
+        assert_eq!(MemImage::capture(&f), MemImage::capture(&m));
+    }
+
+    #[test]
+    fn fork_lazy_pages_read_as_zero() {
+        let mut m = SimMemory::new(1 << 20);
+        m.write_uint(0x2000, 8, u64::MAX);
+        let f = m.fork();
+        // Far above the high-water mark: never copied, still zero.
+        assert_eq!(f.read_uint(0x8_0000, 8), 0);
+        assert_eq!(f.read_uint((1 << 20) - 8, 8), 0);
+        // Just above the copied prefix too.
+        assert_eq!(f.read_uint(m.high_water(), 8), 0);
+    }
+
+    #[test]
+    fn fork_writes_do_not_leak_either_direction() {
+        let mut m = SimMemory::new(1 << 20);
+        m.write_uint(0x3000, 4, 111);
+        let mut f = m.fork();
+        // Child write, inside and above the copied prefix.
+        f.write_uint(0x3000, 4, 222);
+        f.write_uint(0x7_0000, 4, 333);
+        assert_eq!(m.read_uint(0x3000, 4), 111);
+        assert_eq!(m.read_uint(0x7_0000, 4), 0);
+        assert_eq!(m.high_water(), 0x3004);
+        // Parent write after the fork stays invisible to the child.
+        m.write_uint(0x5000, 4, 444);
+        assert_eq!(f.read_uint(0x5000, 4), 0);
+    }
+
+    #[test]
+    fn mem_image_reports_first_difference() {
+        let mut a = SimMemory::new(1 << 16);
+        a.write_uint(0x100, 4, 0x01020304);
+        let mut b = a.fork();
+        let ia = MemImage::capture(&a);
+        assert_eq!(ia.first_difference(&MemImage::capture(&b)), None);
+        b.write_uint(0x102, 1, 0xFF);
+        let ib = MemImage::capture(&b);
+        assert_eq!(ia.first_difference(&ib), Some(0x102));
+        // A longer live prefix only differs where it is non-zero.
+        b.write_uint(0x200, 2, 0);
+        b.write_uint(0x210, 1, 7);
+        assert_eq!(ib.first_difference(&MemImage::capture(&b)), Some(0x210));
     }
 
     #[test]

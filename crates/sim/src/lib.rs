@@ -31,4 +31,6 @@ pub mod system;
 
 pub use config::{ClockConfig, SimParams, SystemKind};
 pub use result::RunResult;
-pub use system::{simulate, simulate_with_stats, SkipStats};
+pub use system::{
+    simulate, simulate_with_state, simulate_with_stats, ExecMode, FinalState, SkipStats,
+};

@@ -6,7 +6,8 @@ use bvl_baseline::{dve_params, ivu_params, SimpleVecMachine};
 use bvl_core::fetch::TEXT_BASE;
 use bvl_core::types::{Quiescence, StallKind, VectorEngine};
 use bvl_core::{BigCore, BigParams, LittleCore, LittleParams};
-use bvl_mem::{HierConfig, MemHierarchy, PortId, SharedMem};
+use bvl_isa::exec::ArchSnapshot;
+use bvl_mem::{HierConfig, MemHierarchy, MemImage, PortId, SharedMem};
 use bvl_runtime::{Fetched, RuntimeParams, WorkStealing};
 use bvl_vengine::VLittleEngine;
 use bvl_workloads::{Workload, WorkloadClass};
@@ -75,6 +76,16 @@ impl Engine {
         }
     }
 
+    /// Certifies architectural state is final (see the engines'
+    /// `arch_drained` docs); trivially true with no engine attached.
+    fn arch_drained(&self) -> bool {
+        match self {
+            Engine::None => true,
+            Engine::VLittle(e) => e.arch_drained(),
+            Engine::Simple(e) => e.arch_drained(),
+        }
+    }
+
     /// Which cluster clock drives the engine.
     fn on_little_clock(&self) -> bool {
         matches!(self, Engine::VLittle(_))
@@ -82,14 +93,42 @@ impl Engine {
 }
 
 /// How the workload executes on this system.
+///
+/// Chosen by the simulator from the system kind and the workload class
+/// (see the crate docs); exposed in [`FinalState`] so consumers know
+/// which entry point and which cores carried the architectural work.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Mode {
+pub enum ExecMode {
     /// Scalar whole-program on the single core.
     Serial,
     /// Vectorized whole-program on the big core + engine.
     Vector,
     /// Work-stealing task phases across all cores.
     Tasks,
+}
+
+/// Final architectural state of a finished run, extracted after the
+/// workload check passed and every component certified it was drained.
+///
+/// What each field means — and when it is defined — is specified by the
+/// oracle contract in `DESIGN.md` (§4.9): per-core register state is only
+/// meaningful for cores that actually executed an entry point, while the
+/// memory image is placement-independent and always comparable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FinalState {
+    /// The execution mode the run used.
+    pub mode: ExecMode,
+    /// True when the attached vector engine (if any) certified that no
+    /// in-flight activity could still affect architectural state. Always
+    /// true after a clean run — recorded so a violation is loud.
+    pub engine_drained: bool,
+    /// The big core's architectural state, if the system has one.
+    pub big: Option<ArchSnapshot>,
+    /// Each little *core*'s architectural state (empty when the littles
+    /// ran as VLITTLE lanes, which hold no architectural state).
+    pub littles: Vec<ArchSnapshot>,
+    /// The shared memory image (live prefix up to the high-water mark).
+    pub mem: MemImage,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -105,13 +144,13 @@ enum WorkerState {
     Parked,
 }
 
-fn pick_mode(kind: SystemKind, w: &Workload) -> Mode {
+fn pick_mode(kind: SystemKind, w: &Workload) -> ExecMode {
     match (kind, w.class) {
-        (SystemKind::B4L | SystemKind::BIv4L, _) => Mode::Tasks,
-        (SystemKind::B4Vl, WorkloadClass::TaskParallel) => Mode::Tasks,
-        (SystemKind::B4Vl, _) => Mode::Vector,
-        (SystemKind::BIv | SystemKind::BDv, _) if w.vector_entry.is_some() => Mode::Vector,
-        _ => Mode::Serial,
+        (SystemKind::B4L | SystemKind::BIv4L, _) => ExecMode::Tasks,
+        (SystemKind::B4Vl, WorkloadClass::TaskParallel) => ExecMode::Tasks,
+        (SystemKind::B4Vl, _) => ExecMode::Vector,
+        (SystemKind::BIv | SystemKind::BDv, _) if w.vector_entry.is_some() => ExecMode::Vector,
+        _ => ExecMode::Serial,
     }
 }
 
@@ -140,6 +179,36 @@ pub fn simulate_with_stats(
     workload: &Workload,
     params: &SimParams,
 ) -> Result<(RunResult, SkipStats), String> {
+    run_system(kind, workload, params, false).map(|(r, s, _)| (r, s))
+}
+
+/// Like [`simulate_with_stats`], additionally extracting the run's final
+/// architectural state ([`FinalState`]).
+///
+/// Extraction happens after the workload's own output check passed and
+/// after every core and engine certified it was drained, so the snapshot
+/// is the settled architectural result of the run — the quantity the
+/// differential-test harness compares against the functional oracle.
+///
+/// # Errors
+///
+/// Fails if the run exceeds the configured cycle budget or the final
+/// memory image does not match the workload's reference.
+pub fn simulate_with_state(
+    kind: SystemKind,
+    workload: &Workload,
+    params: &SimParams,
+) -> Result<(RunResult, SkipStats, FinalState), String> {
+    run_system(kind, workload, params, true)
+        .map(|(r, s, f)| (r, s, f.expect("state extraction requested")))
+}
+
+fn run_system(
+    kind: SystemKind,
+    workload: &Workload,
+    params: &SimParams,
+    want_state: bool,
+) -> Result<(RunResult, SkipStats, Option<FinalState>), String> {
     let mode = pick_mode(kind, workload);
     let shared = SharedMem::new(workload.mem.fork());
     let program = Arc::clone(&workload.program);
@@ -149,7 +218,7 @@ pub fn simulate_with_stats(
     hier_cfg.has_big = kind.has_big();
     hier_cfg.has_dve = kind == SystemKind::BDv;
     let mut hier = MemHierarchy::new(hier_cfg);
-    let vector_mode_banks = kind == SystemKind::B4Vl && mode == Mode::Vector;
+    let vector_mode_banks = kind == SystemKind::B4Vl && mode == ExecMode::Vector;
     hier.set_vector_mode(vector_mode_banks);
 
     // ---- vector engine
@@ -161,7 +230,7 @@ pub fn simulate_with_stats(
             dve_params(),
             hier.line_bytes(),
         ))),
-        (SystemKind::B4Vl, Mode::Vector) => Engine::VLittle(Box::new(VLittleEngine::new(
+        (SystemKind::B4Vl, ExecMode::Vector) => Engine::VLittle(Box::new(VLittleEngine::new(
             params.engine,
             hier.line_bytes(),
         ))),
@@ -200,27 +269,27 @@ pub fn simulate_with_stats(
 
     // ---- execution-mode setup
     // Workers: index 0 = big (if present), then littles.
-    let big_worker_exists = big.is_some() && mode == Mode::Tasks;
+    let big_worker_exists = big.is_some() && mode == ExecMode::Tasks;
     let n_workers = usize::from(big_worker_exists)
-        + if mode == Mode::Tasks {
+        + if mode == ExecMode::Tasks {
             littles.len()
         } else {
             0
         };
     let mut runtime =
-        (mode == Mode::Tasks).then(|| WorkStealing::new(n_workers, RuntimeParams::default()));
+        (mode == ExecMode::Tasks).then(|| WorkStealing::new(n_workers, RuntimeParams::default()));
     let mut worker_state = vec![WorkerState::NeedWork; n_workers];
     let mut phase_idx = 0usize;
 
     match mode {
-        Mode::Serial => {
+        ExecMode::Serial => {
             if let Some(b) = big.as_mut() {
                 b.assign(workload.serial_entry);
             } else {
                 littles[0].assign(workload.serial_entry);
             }
         }
-        Mode::Vector => {
+        ExecMode::Vector => {
             let entry = workload
                 .vector_entry
                 .ok_or_else(|| format!("{} has no vectorized variant", workload.name))?;
@@ -228,7 +297,7 @@ pub fn simulate_with_stats(
                 .expect("vector mode needs a big core")
                 .assign(entry);
         }
-        Mode::Tasks => {
+        ExecMode::Tasks => {
             let rt = runtime.as_mut().expect("task mode");
             rt.seed_tasks(workload.phases[0].tasks.clone());
         }
@@ -255,8 +324,8 @@ pub fn simulate_with_stats(
         let cores_done =
             big.as_ref().is_none_or(BigCore::done) && littles.iter().all(LittleCore::done);
         let done = match mode {
-            Mode::Serial | Mode::Vector => cores_done && engine.idle(),
-            Mode::Tasks => {
+            ExecMode::Serial | ExecMode::Vector => cores_done && engine.idle(),
+            ExecMode::Tasks => {
                 let rt = runtime.as_ref().expect("task mode");
                 let workers_idle = worker_state
                     .iter()
@@ -399,7 +468,7 @@ pub fn simulate_with_stats(
                         }
                     }
                 }
-                if mode == Mode::Tasks {
+                if mode == ExecMode::Tasks {
                     let w = usize::from(big_worker_exists) + i;
                     match worker_event(worker_state[w], cyc_l, lc.done()) {
                         Err(()) => break 'plan None,
@@ -505,7 +574,7 @@ pub fn simulate_with_stats(
         if big_edge {
             if let Some(b) = big.as_mut() {
                 b.tick(cyc_b, &mut hier, engine.as_dyn());
-                if mode == Mode::Tasks && big_worker_exists {
+                if mode == ExecMode::Tasks && big_worker_exists {
                     let vector_capable = !matches!(engine, Engine::None);
                     service_worker(
                         0,
@@ -525,7 +594,7 @@ pub fn simulate_with_stats(
         if little_edge {
             for (i, lc) in littles.iter_mut().enumerate() {
                 lc.tick(cyc_l, &mut hier);
-                if mode == Mode::Tasks {
+                if mode == ExecMode::Tasks {
                     let w = usize::from(big_worker_exists) + i;
                     service_worker(
                         w,
@@ -545,6 +614,17 @@ pub fn simulate_with_stats(
 
     // ---- verification
     shared.with(|m| (workload.check)(m))?;
+
+    // ---- final-state extraction (cores and memory are locals; snapshot
+    // before they drop). The completion condition above already required
+    // every core done and the engine idle, so the state is settled.
+    let final_state = want_state.then(|| FinalState {
+        mode,
+        engine_drained: engine.arch_drained(),
+        big: big.as_ref().map(BigCore::arch_snapshot),
+        littles: littles.iter().map(LittleCore::arch_snapshot).collect(),
+        mem: shared.with(MemImage::capture),
+    });
 
     // ---- result assembly
     let wall_fs = [
@@ -578,7 +658,7 @@ pub fn simulate_with_stats(
     if let Engine::VLittle(e) = &engine {
         result.lanes = (0..e.num_lanes()).map(|c| *e.lane_stats(c)).collect();
     }
-    Ok((result, skip_stats))
+    Ok((result, skip_stats, final_state))
 }
 
 /// The cycle a worker's scheduling state machine next acts, if any.

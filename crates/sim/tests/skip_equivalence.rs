@@ -7,7 +7,7 @@
 //! cycle count, every stall-breakdown bucket, every cache counter, the
 //! exact `wall_ns` bits.
 
-use bvl_sim::{simulate_with_stats, RunResult, SimParams, SkipStats, SystemKind};
+use bvl_sim::{simulate_with_state, FinalState, RunResult, SimParams, SkipStats, SystemKind};
 use bvl_workloads::{graph, kernels, Scale, Workload};
 
 fn representative_workloads() -> Vec<Workload> {
@@ -23,12 +23,12 @@ fn representative_workloads() -> Vec<Workload> {
     ]
 }
 
-fn run(kind: SystemKind, w: &Workload, no_skip: bool) -> (RunResult, SkipStats) {
+fn run(kind: SystemKind, w: &Workload, no_skip: bool) -> (RunResult, SkipStats, FinalState) {
     let params = SimParams {
         no_skip,
         ..SimParams::default()
     };
-    simulate_with_stats(kind, w, &params)
+    simulate_with_state(kind, w, &params)
         .unwrap_or_else(|e| panic!("{} on {kind} (no_skip={no_skip}): {e}", w.name))
 }
 
@@ -38,8 +38,8 @@ fn skip_matches_naive_on_every_system() {
     let mut total_skipped = 0u64;
     for kind in SystemKind::ALL {
         for w in &workloads {
-            let (naive, base_stats) = run(kind, w, true);
-            let (skipped, skip_stats) = run(kind, w, false);
+            let (naive, base_stats, naive_state) = run(kind, w, true);
+            let (skipped, skip_stats, skipped_state) = run(kind, w, false);
             assert_eq!(
                 base_stats.edges_skipped, 0,
                 "no_skip run skipped edges on {kind}/{}",
@@ -63,6 +63,21 @@ fn skip_matches_naive_on_every_system() {
                 format!("{naive:?}"),
                 format!("{skipped:?}"),
                 "debug rendering diverged on {kind}/{}",
+                w.name
+            );
+            // Architectural equivalence: not just the timing counters
+            // but the final machine state — every register file, the
+            // full memory image, and the drain certificates — must be
+            // unaffected by tick skipping.
+            assert!(
+                naive_state.engine_drained && skipped_state.engine_drained,
+                "engine not drained on {kind}/{}",
+                w.name
+            );
+            assert_eq!(
+                naive_state, skipped_state,
+                "final architectural state diverged between skip-on and \
+                 naive on {kind}/{}",
                 w.name
             );
             total_skipped += skip_stats.edges_skipped;

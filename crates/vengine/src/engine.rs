@@ -119,6 +119,18 @@ impl VLittleEngine {
         self.lanes.len()
     }
 
+    /// Certifies that no in-flight engine activity can still affect
+    /// architectural state: the VCU, every lane, the VMU, the VXU and all
+    /// pending events and scalar handoffs are drained.
+    ///
+    /// The engine is timing-only (architectural state lives in the big
+    /// core's golden machine), so this is the precondition under which a
+    /// final-state snapshot of that machine is well defined — the oracle
+    /// contract checked by the differential-test harness.
+    pub fn arch_drained(&self) -> bool {
+        VectorEngine::idle(self)
+    }
+
     /// VMU statistics.
     pub fn vmu_stats(&self) -> &crate::vmu::VmuStats {
         self.vmu.stats()
@@ -185,6 +197,16 @@ impl VLittleEngine {
             let mem_id = mb.mem_id;
             let indexed = mc.indexed;
             let is_store = mc.is_store;
+            if !is_store && mb.loadwb_events == 0 {
+                // vl = 0 load: zero chimes means no lane writeback
+                // micro-op will ever consume a result, and a zero-length
+                // access has no lines to fetch — there is nothing to
+                // time. Handing it to the VMU would wedge the engine:
+                // loads only retire via their consumers' LoadWbDone
+                // events, which would never fire.
+                debug_assert!(mc.lines.is_empty(), "vl=0 load with line traffic");
+                return;
+            }
             self.vmu.push_cmd(mc);
             if indexed && mb.idx_events == 0 {
                 self.vmu.idx_ready(mem_id);
@@ -571,6 +593,23 @@ mod tests {
         assert!(cycles > 500, "cycles = {cycles}");
         assert!(cycles < 100_000, "cycles = {cycles}");
         assert!(engine.vmu_stats().cmds >= 12); // 4 strips x 3 mem ops
+    }
+
+    #[test]
+    fn vl0_load_does_not_wedge_the_engine() {
+        // Regression (found by differential fuzzing, pinned in
+        // `crates/difftest/corpus/masked_off_vle_livelock.s`): a vector
+        // load at the power-on vl of 0 expands to zero lane writeback
+        // micro-ops, so nothing would ever retire the VMU's command —
+        // the engine must not be handed one in the first place.
+        let mut a = Assembler::new();
+        a.li(x(21), 0x2000);
+        a.vle_m(v(5), x(21));
+        a.vmfence();
+        a.halt();
+        let (_, _, engine, _) =
+            run_vlittle(&a, SimMemory::new(1 << 20), EngineParams::paper_default());
+        assert!(engine.idle(), "engine wedged on a vl=0 load");
     }
 
     #[test]
