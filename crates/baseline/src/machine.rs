@@ -55,6 +55,16 @@ pub struct SimpleVecStats {
     pub line_reqs: u64,
 }
 
+impl SimpleVecStats {
+    /// Registers every counter under `scope` (conventionally
+    /// `sys.engine`).
+    pub fn register(&self, scope: &mut bvl_obs::Scope<'_>) {
+        scope.set("cmds", self.cmds);
+        scope.set("compute_passes", self.compute_passes);
+        scope.set("line_reqs", self.line_reqs);
+    }
+}
+
 #[derive(Clone, Debug)]
 struct MemTx {
     /// Remaining line addresses to issue.
@@ -485,6 +495,7 @@ impl VectorEngine for SimpleVecMachine {
 
     fn dispatch(&mut self, cmd: VecCmd) {
         assert!(self.can_accept(), "vector command queue overflow");
+        bvl_obs::trace::emit(self.now, "svec", 0, "cmd", cmd.seq);
         self.stats.cmds += 1;
         self.cmdq.push_back(cmd);
     }

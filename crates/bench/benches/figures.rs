@@ -63,7 +63,7 @@ fn fig05_06(c: &mut Criterion) {
             let jobs = [SweepJob::new(kind, &w, "tiny", params.clone())];
             b.iter(|| {
                 let r = &run_sweep(&jobs, &opts)[0];
-                black_box((r.fetch_groups, r.mem.data_reqs))
+                black_box((r.stat("sys.fetch_groups"), r.stat("sys.mem.data_reqs")))
             });
         });
     }

@@ -316,7 +316,7 @@ impl BigCore {
 
     fn commit<E: VectorEngine + ?Sized>(
         &mut self,
-        _now: u64,
+        now: u64,
         hier: &mut MemHierarchy,
         mut engine: Option<&mut E>,
     ) -> u32 {
@@ -338,6 +338,7 @@ impl BigCore {
                         break;
                     }
                     let needs_resp = head.info.instr.vector_writes_scalar();
+                    bvl_obs::trace::emit(now, "big", 0, "vec_dispatch", head.seq);
                     e.dispatch(VecCmd {
                         seq: head.seq,
                         instr: head.info.instr,
@@ -386,6 +387,7 @@ impl BigCore {
                     let entry = self.rob.pop_front().expect("head exists");
                     if entry.info.halted {
                         self.halted = true;
+                        bvl_obs::trace::emit(now, "big", 0, "halt", entry.seq);
                     }
                     self.stats.retired += 1;
                     committed += 1;

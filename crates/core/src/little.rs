@@ -282,6 +282,7 @@ impl LittleCore {
         let info = self.pending.take().expect("pending").info;
         if info.halted {
             self.halted = true;
+            bvl_obs::trace::emit(now, "little", self.id as u16, "halt", self.stats.retired);
         }
         self.stats.retired += 1;
         StallKind::Busy

@@ -106,6 +106,22 @@ impl CoreStats {
             self.retired as f64 / self.cycles as f64
         }
     }
+
+    /// Registers every counter under `scope` (e.g. `sys.little3`). The
+    /// breakdown lands under `breakdown.{label}` in [`StallKind::ALL`]
+    /// order, satisfying the `breakdown` conservation law:
+    /// `Σ breakdown.* == cycles`.
+    pub fn register(&self, scope: &mut bvl_obs::Scope<'_>) {
+        scope.set("cycles", self.cycles);
+        scope.set("retired", self.retired);
+        scope.set("fetch_groups", self.fetch_groups);
+        let mut bd = scope.scope("breakdown");
+        for (kind, n) in StallKind::ALL.iter().zip(self.breakdown) {
+            bd.set(kind.label(), n);
+        }
+        scope.set("branches", self.branches);
+        scope.set("mispredicts", self.mispredicts);
+    }
 }
 
 /// A ticked component's self-assessment of upcoming work, used by the

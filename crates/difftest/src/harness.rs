@@ -168,7 +168,10 @@ pub fn check_program(dt: &DtProgram) -> DiffResult {
 /// work-stealing systems run the `serial` entry on whichever worker wins
 /// the steal; the `DataParallelKernel` class routes every vector-capable
 /// single-engine system to the `vector` entry (see `pick_mode`).
-fn difftest_workload(program: &Program, serial: u32, vector: u32) -> Workload {
+///
+/// Public so other suites can replay corpus programs through the full
+/// simulator (the golden-trace regression test in `bvl-obs` does).
+pub fn difftest_workload(program: &Program, serial: u32, vector: u32) -> Workload {
     Workload {
         name: "difftest",
         class: WorkloadClass::DataParallelKernel,

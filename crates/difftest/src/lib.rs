@@ -33,7 +33,7 @@ pub mod shrink;
 pub mod text;
 
 pub use gen::generate;
-pub use harness::{check_program, DiffResult, Divergence};
+pub use harness::{check_program, difftest_workload, DiffResult, Divergence};
 pub use shrink::shrink;
 pub use text::{DtOp, DtProgram};
 

@@ -131,14 +131,14 @@ pub fn run(opts: &ExpOpts) {
                 locality.to_string(),
                 coalesce.to_string(),
                 format!("{:.0}", r.wall_ns),
-                r.mem.data_reqs.to_string(),
-                fmt2(r.mem.data_reqs as f64 / opts.scale.n.max(1024) as f64),
+                r.stat("sys.mem.data_reqs").to_string(),
+                fmt2(r.stat("sys.mem.data_reqs") as f64 / opts.scale.n.max(1024) as f64),
             ]);
             out.push(Row {
                 locality,
                 coalesce,
                 wall_ns: r.wall_ns,
-                line_reqs: r.mem.data_reqs,
+                line_reqs: r.stat("sys.mem.data_reqs"),
             });
         }
     }

@@ -38,10 +38,10 @@ pub fn run(opts: &ExpOpts) {
         for (i, kind) in SYSTEMS.into_iter().enumerate() {
             measurements.push(Measurement::of(w.name, kind, &runs[i]));
         }
-        let base = runs[1].fetch_groups.max(1) as f64; // 1bDV
+        let base = runs[1].stat("sys.fetch_groups").max(1) as f64; // 1bDV
         let mut row = vec![w.name.to_string()];
         for r in runs {
-            row.push(fmt2(r.fetch_groups as f64 / base));
+            row.push(fmt2(r.stat("sys.fetch_groups") as f64 / base));
         }
         rows.push(row);
     }

@@ -37,10 +37,10 @@ pub fn run(opts: &ExpOpts) {
         for (i, kind) in SYSTEMS.into_iter().enumerate() {
             measurements.push(Measurement::of(w.name, kind, &runs[i]));
         }
-        let base = runs[1].mem.data_reqs.max(1) as f64; // 1bDV
+        let base = runs[1].stat("sys.mem.data_reqs").max(1) as f64; // 1bDV
         let mut row = vec![w.name.to_string()];
         for r in runs {
-            row.push(fmt2(r.mem.data_reqs as f64 / base));
+            row.push(fmt2(r.stat("sys.mem.data_reqs") as f64 / base));
         }
         rows.push(row);
     }

@@ -11,14 +11,23 @@ use bvl_workloads::{all_data_parallel, Workload};
 use serde::Serialize;
 use std::sync::Arc;
 
-const CONFIGS: [&str; 3] = ["1c", "1c+sw", "2c+sw"];
+/// The three engine configurations of Figure 7.
+pub const CONFIGS: [&str; 3] = ["1c", "1c+sw", "2c+sw"];
 
+/// One (workload, config) bar of Figure 7.
 #[derive(Serialize)]
-struct BreakdownRow {
-    workload: String,
-    config: &'static str,
-    total_lane_cycles: u64,
-    breakdown: Vec<(String, f64)>,
+pub struct BreakdownRow {
+    /// Workload name.
+    pub workload: String,
+    /// Engine configuration label (one of [`CONFIGS`]).
+    pub config: &'static str,
+    /// Denominator: total cycles summed over every lane and category.
+    /// Skipped-window accounting is already folded into the per-lane
+    /// breakdowns (the `breakdown` conservation law pins `Σ breakdown ==
+    /// cycles` per lane), so this equals `Σ lanes' cycles` exactly.
+    pub total_lane_cycles: u64,
+    /// `(category label, fraction of total)` in [`StallKind::ALL`] order.
+    pub breakdown: Vec<(String, f64)>,
 }
 
 fn regmap(name: &str) -> RegMap {
@@ -38,8 +47,9 @@ fn regmap(name: &str) -> RegMap {
     }
 }
 
-/// Regenerates Figure 7 at `opts`' scale.
-pub fn run(opts: &ExpOpts) {
+/// Computes every Figure 7 row at `opts`' scale (workload-major,
+/// [`CONFIGS`]-minor) — the testable core of [`run`].
+pub fn breakdown_rows(opts: &ExpOpts) -> Vec<BreakdownRow> {
     let workloads: Vec<Arc<Workload>> = all_data_parallel(opts.scale)
         .into_iter()
         .map(Arc::new)
@@ -56,30 +66,18 @@ pub fn run(opts: &ExpOpts) {
         .collect();
     let results = run_sweep(&jobs, opts);
 
-    println!(
-        "\n## Figure 7 (1b-4VL lane breakdown, scale = {})\n",
-        opts.scale_name
-    );
-    let headers: Vec<&str> = std::iter::once("workload / config")
-        .chain(StallKind::ALL.iter().map(|k| k.label()))
-        .chain(std::iter::once("lane cycles"))
-        .collect();
-    let mut rows = Vec::new();
     let mut out = Vec::new();
-
     for (wi, w) in workloads.iter().enumerate() {
         for (ci, cfg_name) in CONFIGS.into_iter().enumerate() {
             let r = &results[wi * CONFIGS.len() + ci];
             let total: u64 = StallKind::ALL.iter().map(|&k| r.lane_total(k)).sum();
-            let mut row = vec![format!("{} {}", w.name, cfg_name)];
-            let mut breakdown = Vec::new();
-            for &k in &StallKind::ALL {
-                let frac = r.lane_total(k) as f64 / total.max(1) as f64;
-                row.push(format!("{:.1}%", 100.0 * frac));
-                breakdown.push((k.label().to_string(), frac));
-            }
-            row.push(total.to_string());
-            rows.push(row);
+            let breakdown = StallKind::ALL
+                .iter()
+                .map(|&k| {
+                    let frac = r.lane_total(k) as f64 / total.max(1) as f64;
+                    (k.label().to_string(), frac)
+                })
+                .collect();
             out.push(BreakdownRow {
                 workload: w.name.to_string(),
                 config: cfg_name,
@@ -88,6 +86,34 @@ pub fn run(opts: &ExpOpts) {
             });
         }
     }
+    out
+}
+
+/// Regenerates Figure 7 at `opts`' scale.
+pub fn run(opts: &ExpOpts) {
+    let out = breakdown_rows(opts);
+
+    println!(
+        "\n## Figure 7 (1b-4VL lane breakdown, scale = {})\n",
+        opts.scale_name
+    );
+    let headers: Vec<&str> = std::iter::once("workload / config")
+        .chain(StallKind::ALL.iter().map(|k| k.label()))
+        .chain(std::iter::once("lane cycles"))
+        .collect();
+    let rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|b| {
+            std::iter::once(format!("{} {}", b.workload, b.config))
+                .chain(
+                    b.breakdown
+                        .iter()
+                        .map(|(_, f)| format!("{:.1}%", 100.0 * f)),
+                )
+                .chain(std::iter::once(b.total_lane_cycles.to_string()))
+                .collect()
+        })
+        .collect();
     print_table(&headers, &rows);
     opts.save_json("fig07_breakdown", &out);
 }

@@ -32,6 +32,7 @@ use bvl_workloads::{Scale, Workload};
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use sweep::SweepCache;
 
 /// Command-line options shared by all experiment binaries.
@@ -59,6 +60,13 @@ pub struct ExpOpts {
     /// Results are bit-identical either way; this exists for A/B timing
     /// and for auditing the quiescence-skip engine in the field.
     pub no_skip: bool,
+    /// Where to write a Chrome `trace_event` JSON of one traced run
+    /// (`--trace-out PATH`): the first sweep through this `ExpOpts`
+    /// re-runs its first point with event tracing on and writes the log
+    /// there (loadable in `chrome://tracing` / Perfetto). Consumed
+    /// once — clones share the slot, so exactly one trace is written per
+    /// process however many sweeps run.
+    pub trace_out: Arc<Mutex<Option<PathBuf>>>,
     /// The in-memory memo layer, shared by every sweep run through this
     /// `ExpOpts` (clones share the same map).
     pub cache: SweepCache,
@@ -92,9 +100,16 @@ impl ExpOpts {
             persist_cache: false,
             cache_dir,
             no_skip: false,
+            trace_out: Arc::new(Mutex::new(None)),
             cache: SweepCache::new(),
             throughput: sweep::ThroughputTracker::new(),
         }
+    }
+
+    /// Takes the pending `--trace-out` destination, if any (consuming it
+    /// so only the first sweep of the process writes a trace).
+    pub fn take_trace_out(&self) -> Option<PathBuf> {
+        self.trace_out.lock().expect("trace_out lock").take()
     }
 
     /// Returns `self` with the worker count replaced (builder-style, for
@@ -105,8 +120,8 @@ impl ExpOpts {
     }
 
     /// Parses `--scale`, `--out`, `--jobs`, `--no-cache`,
-    /// `--persist-cache`, `--cache-dir` and `--no-skip` from
-    /// `std::env::args`.
+    /// `--persist-cache`, `--cache-dir`, `--no-skip` and `--trace-out`
+    /// from `std::env::args`.
     ///
     /// # Panics
     ///
@@ -119,6 +134,7 @@ impl ExpOpts {
         let mut persist_cache = false;
         let mut cache_dir = None;
         let mut no_skip = false;
+        let mut trace_out = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -144,9 +160,15 @@ impl ExpOpts {
                         args.next().expect("--cache-dir needs a value"),
                     ));
                 }
+                "--trace-out" => {
+                    trace_out = Some(PathBuf::from(
+                        args.next().expect("--trace-out needs a value"),
+                    ));
+                }
                 other => panic!(
                     "unknown argument `{other}` (use --scale tiny|default|large, --out DIR, \
-                     --jobs N, --no-cache, --persist-cache, --cache-dir DIR, --no-skip)"
+                     --jobs N, --no-cache, --persist-cache, --cache-dir DIR, --no-skip, \
+                     --trace-out PATH)"
                 ),
             }
         }
@@ -158,6 +180,7 @@ impl ExpOpts {
         if let Some(dir) = cache_dir {
             opts.cache_dir = dir;
         }
+        *opts.trace_out.lock().expect("trace_out lock") = trace_out;
         opts
     }
 
@@ -227,14 +250,15 @@ pub struct Measurement {
 }
 
 impl Measurement {
-    /// Captures the interesting fields of a run.
+    /// Captures the interesting fields of a run, reading from the unified
+    /// stats snapshot (`sys.fetch_groups`, `sys.mem.data_reqs`).
     pub fn of(workload: &str, system: SystemKind, r: &RunResult) -> Self {
         Measurement {
             workload: workload.to_string(),
             system: system.label().to_string(),
             wall_ns: r.wall_ns,
-            fetch_groups: r.fetch_groups,
-            data_reqs: r.mem.data_reqs,
+            fetch_groups: r.stat("sys.fetch_groups"),
+            data_reqs: r.stat("sys.mem.data_reqs"),
         }
     }
 }

@@ -29,7 +29,8 @@
 //! accepts an explicit key for custom-built workloads.
 
 use crate::ExpOpts;
-use bvl_sim::{simulate_with_stats, RunResult, SimParams, SystemKind};
+use bvl_obs::StatsSnapshot;
+use bvl_sim::{simulate_traced, simulate_with_stats, RunResult, SimParams, SystemKind};
 use bvl_workloads::Workload;
 use serde::Serialize;
 use std::collections::HashMap;
@@ -354,6 +355,29 @@ pub fn run_sweep(jobs: &[SweepJob], opts: &ExpOpts) -> Vec<RunResult> {
         slot_results[slot] = Some(result);
     }
 
+    // `--trace-out`: re-run the first point of the first sweep with event
+    // tracing on and write the Chrome trace_event JSON. Tracing does not
+    // perturb results (the traced RunResult is discarded; the
+    // skip-equivalence/determinism contracts make it identical anyway),
+    // so this rides outside the cache entirely.
+    if let Some(path) = opts.take_trace_out() {
+        if let Some(job) = jobs.first() {
+            let (_, log) = simulate_traced(job.system, &job.workload, &params[0])
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", job.workload_key, job.system.label()));
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                fs::create_dir_all(dir).expect("create trace-out dir");
+            }
+            fs::write(&path, log.to_chrome_json())
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            eprintln!(
+                "wrote {} ({} events, {} dropped) — load in chrome://tracing or Perfetto",
+                path.display(),
+                log.len(),
+                log.dropped()
+            );
+        }
+    }
+
     // Reassemble in matrix order.
     keys.iter()
         .map(|key| {
@@ -444,6 +468,8 @@ fn mem_stats_to_value(m: &MemStats) -> Value {
         ("ifetch_reqs", Value::U64(m.ifetch_reqs)),
         ("data_reqs", Value::U64(m.data_reqs)),
         ("l2_reqs", Value::U64(m.l2_reqs)),
+        ("dve_reqs", Value::U64(m.dve_reqs)),
+        ("vmu_reqs", Value::U64(m.vmu_reqs)),
         ("coherence_msgs", Value::U64(m.coherence_msgs)),
         ("line_migrations", Value::U64(m.line_migrations)),
     ])
@@ -454,6 +480,8 @@ fn mem_stats_from_value(v: &Value) -> Option<MemStats> {
         ifetch_reqs: v.get("ifetch_reqs")?.as_u64()?,
         data_reqs: v.get("data_reqs")?.as_u64()?,
         l2_reqs: v.get("l2_reqs")?.as_u64()?,
+        dve_reqs: v.get("dve_reqs")?.as_u64()?,
+        vmu_reqs: v.get("vmu_reqs")?.as_u64()?,
         coherence_msgs: v.get("coherence_msgs")?.as_u64()?,
         line_migrations: v.get("line_migrations")?.as_u64()?,
     })
@@ -481,6 +509,29 @@ fn opt_to_value(v: Option<Value>) -> Value {
     v.unwrap_or(Value::Null)
 }
 
+fn snapshot_to_value(s: &StatsSnapshot) -> Value {
+    Value::Seq(
+        s.iter()
+            .map(|(p, v)| Value::Seq(vec![Value::Str(p.to_string()), Value::U64(v)]))
+            .collect(),
+    )
+}
+
+fn snapshot_from_value(v: &Value) -> Option<StatsSnapshot> {
+    let entries = v
+        .as_array()?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            Some((pair[0].as_str()?.to_string(), pair[1].as_u64()?))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(StatsSnapshot::from_entries(entries))
+}
+
 fn run_result_to_value(r: &RunResult) -> Value {
     map(vec![
         ("wall_ns", Value::F64(r.wall_ns)),
@@ -500,6 +551,7 @@ fn run_result_to_value(r: &RunResult) -> Value {
             "runtime",
             opt_to_value(r.runtime.as_ref().map(runtime_stats_to_value)),
         ),
+        ("stats", snapshot_to_value(&r.stats)),
     ])
 }
 
@@ -527,6 +579,9 @@ fn run_result_from_value(v: &Value) -> Option<RunResult> {
         } else {
             Some(runtime_stats_from_value(v.get("runtime")?)?)
         },
+        // Files from before the stats snapshot existed lack this entry and
+        // decode as misses, which re-simulates — exactly right.
+        stats: snapshot_from_value(v.get("stats")?)?,
     })
 }
 
@@ -553,6 +608,8 @@ mod tests {
                 ifetch_reqs: 1,
                 data_reqs: 2,
                 l2_reqs: 3,
+                dve_reqs: 6,
+                vmu_reqs: 7,
                 coherence_msgs: 4,
                 line_migrations: 5,
             },
@@ -562,6 +619,10 @@ mod tests {
                 failed_steals: 0,
                 overhead_cycles: 99,
             }),
+            stats: StatsSnapshot::from_entries(vec![
+                ("sys.clock.uncore".into(), 42),
+                ("sys.big.l1d.misses".into(), 11),
+            ]),
         }
     }
 

@@ -1,0 +1,43 @@
+//! Figure 7 invariants: the breakdown fractions of every (workload,
+//! config) bar partition the denominator — they sum to 1.0 ± ε — and the
+//! denominator itself is exactly the lanes' total cycle count from the
+//! stats snapshot (skipped-window accounting included).
+
+use bvl_core::types::StallKind;
+use bvl_experiments::figs::fig07_breakdown::{breakdown_rows, CONFIGS};
+use bvl_experiments::ExpOpts;
+use bvl_sim::{SimParams, SystemKind};
+use bvl_workloads::Scale;
+
+#[test]
+fn breakdown_fractions_sum_to_one_for_every_workload_and_config() {
+    let opts = ExpOpts::for_scale("tiny", std::env::temp_dir());
+    let rows = breakdown_rows(&opts);
+    assert!(!rows.is_empty());
+    assert_eq!(rows.len() % CONFIGS.len(), 0);
+    for row in &rows {
+        assert!(
+            row.total_lane_cycles > 0,
+            "{} {}: lanes never ran",
+            row.workload,
+            row.config
+        );
+        assert_eq!(row.breakdown.len(), StallKind::ALL.len());
+        let sum: f64 = row.breakdown.iter().map(|(_, f)| f).sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "{} {}: fractions sum to {sum}, not 1.0",
+            row.workload,
+            row.config
+        );
+    }
+}
+
+#[test]
+fn breakdown_denominator_equals_lane_cycles_from_snapshot() {
+    let w = bvl_workloads::kernels::vvadd::build(Scale::tiny());
+    let r = bvl_sim::simulate(SystemKind::B4Vl, &w, &SimParams::default()).expect("vvadd");
+    let total: u64 = StallKind::ALL.iter().map(|&k| r.lane_total(k)).sum();
+    assert!(total > 0);
+    assert_eq!(total, r.stats.sum_matching("sys.lane", ".cycles"));
+}

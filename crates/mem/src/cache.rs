@@ -100,6 +100,20 @@ impl CacheStats {
             self.hits as f64 / self.accesses as f64
         }
     }
+
+    /// Registers every counter under `scope` (e.g. `sys.little3.l1d`).
+    /// The path schema satisfies the `cache` conservation law:
+    /// `hits + misses + mshr_merges == accesses`.
+    pub fn register(&self, scope: &mut bvl_obs::Scope<'_>) {
+        scope.set("accesses", self.accesses);
+        scope.set("stores", self.stores);
+        scope.set("hits", self.hits);
+        scope.set("misses", self.misses);
+        scope.set("mshr_merges", self.mshr_merges);
+        scope.set("rejects", self.rejects);
+        scope.set("writebacks", self.writebacks);
+        scope.set("invalidations", self.invalidations);
+    }
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -336,6 +350,19 @@ impl Cache {
     pub fn probe(&self, line_addr: u64) -> bool {
         let (set, tag) = self.locate(line_addr);
         self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Undelivered entries on the miss port — misses already counted in
+    /// [`CacheStats::misses`] whose next-level access has not happened yet
+    /// (the conservation checker's in-flight term).
+    pub fn pending_miss_out(&self) -> u64 {
+        self.miss_out.len() as u64
+    }
+
+    /// Undelivered entries on the writeback port (see
+    /// [`Cache::pending_miss_out`]).
+    pub fn pending_wb_out(&self) -> u64 {
+        self.wb_out.len() as u64
     }
 
     /// True if a miss for this line is outstanding.

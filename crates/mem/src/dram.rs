@@ -44,6 +44,15 @@ pub struct DramStats {
     pub rejects: u64,
 }
 
+impl DramStats {
+    /// Registers every counter under `scope` (conventionally `sys.dram`).
+    pub fn register(&self, scope: &mut bvl_obs::Scope<'_>) {
+        scope.set("accesses", self.accesses);
+        scope.set("writes", self.writes);
+        scope.set("rejects", self.rejects);
+    }
+}
+
 /// The DRAM timing model. Generic over the token type `T` callers attach
 /// to each request (the hierarchy uses it to route completions).
 #[derive(Clone, Debug)]

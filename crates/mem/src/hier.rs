@@ -95,11 +95,31 @@ pub struct MemStats {
     pub data_reqs: u64,
     /// Requests reaching the shared L2.
     pub l2_reqs: u64,
+    /// Of the data requests, those arriving on the DVE's direct L2 port
+    /// (they bypass every L1 — `data_reqs - dve_reqs` equals the sum of
+    /// L1D accepts).
+    pub dve_reqs: u64,
+    /// Of the data requests, those arriving on VMU bank ports — each is
+    /// one accepted VMU line request (conservation law `vmu-flow`).
+    pub vmu_reqs: u64,
     /// Coherence messages issued by the directory.
     pub coherence_msgs: u64,
     /// Vector-mode accesses that found their line dirty in another bank
     /// and migrated it.
     pub line_migrations: u64,
+}
+
+impl MemStats {
+    /// Registers every counter under `scope` (conventionally `sys.mem`).
+    pub fn register(&self, scope: &mut bvl_obs::Scope<'_>) {
+        scope.set("ifetch_reqs", self.ifetch_reqs);
+        scope.set("data_reqs", self.data_reqs);
+        scope.set("l2_reqs", self.l2_reqs);
+        scope.set("dve_reqs", self.dve_reqs);
+        scope.set("vmu_reqs", self.vmu_reqs);
+        scope.set("coherence_msgs", self.coherence_msgs);
+        scope.set("line_migrations", self.line_migrations);
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -237,6 +257,62 @@ impl MemHierarchy {
         self.dram.stats()
     }
 
+    /// Requests already counted at the L1 level (misses, writebacks, DVE
+    /// injections) that have not yet been presented to the L2: undelivered
+    /// L1 miss/writeback ports, NoC flight, and the L2's reject-retry
+    /// queue. Simulation ends when cores and engines are done, not when
+    /// the hierarchy is fully drained — e.g. a speculative ifetch miss
+    /// issued right before a core halts — so the `l2-flow` conservation
+    /// law carries this as its in-flight term.
+    pub fn l2_inflight(&self) -> u64 {
+        let l1_ports: u64 = self
+            .little_l1i
+            .iter()
+            .chain(&self.little_l1d)
+            .chain(&self.big_l1i)
+            .chain(&self.big_l1d)
+            .map(|c| c.pending_miss_out() + c.pending_wb_out())
+            .sum();
+        l1_ports + self.to_l2.len() as u64 + self.pending_l2.len() as u64
+    }
+
+    /// L2 misses / writebacks already counted but not yet accepted by
+    /// DRAM, as `(reads, writes)` — the `dram-flow` law's in-flight term
+    /// (see [`MemHierarchy::l2_inflight`]).
+    pub fn dram_inflight(&self) -> (u64, u64) {
+        let rd = self.pending_dram.iter().filter(|&&(_, w)| !w).count() as u64
+            + self.l2.pending_miss_out();
+        let wr =
+            self.pending_dram.iter().filter(|&&(_, w)| w).count() as u64 + self.l2.pending_wb_out();
+        (rd, wr)
+    }
+
+    /// Registers every cache, the DRAM and the hierarchy's front-door
+    /// counters under `sys` — `sys.little{i}.l1{i,d}.*`, `sys.big.l1{i,d}.*`,
+    /// `sys.l2.*`, `sys.dram.*`, `sys.mem.*`. In vector mode the little
+    /// L1Ds double as VMU banks, but they are the same physical caches, so
+    /// the paths stay `little{i}.l1d` regardless of the final mode.
+    pub fn register_stats(&self, sys: &mut bvl_obs::Scope<'_>) {
+        for c in 0..self.cfg.num_little {
+            let mut core = sys.scope(&format!("little{c}"));
+            self.little_l1i[c].stats().register(&mut core.scope("l1i"));
+            self.little_l1d[c].stats().register(&mut core.scope("l1d"));
+        }
+        if let (Some(l1i), Some(l1d)) = (&self.big_l1i, &self.big_l1d) {
+            let mut big = sys.scope("big");
+            l1i.stats().register(&mut big.scope("l1i"));
+            l1d.stats().register(&mut big.scope("l1d"));
+        }
+        self.l2.stats().register(&mut sys.scope("l2"));
+        self.dram.stats().register(&mut sys.scope("dram"));
+        let mut mem = sys.scope("mem");
+        self.stats().register(&mut mem);
+        mem.set("l2_inflight", self.l2_inflight());
+        let (rd, wr) = self.dram_inflight();
+        mem.set("dram_inflight_rd", rd);
+        mem.set("dram_inflight_wr", wr);
+    }
+
     fn internal_id(&mut self) -> u64 {
         self.next_internal_id += 1;
         self.next_internal_id
@@ -271,6 +347,7 @@ impl MemHierarchy {
         }
         while let Some(&(line, w)) = self.pending_dram.front() {
             if self.dram.try_request(now, w, (line, w)) {
+                bvl_obs::trace::emit(now, "dram", 0, if w { "wr" } else { "rd" }, line);
                 self.pending_dram.pop_front();
             } else {
                 break;
@@ -428,6 +505,7 @@ impl MemHierarchy {
         };
         if self.vector_mode && actions.fetch_dirty_from.is_some() {
             self.stats.line_migrations += 1;
+            bvl_obs::trace::emit(self.now, "mem", cache_id as u16, "migrate", line);
         }
         let req = self.line_req(line, false, AccessKind::Data, port);
         self.to_l2.push(self.now, L2Entry { req, extra });
@@ -520,7 +598,11 @@ impl MemHierarchy {
                     bank,
                     "VMU request routed to the wrong bank"
                 );
-                self.data_access(req, bank)
+                let accepted = self.data_access(req, bank);
+                if accepted {
+                    self.stats.vmu_reqs += 1;
+                }
+                accepted
             }
             PortId::BigData | PortId::Ivu => {
                 let agent = self.cfg.num_little as u8;
@@ -543,6 +625,7 @@ impl MemHierarchy {
                 }
                 self.dve_accepts_this_cycle += 1;
                 self.stats.data_reqs += 1;
+                self.stats.dve_reqs += 1;
                 let agent = self.cfg.num_little as u8 + 1;
                 let line = req.line_addr(self.line_bytes());
                 let actions = if req.is_store {

@@ -1,0 +1,306 @@
+//! Conservation-law checking over a [`StatsSnapshot`].
+//!
+//! Every law is an *exact* flow balance over end-of-run counters.
+//! Components are discovered from the snapshot's path schema, so the
+//! checker works unchanged for all seven `SystemKind`s — a law whose
+//! paths are absent is simply not applicable to that system.
+//!
+//! Simulation ends when every core and engine is done, not when the
+//! memory hierarchy has fully drained (a speculative ifetch miss issued
+//! the cycle a core halts never completes). The downstream flow laws
+//! therefore carry explicit in-flight terms, themselves registered from
+//! the end-of-run queue depths (`sys.mem.l2_inflight`,
+//! `sys.mem.dram_inflight_{rd,wr}`).
+//!
+//! The laws (see `DESIGN.md` §4.10 for the component contracts):
+//!
+//! | law          | balance |
+//! |--------------|---------|
+//! | `breakdown`  | per core-like unit: `Σ breakdown.* == cycles` |
+//! | `cache`      | per cache: `hits + misses + mshr_merges == accesses` |
+//! | `dram-flow`  | `dram.accesses + mem.dram_inflight_{rd+wr} == l2.misses + l2.writebacks`, `dram.writes + mem.dram_inflight_wr == l2.writebacks` |
+//! | `l2-flow`    | `l2.accesses == mem.l2_reqs`; `l2.accesses + mem.l2_inflight == Σ l1*.misses + Σ l1d.writebacks + mem.dve_reqs` |
+//! | `data-reqs`  | `mem.data_reqs == Σ l1d.accesses + mem.dve_reqs` |
+//! | `ifetch-reqs`| `mem.ifetch_reqs == Σ l1i.accesses` |
+//! | `vmu-flow`   | `engine.vmu.line_reqs == mem.vmu_reqs` |
+
+use crate::registry::StatsSnapshot;
+
+/// One violated conservation law.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Short law identifier (`"breakdown"`, `"dram-flow"`, …).
+    pub law: &'static str,
+    /// Human-readable statement of the broken balance, with both sides'
+    /// paths spelled out.
+    pub detail: String,
+    /// Left-hand side value.
+    pub lhs: u64,
+    /// Right-hand side value.
+    pub rhs: u64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} ({} != {})",
+            self.law, self.detail, self.lhs, self.rhs
+        )
+    }
+}
+
+fn check(out: &mut Vec<Violation>, law: &'static str, detail: String, lhs: u64, rhs: u64) {
+    if lhs != rhs {
+        out.push(Violation {
+            law,
+            detail,
+            lhs,
+            rhs,
+        });
+    }
+}
+
+/// Checks every applicable conservation law against `snap`, returning
+/// all violations (empty means the snapshot balances).
+pub fn check_conservation(snap: &StatsSnapshot) -> Vec<Violation> {
+    let mut v = Vec::new();
+    check_breakdowns(snap, &mut v);
+    check_caches(snap, &mut v);
+    check_dram_flow(snap, &mut v);
+    check_l2_flow(snap, &mut v);
+    check_port_counts(snap, &mut v);
+    check_vmu_flow(snap, &mut v);
+    v
+}
+
+/// `Σ breakdown.* == cycles` for every unit that reports a breakdown.
+fn check_breakdowns(snap: &StatsSnapshot, out: &mut Vec<Violation>) {
+    let units: Vec<String> = snap
+        .paths_matching("", ".breakdown.busy")
+        .iter()
+        .map(|p| p[..p.len() - ".breakdown.busy".len()].to_string())
+        .collect();
+    for unit in units {
+        let cycles = snap.value(&format!("{unit}.cycles"));
+        let total = snap.sum_matching(&format!("{unit}.breakdown."), "");
+        check(
+            out,
+            "breakdown",
+            format!("{unit}: Σ breakdown == cycles"),
+            total,
+            cycles,
+        );
+    }
+}
+
+/// `hits + misses + mshr_merges == accesses` for every cache. Caches are
+/// recognised by their `mshr_merges` counter (DRAM has none).
+fn check_caches(snap: &StatsSnapshot, out: &mut Vec<Violation>) {
+    let caches: Vec<String> = snap
+        .paths_matching("", ".mshr_merges")
+        .iter()
+        .map(|p| p[..p.len() - ".mshr_merges".len()].to_string())
+        .collect();
+    for c in caches {
+        let lhs = snap.value(&format!("{c}.hits"))
+            + snap.value(&format!("{c}.misses"))
+            + snap.value(&format!("{c}.mshr_merges"));
+        check(
+            out,
+            "cache",
+            format!("{c}: hits + misses + mshr_merges == accesses"),
+            lhs,
+            snap.value(&format!("{c}.accesses")),
+        );
+    }
+}
+
+/// Every L2 miss becomes exactly one DRAM read and every L2 writeback
+/// exactly one DRAM write, counting what is still queued toward DRAM at
+/// end of run as in-flight.
+fn check_dram_flow(snap: &StatsSnapshot, out: &mut Vec<Violation>) {
+    if snap.get("sys.dram.accesses").is_none() {
+        return;
+    }
+    let l2_misses = snap.value("sys.l2.misses");
+    let l2_wb = snap.value("sys.l2.writebacks");
+    let rd = snap.value("sys.mem.dram_inflight_rd");
+    let wr = snap.value("sys.mem.dram_inflight_wr");
+    check(
+        out,
+        "dram-flow",
+        "sys.dram.accesses + inflight == sys.l2.misses + sys.l2.writebacks".to_string(),
+        snap.value("sys.dram.accesses") + rd + wr,
+        l2_misses + l2_wb,
+    );
+    check(
+        out,
+        "dram-flow",
+        "sys.dram.writes + inflight == sys.l2.writebacks".to_string(),
+        snap.value("sys.dram.writes") + wr,
+        l2_wb,
+    );
+}
+
+/// Every accepted L2 access is an L1 demand miss, an L1D writeback, or a
+/// DVE line request — and `mem.l2_reqs` counts the same accept events.
+fn check_l2_flow(snap: &StatsSnapshot, out: &mut Vec<Violation>) {
+    if snap.get("sys.l2.accesses").is_none() {
+        return;
+    }
+    let l2_accesses = snap.value("sys.l2.accesses");
+    check(
+        out,
+        "l2-flow",
+        "sys.l2.accesses == sys.mem.l2_reqs".to_string(),
+        l2_accesses,
+        snap.value("sys.mem.l2_reqs"),
+    );
+    let inflow = snap.sum_matching("sys.", ".l1i.misses")
+        + snap.sum_matching("sys.", ".l1d.misses")
+        + snap.sum_matching("sys.", ".l1d.writebacks")
+        + snap.value("sys.mem.dve_reqs");
+    check(
+        out,
+        "l2-flow",
+        "sys.l2.accesses + sys.mem.l2_inflight == Σ l1.misses + Σ l1d.writebacks + sys.mem.dve_reqs"
+            .to_string(),
+        l2_accesses + snap.value("sys.mem.l2_inflight"),
+        inflow,
+    );
+}
+
+/// The hierarchy's front-door counters agree with the per-cache accept
+/// counts: `data_reqs` covers every L1D port plus the DVE's direct-to-L2
+/// port, `ifetch_reqs` every L1I port.
+fn check_port_counts(snap: &StatsSnapshot, out: &mut Vec<Violation>) {
+    if snap.get("sys.mem.data_reqs").is_none() {
+        return;
+    }
+    check(
+        out,
+        "data-reqs",
+        "sys.mem.data_reqs == Σ l1d.accesses + sys.mem.dve_reqs".to_string(),
+        snap.value("sys.mem.data_reqs"),
+        snap.sum_matching("sys.", ".l1d.accesses") + snap.value("sys.mem.dve_reqs"),
+    );
+    check(
+        out,
+        "ifetch-reqs",
+        "sys.mem.ifetch_reqs == Σ l1i.accesses".to_string(),
+        snap.value("sys.mem.ifetch_reqs"),
+        snap.sum_matching("sys.", ".l1i.accesses"),
+    );
+}
+
+/// At drain, every line request the VMU generated was accepted by a bank
+/// exactly once (`mem.vmu_reqs` counts accepts on `PortId::Vmu` ports).
+fn check_vmu_flow(snap: &StatsSnapshot, out: &mut Vec<Violation>) {
+    if snap.get("sys.engine.vmu.line_reqs").is_none() {
+        return;
+    }
+    check(
+        out,
+        "vmu-flow",
+        "sys.engine.vmu.line_reqs == sys.mem.vmu_reqs".to_string(),
+        snap.value("sys.engine.vmu.line_reqs"),
+        snap.value("sys.mem.vmu_reqs"),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::StatsRegistry;
+
+    fn balanced() -> StatsRegistry {
+        let mut reg = StatsRegistry::new();
+        reg.set("sys.little0.cycles", 10);
+        reg.set("sys.little0.breakdown.busy", 6);
+        reg.set("sys.little0.breakdown.raw_mem", 4);
+        reg.set("sys.little0.l1d.accesses", 5);
+        reg.set("sys.little0.l1d.hits", 3);
+        reg.set("sys.little0.l1d.misses", 2);
+        reg.set("sys.little0.l1d.mshr_merges", 0);
+        reg.set("sys.little0.l1d.writebacks", 1);
+        reg.set("sys.little0.l1i.accesses", 7);
+        reg.set("sys.little0.l1i.misses", 1);
+        reg.set("sys.little0.l1i.mshr_merges", 0);
+        reg.set("sys.little0.l1i.hits", 6);
+        reg.set("sys.l2.accesses", 4);
+        reg.set("sys.l2.hits", 1);
+        reg.set("sys.l2.misses", 3);
+        reg.set("sys.l2.mshr_merges", 0);
+        reg.set("sys.l2.writebacks", 2);
+        reg.set("sys.dram.accesses", 5);
+        reg.set("sys.dram.writes", 2);
+        reg.set("sys.mem.l2_reqs", 4);
+        reg.set("sys.mem.data_reqs", 5);
+        reg.set("sys.mem.ifetch_reqs", 7);
+        reg.set("sys.mem.dve_reqs", 0);
+        reg
+    }
+
+    #[test]
+    fn balanced_snapshot_passes() {
+        let snap = balanced().snapshot();
+        let v = check_conservation(&snap);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn breakdown_violation_is_caught() {
+        let mut reg = balanced();
+        reg.set("sys.lane0.cycles", 10);
+        reg.set("sys.lane0.breakdown.busy", 3);
+        let v = check_conservation(&reg.snapshot());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].law, "breakdown");
+        assert_eq!((v[0].lhs, v[0].rhs), (3, 10));
+        assert!(v[0].to_string().contains("sys.lane0"));
+    }
+
+    #[test]
+    fn cache_partition_violation_is_caught() {
+        let mut snap_entries: Vec<(String, u64)> = balanced()
+            .snapshot()
+            .iter()
+            .map(|(p, v)| (p.to_string(), v))
+            .collect();
+        for (p, v) in &mut snap_entries {
+            if p == "sys.little0.l1d.hits" {
+                *v += 1;
+            }
+        }
+        let v = check_conservation(&StatsSnapshot::from_entries(snap_entries));
+        assert!(v.iter().any(|x| x.law == "cache"));
+    }
+
+    #[test]
+    fn dram_flow_violation_is_caught() {
+        let mut reg = balanced();
+        // A fully absent dram section is fine…
+        let snap = reg.snapshot();
+        assert!(check_conservation(&snap).is_empty());
+        // …but a lost write is not.
+        reg = StatsRegistry::new();
+        for (p, v) in snap.iter() {
+            let v = if p == "sys.dram.writes" { v + 1 } else { v };
+            reg.set(p, v);
+        }
+        let v = check_conservation(&reg.snapshot());
+        assert!(v.iter().any(|x| x.law == "dram-flow"));
+    }
+
+    #[test]
+    fn vmu_flow_checked_only_when_present() {
+        let mut reg = balanced();
+        assert!(check_conservation(&reg.snapshot().clone()).is_empty());
+        reg = balanced();
+        reg.set("sys.engine.vmu.line_reqs", 9);
+        reg.set("sys.mem.vmu_reqs", 8);
+        let v = check_conservation(&reg.snapshot());
+        assert!(v.iter().any(|x| x.law == "vmu-flow"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the stats registry: snapshot/delta round-trips and
+//! path uniqueness under arbitrary (bounded) register sequences.
+
+use bvl_obs::{StatsRegistry, StatsSnapshot};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A bounded pool of realistic-looking paths. Small enough that random
+/// sequences collide, so the uniqueness property is actually exercised.
+const PATHS: [&str; 8] = [
+    "sys.clock.uncore",
+    "sys.big.cycles",
+    "sys.little0.l1d.misses",
+    "sys.little1.l1d.misses",
+    "sys.lane0.breakdown.busy",
+    "sys.l2.accesses",
+    "sys.mem.data_reqs",
+    "sys.dram.writes",
+];
+
+fn build(seq: &[(usize, u64)]) -> (StatsRegistry, Vec<(String, u64)>) {
+    let mut reg = StatsRegistry::new();
+    let mut accepted: Vec<(String, u64)> = Vec::new();
+    for &(pi, v) in seq {
+        let path = PATHS[pi % PATHS.len()];
+        let ok = reg.try_set(path, v).is_ok();
+        let first_occurrence = !accepted.iter().any(|(p, _)| p == path);
+        assert_eq!(
+            ok, first_occurrence,
+            "try_set must accept exactly first use"
+        );
+        if ok {
+            accepted.push((path.to_string(), v));
+        }
+    }
+    (reg, accepted)
+}
+
+proptest! {
+    /// A snapshot re-built from its own `(path, value)` entries is
+    /// identical — order, paths and values all survive the round trip.
+    #[test]
+    fn snapshot_round_trips_through_entries(
+        seq in vec((0usize..PATHS.len(), 0u64..1_000_000), 0..24),
+    ) {
+        let (reg, accepted) = build(&seq);
+        let snap = reg.snapshot();
+        prop_assert_eq!(snap.len(), accepted.len());
+        let rebuilt = StatsSnapshot::from_entries(
+            snap.iter().map(|(p, v)| (p.to_string(), v)).collect(),
+        );
+        prop_assert_eq!(&rebuilt, &snap);
+        for (p, v) in &accepted {
+            prop_assert_eq!(snap.get(p), Some(*v), "lost value at {}", p);
+        }
+    }
+
+    /// `later.delta(earlier)` is the per-path wrapping difference, paths
+    /// absent from `earlier` counting as 0; delta with self is all zeros.
+    #[test]
+    fn delta_is_per_path_difference(
+        seq in vec((0usize..PATHS.len(), 0u64..1_000_000), 0..24),
+        bumps in vec((0usize..PATHS.len(), 0u64..1_000), 0..24),
+    ) {
+        let (reg, accepted) = build(&seq);
+        let earlier = reg.snapshot();
+
+        // A later snapshot: same paths, some values bumped, plus one path
+        // the earlier snapshot may not have.
+        let mut later_entries: Vec<(String, u64)> = accepted.clone();
+        for &(pi, b) in &bumps {
+            if let Some(e) = later_entries.get_mut(pi % PATHS.len().max(1)) {
+                e.1 = e.1.wrapping_add(b);
+            }
+        }
+        if !later_entries.iter().any(|(p, _)| p == "sys.runtime.steals") {
+            later_entries.push(("sys.runtime.steals".to_string(), 7));
+        }
+        let later = StatsSnapshot::from_entries(later_entries.clone());
+
+        let d = later.delta(&earlier);
+        prop_assert_eq!(d.len(), later.len());
+        for (p, v) in later.iter() {
+            prop_assert_eq!(
+                d.value(p),
+                v.wrapping_sub(earlier.value(p)),
+                "delta wrong at {}", p
+            );
+        }
+        for (_, v) in later.delta(&later).iter() {
+            prop_assert_eq!(v, 0);
+        }
+    }
+
+    /// Registration is first-wins-and-loud: duplicates are rejected, the
+    /// original value survives, and aggregation sees each path once.
+    #[test]
+    fn paths_stay_unique_and_sums_agree(
+        seq in vec((0usize..PATHS.len(), 0u64..1_000_000), 1..32),
+    ) {
+        let (reg, accepted) = build(&seq);
+        prop_assert_eq!(reg.len(), accepted.len());
+        let snap = reg.snapshot();
+        let manual: u64 = accepted
+            .iter()
+            .filter(|(p, _)| p.starts_with("sys.") && p.ends_with(".misses"))
+            .map(|&(_, v)| v)
+            .sum();
+        prop_assert_eq!(snap.sum_matching("sys.", ".misses"), manual);
+        prop_assert_eq!(
+            snap.paths_matching("", "").len(),
+            accepted.len(),
+            "every accepted path appears exactly once"
+        );
+    }
+}

@@ -77,6 +77,17 @@ pub struct RuntimeStats {
     pub overhead_cycles: u64,
 }
 
+impl RuntimeStats {
+    /// Registers every counter under `scope` (conventionally
+    /// `sys.runtime`).
+    pub fn register(&self, scope: &mut bvl_obs::Scope<'_>) {
+        scope.set("tasks_run", self.tasks_run);
+        scope.set("steals", self.steals);
+        scope.set("failed_steals", self.failed_steals);
+        scope.set("overhead_cycles", self.overhead_cycles);
+    }
+}
+
 /// What a worker gets when it asks for work.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Fetched {

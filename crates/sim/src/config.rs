@@ -115,6 +115,11 @@ pub struct SimParams {
     /// skip-equivalence test suite enforces it); this exists for
     /// debugging and as the oracle side of that suite.
     pub no_skip: bool,
+    /// Collect a structured event trace of the run (see `bvl_obs::trace`).
+    /// Off by default: the emit sites compile down to a branch on a
+    /// thread-local bool, and the collected log is only returned by the
+    /// `simulate_traced` entry point.
+    pub trace: bool,
 }
 
 impl Default for SimParams {
@@ -124,6 +129,7 @@ impl Default for SimParams {
             engine: EngineParams::paper_default(),
             max_uncore_cycles: 400_000_000,
             no_skip: false,
+            trace: false,
         }
     }
 }

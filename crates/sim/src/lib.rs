@@ -32,5 +32,14 @@ pub mod system;
 pub use config::{ClockConfig, SimParams, SystemKind};
 pub use result::RunResult;
 pub use system::{
-    simulate, simulate_with_state, simulate_with_stats, ExecMode, FinalState, SkipStats,
+    simulate, simulate_traced, simulate_with_state, simulate_with_stats, ExecMode, FinalState,
+    SkipStats,
 };
+
+/// Checks every conservation law against a finished run's counter
+/// snapshot (see `bvl_obs::conservation` for the laws). Debug builds run
+/// this automatically at the end of every simulation; release callers
+/// (tests, experiment binaries) can invoke it explicitly.
+pub fn verify_conservation(result: &RunResult) -> Vec<bvl_obs::Violation> {
+    bvl_obs::check_conservation(&result.stats)
+}

@@ -2,6 +2,7 @@
 
 use bvl_core::types::CoreStats;
 use bvl_mem::MemStats;
+use bvl_obs::StatsSnapshot;
 use bvl_runtime::RuntimeStats;
 
 /// Everything one run reports.
@@ -27,6 +28,11 @@ pub struct RunResult {
     pub mem: MemStats,
     /// Work-stealing runtime statistics for task runs.
     pub runtime: Option<RuntimeStats>,
+    /// The unified per-component counter snapshot (`sys.little3.l1d.miss`
+    /// style paths — see `DESIGN.md` §4.10 for the schema). This is the
+    /// single source every figure module reads; the struct fields above
+    /// remain as typed convenience views of the same numbers.
+    pub stats: StatsSnapshot,
 }
 
 impl RunResult {
@@ -35,15 +41,24 @@ impl RunResult {
         base.wall_ns / self.wall_ns
     }
 
-    /// Sum of a lane-breakdown category across lanes (Figure 7).
+    /// The counter registered at `path`, 0 when the component did not
+    /// exist in this run (see [`StatsSnapshot::value`]).
+    pub fn stat(&self, path: &str) -> u64 {
+        self.stats.value(path)
+    }
+
+    /// Sum of a lane-breakdown category across lanes (Figure 7), read
+    /// from the snapshot's `sys.lane{i}.breakdown.{label}` paths.
     pub fn lane_total(&self, kind: bvl_core::types::StallKind) -> u64 {
-        self.lanes.iter().map(|l| l.of(kind)).sum()
+        self.stats
+            .sum_matching("sys.lane", &format!(".breakdown.{}", kind.label()))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bvl_core::types::StallKind;
 
     #[test]
     fn speedup_math() {
@@ -56,5 +71,23 @@ mod tests {
             ..RunResult::default()
         };
         assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_total_reads_snapshot() {
+        let r = RunResult {
+            stats: StatsSnapshot::from_entries(vec![
+                ("sys.lane0.breakdown.busy".into(), 3),
+                ("sys.lane1.breakdown.busy".into(), 4),
+                ("sys.lane1.breakdown.raw_mem".into(), 9),
+                ("sys.big.breakdown.busy".into(), 100),
+            ]),
+            ..RunResult::default()
+        };
+        assert_eq!(r.lane_total(StallKind::Busy), 7);
+        assert_eq!(r.lane_total(StallKind::RawMem), 9);
+        assert_eq!(r.lane_total(StallKind::Simd), 0);
+        assert_eq!(r.stat("sys.big.breakdown.busy"), 100);
+        assert_eq!(r.stat("sys.absent"), 0);
     }
 }

@@ -8,10 +8,16 @@ use bvl_core::types::{Quiescence, StallKind, VectorEngine};
 use bvl_core::{BigCore, BigParams, LittleCore, LittleParams};
 use bvl_isa::exec::ArchSnapshot;
 use bvl_mem::{HierConfig, MemHierarchy, MemImage, PortId, SharedMem};
+use bvl_obs::{trace, StatsRegistry, TraceLog};
 use bvl_runtime::{Fetched, RuntimeParams, WorkStealing};
 use bvl_vengine::VLittleEngine;
 use bvl_workloads::{Workload, WorkloadClass};
 use std::sync::Arc;
+
+/// Ring-buffer capacity of a traced run: the first this-many events are
+/// kept, later ones only counted (`TraceLog::dropped`) — a deterministic
+/// truncation policy the golden-trace test relies on.
+const TRACE_CAPACITY: usize = 1 << 16;
 
 /// Tick-skip effectiveness counters for one run.
 ///
@@ -179,7 +185,26 @@ pub fn simulate_with_stats(
     workload: &Workload,
     params: &SimParams,
 ) -> Result<(RunResult, SkipStats), String> {
-    run_system(kind, workload, params, false).map(|(r, s, _)| (r, s))
+    run_system(kind, workload, params, false).map(|(r, s, _, _)| (r, s))
+}
+
+/// Like [`simulate`], with event tracing forced on: returns the run's
+/// structured [`TraceLog`] (render with `to_chrome_json` for Perfetto /
+/// `chrome://tracing`, or `to_text` for a byte-stable dump).
+///
+/// # Errors
+///
+/// Fails if the run exceeds the configured cycle budget or the final
+/// memory image does not match the workload's reference.
+pub fn simulate_traced(
+    kind: SystemKind,
+    workload: &Workload,
+    params: &SimParams,
+) -> Result<(RunResult, TraceLog), String> {
+    let mut params = params.clone();
+    params.trace = true;
+    run_system(kind, workload, &params, false)
+        .map(|(r, _, _, log)| (r, log.expect("tracing was requested")))
 }
 
 /// Like [`simulate_with_stats`], additionally extracting the run's final
@@ -200,10 +225,26 @@ pub fn simulate_with_state(
     params: &SimParams,
 ) -> Result<(RunResult, SkipStats, FinalState), String> {
     run_system(kind, workload, params, true)
-        .map(|(r, s, f)| (r, s, f.expect("state extraction requested")))
+        .map(|(r, s, f, _)| (r, s, f.expect("state extraction requested")))
 }
 
+/// Arms the thread-local trace sink around the actual run so the sink is
+/// disarmed (and drained) on every exit path, including errors.
 fn run_system(
+    kind: SystemKind,
+    workload: &Workload,
+    params: &SimParams,
+    want_state: bool,
+) -> Result<(RunResult, SkipStats, Option<FinalState>, Option<TraceLog>), String> {
+    if params.trace {
+        trace::start(TRACE_CAPACITY);
+    }
+    let res = run_system_inner(kind, workload, params, want_state);
+    let log = params.trace.then(trace::finish);
+    res.map(|(r, s, f)| (r, s, f, log))
+}
+
+fn run_system_inner(
     kind: SystemKind,
     workload: &Workload,
     params: &SimParams,
@@ -335,6 +376,7 @@ fn run_system(
                     if phase_idx >= workload.phases.len() {
                         true
                     } else {
+                        trace::emit(cyc_u, "sim", 0, "phase", phase_idx as u64);
                         let rt = runtime.as_mut().expect("task mode");
                         rt.seed_tasks(workload.phases[phase_idx].tasks.clone());
                         for s in worker_state.iter_mut() {
@@ -532,6 +574,7 @@ fn run_system(
             if skipped > 0 {
                 skip_stats.edges_skipped += skipped;
                 skip_stats.windows += 1;
+                trace::emit(cyc_u, "sim", 0, "skip", skipped);
                 continue;
             }
             // The next event sits on the very next edge: process it
@@ -644,20 +687,90 @@ fn run_system(
     .max()
     .expect("non-empty");
 
+    // Every clock edge was either processed naively or batch-skipped —
+    // the skip-mode conservation law. (Checked here from loop locals:
+    // `SkipStats` is deliberately not part of the snapshot, so skip-on
+    // and skip-off results stay byte-identical.)
+    debug_assert_eq!(
+        skip_stats.edges_run + skip_stats.edges_skipped,
+        cyc_u + if big_active { cyc_b } else { 0 } + if little_active { cyc_l } else { 0 },
+        "skip conservation: edges_run + edges_skipped != Σ domain cycles"
+    );
+
+    let fetch_groups = big.as_ref().map_or(0, |b| b.fetch_groups())
+        + littles.iter().map(|l| l.fetch_groups()).sum::<u64>();
+
+    // ---- unified stats registry: every component's counters under one
+    // hierarchical path schema (DESIGN.md §4.10). This snapshot is what
+    // figure modules read and what the conservation checker audits.
+    let mut reg = StatsRegistry::new();
+    {
+        let mut sys = reg.scope("sys");
+        let mut clock = sys.scope("clock");
+        clock.set("uncore", cyc_u);
+        if big_active {
+            clock.set("big", cyc_b);
+        }
+        if little_active {
+            clock.set("little", cyc_l);
+        }
+        sys.set("fetch_groups", fetch_groups);
+        if let Some(b) = big.as_ref() {
+            b.stats().register(&mut sys.scope("big"));
+        }
+        for (i, lc) in littles.iter().enumerate() {
+            lc.stats().register(&mut sys.scope(&format!("little{i}")));
+        }
+        match &engine {
+            Engine::VLittle(e) => {
+                for c in 0..e.num_lanes() {
+                    e.lane_stats(c)
+                        .register(&mut sys.scope(&format!("lane{c}")));
+                }
+                e.register_stats(&mut sys.scope("engine"));
+            }
+            Engine::Simple(m) => m.stats().register(&mut sys.scope("engine")),
+            Engine::None => {}
+        }
+        if let Some(rt) = runtime.as_ref() {
+            rt.stats().register(&mut sys.scope("runtime"));
+        }
+        hier.register_stats(&mut sys);
+    }
+
     let mut result = RunResult {
         wall_ns: wall_fs as f64 / 1.0e6,
         uncore_cycles: cyc_u,
         big: big.as_ref().map(|b| *b.stats()),
         littles: littles.iter().map(|l| *l.stats()).collect(),
         lanes: Vec::new(),
-        fetch_groups: big.as_ref().map_or(0, |b| b.fetch_groups())
-            + littles.iter().map(|l| l.fetch_groups()).sum::<u64>(),
+        fetch_groups,
         mem: hier.stats(),
         runtime: runtime.as_ref().map(|r| *r.stats()),
+        stats: reg.snapshot(),
     };
     if let Engine::VLittle(e) = &engine {
         result.lanes = (0..e.num_lanes()).map(|c| *e.lane_stats(c)).collect();
     }
+
+    // Debug builds audit every run against the conservation laws; release
+    // builds skip the sweep (it is pure verification, not measurement).
+    #[cfg(debug_assertions)]
+    {
+        let violations = bvl_obs::check_conservation(&result.stats);
+        assert!(
+            violations.is_empty(),
+            "conservation laws violated for {} on {}:\n{}",
+            workload.name,
+            kind.label(),
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
     Ok((result, skip_stats, final_state))
 }
 
@@ -744,7 +857,10 @@ fn service_worker(
                 Fetched::Empty { backoff } => {
                     *state = WorkerState::Overhead(now + backoff, None);
                 }
-                Fetched::Finished => *state = WorkerState::Parked,
+                Fetched::Finished => {
+                    trace::emit(now, "worker", worker as u16, "park", 0);
+                    *state = WorkerState::Parked;
+                }
             }
         }
         WorkerState::Overhead(until, task) => {
@@ -753,6 +869,7 @@ fn service_worker(
             }
             match task {
                 Some(index) => {
+                    trace::emit(now, "worker", worker as u16, "task_start", index as u64);
                     let t = runtime.task(index).clone();
                     core.start(t.entry(vector_capable), &t.args);
                     *state = WorkerState::Running;

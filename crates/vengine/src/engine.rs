@@ -146,6 +146,14 @@ impl VLittleEngine {
         self.vxu.stats()
     }
 
+    /// Registers the engine's functional-unit counters under `scope`
+    /// (conventionally `sys.engine`): `vmu.*` and `vxu.*`. Lane stats are
+    /// registered by the simulator alongside the cores (`sys.lane{i}`).
+    pub fn register_stats(&self, scope: &mut bvl_obs::Scope<'_>) {
+        self.vmu.stats().register(&mut scope.scope("vmu"));
+        self.vxu.stats().register(&mut scope.scope("vxu"));
+    }
+
     fn apply_event(&mut self, ev: LaneEvent, now: u64) {
         match ev {
             LaneEvent::IdxSent { mem_id } => {
@@ -207,6 +215,7 @@ impl VLittleEngine {
                 debug_assert!(mc.lines.is_empty(), "vl=0 load with line traffic");
                 return;
             }
+            bvl_obs::trace::emit(now, "vmu", 0, "mem_cmd", mem_id);
             self.vmu.push_cmd(mc);
             if indexed && mb.idx_events == 0 {
                 self.vmu.idx_ready(mem_id);
@@ -226,6 +235,7 @@ impl VLittleEngine {
             }
         }
         if let Some(vx) = ex.vx {
+            bvl_obs::trace::emit(now, "vxu", 0, "begin", vx.id);
             self.vxu.begin(vx.id, vx.reads, vx.total_elems);
             self.vx_track.insert(
                 vx.id,
@@ -369,6 +379,7 @@ impl VectorEngine for VLittleEngine {
 
     fn dispatch(&mut self, cmd: VecCmd) {
         let now = self.now;
+        bvl_obs::trace::emit(now, "vengine", 0, "cmd", cmd.seq);
         if !self.first_dispatch_done {
             self.first_dispatch_done = true;
             // Region-entry cost: context save + pipeline flush (paper

@@ -39,6 +39,15 @@ pub struct VxuStats {
     pub elements: u64,
 }
 
+impl VxuStats {
+    /// Registers every counter under `scope` (conventionally
+    /// `sys.engine.vxu`).
+    pub fn register(&self, scope: &mut bvl_obs::Scope<'_>) {
+        scope.set("transactions", self.transactions);
+        scope.set("elements", self.elements);
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Tx {
     id: u64,
