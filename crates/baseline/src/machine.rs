@@ -11,6 +11,7 @@ use bvl_core::types::{Quiescence, VecCmd, VectorEngine};
 use bvl_isa::instr::{Instr, VMemMode};
 use bvl_isa::meta::{vector_op_latency, LAT_ALU};
 use bvl_mem::{AccessKind, IdMap, MemHierarchy, MemReq, PortId};
+use bvl_snap::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// Which memory path the machine uses.
@@ -80,6 +81,20 @@ struct MemTx {
     /// Destination register made ready when the last line arrives.
     dest_reg: Option<u8>,
 }
+
+snap_struct!(SimpleVecStats {
+    cmds,
+    compute_passes,
+    line_reqs,
+});
+
+snap_struct!(MemTx {
+    to_issue,
+    outstanding,
+    is_store,
+    gates,
+    dest_reg,
+});
 
 /// The parameterized baseline vector machine.
 #[derive(Debug)]
@@ -466,6 +481,59 @@ impl SimpleVecMachine {
     /// gates [`VectorEngine::pop_scalar_done`]) advances.
     pub fn skip_idle(&mut self, cycles: u64) {
         self.now += cycles;
+    }
+
+    /// Appends the machine's mutable state to a checkpoint (`params` and
+    /// `line_bytes` are configuration and not written).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.cmdq.save(w);
+        self.compute_busy_until.save(w);
+        self.vreg_ready.save(w);
+        self.vreg_epoch.save(w);
+        self.mem_q.save(w);
+        self.mem_txs.save(w);
+        self.next_tx.save(w);
+        self.inflight_lines.save(w);
+        self.req_to_tx.save(w);
+        self.next_req_id.save(w);
+        self.pending_store_lines.save(w);
+        self.scalar_done.save(w);
+        self.stats.save(w);
+        self.now.save(w);
+    }
+
+    /// Restores state written by [`SimpleVecMachine::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`SnapError`] on malformed input or a command queue
+    /// deeper than this machine's configuration allows.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let cmdq: VecDeque<VecCmd> = Snap::load(r)?;
+        if cmdq.len() > self.params.cmdq_depth {
+            return Err(SnapError::Corrupt {
+                what: format!(
+                    "checkpoint command queue holds {} entries, machine takes {}",
+                    cmdq.len(),
+                    self.params.cmdq_depth
+                ),
+            });
+        }
+        self.cmdq = cmdq;
+        self.compute_busy_until = Snap::load(r)?;
+        self.vreg_ready = Snap::load(r)?;
+        self.vreg_epoch = Snap::load(r)?;
+        self.mem_q = Snap::load(r)?;
+        self.mem_txs = Snap::load(r)?;
+        self.next_tx = Snap::load(r)?;
+        self.inflight_lines = Snap::load(r)?;
+        self.req_to_tx = Snap::load(r)?;
+        self.next_req_id = Snap::load(r)?;
+        self.pending_store_lines = Snap::load(r)?;
+        self.scalar_done = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        self.now = Snap::load(r)?;
+        Ok(())
     }
 
     fn compute_dest(&self, cmd: &VecCmd) -> Option<u8> {

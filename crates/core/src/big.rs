@@ -23,6 +23,7 @@ use bvl_isa::predecode::{DestReg, PreDecoded, SrcReg};
 use bvl_isa::reg::NUM_REGS;
 use bvl_isa::Machine;
 use bvl_mem::{AccessKind, MemHierarchy, MemReq, PortId, SharedMem};
+use bvl_snap::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -712,7 +713,113 @@ impl BigCore {
             self.stats.account_many(kind, cycles);
         }
     }
+
+    /// Appends the core's mutable state (machine, front-end, ROB, rename
+    /// maps, LSQ tracking, stats) to a checkpoint. Configuration
+    /// (`params`, program, ports) is not written — a restore target is
+    /// built from the same [`BigCore::new`] arguments.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.machine.save_state(w);
+        self.fetch.save_state(w);
+        self.rob.save(w);
+        self.next_seq.save(w);
+        self.x_producer.save(w);
+        self.f_producer.save(w);
+        self.muldiv_busy_until.save(w);
+        // HashSet iteration is nondeterministic: encode sorted so equal
+        // states always produce identical bytes.
+        let mut stores: Vec<u64> = self.outstanding_stores.iter().copied().collect();
+        stores.sort_unstable();
+        stores.save(w);
+        self.outstanding_loads.save(w);
+        self.next_mem_id.save(w);
+        self.stats.save(w);
+        self.halted_fetch.save(w);
+        self.halted.save(w);
+        self.stall_dispatch_until.save(w);
+    }
+
+    /// Restores state written by [`BigCore::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`SnapError`] on malformed input or a ROB larger than
+    /// this core's configuration allows.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.machine.restore_state(r)?;
+        self.fetch.restore_state(r)?;
+        let rob: VecDeque<RobEntry> = Snap::load(r)?;
+        if rob.len() > self.params.rob_size {
+            return Err(SnapError::Corrupt {
+                what: format!(
+                    "checkpoint ROB holds {} entries, core has {}",
+                    rob.len(),
+                    self.params.rob_size
+                ),
+            });
+        }
+        self.rob = rob;
+        self.next_seq = Snap::load(r)?;
+        self.x_producer = Snap::load(r)?;
+        self.f_producer = Snap::load(r)?;
+        self.muldiv_busy_until = Snap::load(r)?;
+        let stores: Vec<u64> = Snap::load(r)?;
+        self.outstanding_stores = stores.into_iter().collect();
+        self.outstanding_loads = Snap::load(r)?;
+        self.next_mem_id = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        self.halted_fetch = Snap::load(r)?;
+        self.halted = Snap::load(r)?;
+        self.stall_dispatch_until = Snap::load(r)?;
+        Ok(())
+    }
 }
+
+impl Snap for EState {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            EState::Waiting => w.u8(0),
+            EState::Executing(at) => {
+                w.u8(1);
+                at.save(w);
+            }
+            EState::WaitMem(id) => {
+                w.u8(2);
+                id.save(w);
+            }
+            EState::WaitVector => w.u8(3),
+            EState::WaitVectorResult => w.u8(4),
+            EState::WaitFence => w.u8(5),
+            EState::Done => w.u8(6),
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => EState::Waiting,
+            1 => EState::Executing(Snap::load(r)?),
+            2 => EState::WaitMem(Snap::load(r)?),
+            3 => EState::WaitVector,
+            4 => EState::WaitVectorResult,
+            5 => EState::WaitFence,
+            6 => EState::Done,
+            t => {
+                return Err(SnapError::BadTag {
+                    ty: "EState",
+                    tag: u64::from(t),
+                })
+            }
+        })
+    }
+}
+
+snap_struct!(Deps { seqs, n });
+snap_struct!(RobEntry {
+    seq,
+    info,
+    state,
+    is_store,
+    deps,
+});
 
 #[cfg(test)]
 mod tests {

@@ -7,6 +7,7 @@
 //! request to the L1I through the hierarchy.
 
 use bvl_mem::{AccessKind, MemHierarchy, MemReq, PortId};
+use bvl_snap::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// Program text is laid out from this synthetic address upward; it never
 /// overlaps workload data (which the allocator places low).
@@ -120,6 +121,30 @@ impl FetchUnit {
     /// program/task far away).
     pub fn flush(&mut self) {
         self.buffered_line = None;
+    }
+
+    /// Appends the mutable state (not port/base/line configuration) to a
+    /// checkpoint.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.buffered_line.save(w);
+        self.pending_line.save(w);
+        self.redirect_free_at.save(w);
+        self.next_id.save(w);
+        self.fetch_groups.save(w);
+    }
+
+    /// Restores state written by [`FetchUnit::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`SnapError`] on malformed input.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.buffered_line = Snap::load(r)?;
+        self.pending_line = Snap::load(r)?;
+        self.redirect_free_at = Snap::load(r)?;
+        self.next_id = Snap::load(r)?;
+        self.fetch_groups = Snap::load(r)?;
+        Ok(())
     }
 }
 

@@ -19,6 +19,7 @@ use bvl_isa::predecode::{DestReg, InstrMeta, PreDecoded, SrcReg};
 use bvl_isa::reg::NUM_REGS;
 use bvl_isa::Machine;
 use bvl_mem::{AccessKind, MemHierarchy, MemReq, PortId, SharedMem};
+use bvl_snap::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -47,6 +48,8 @@ impl Default for LittleParams {
 struct Pending {
     info: StepInfo,
 }
+
+snap_struct!(Pending { info });
 
 /// The in-order little core timing model.
 #[derive(Debug)]
@@ -420,6 +423,48 @@ impl LittleCore {
         if let Some(kind) = account {
             self.stats.account_many(kind, cycles);
         }
+    }
+
+    /// Appends the core's mutable state to a checkpoint. Configuration
+    /// (`id`, `params`, program, ports) is not written — a restore target
+    /// is built from the same [`LittleCore::new`] arguments.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.machine.save_state(w);
+        self.fetch.save_state(w);
+        self.x_ready.save(w);
+        self.f_ready.save(w);
+        self.muldiv_busy_until.save(w);
+        self.pending.save(w);
+        self.load_wait.save(w);
+        // HashSet iteration is nondeterministic: encode sorted so equal
+        // states always produce identical bytes.
+        let mut stores: Vec<u64> = self.outstanding_stores.iter().copied().collect();
+        stores.sort_unstable();
+        stores.save(w);
+        self.next_mem_id.save(w);
+        self.stats.save(w);
+        self.halted.save(w);
+    }
+
+    /// Restores state written by [`LittleCore::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`SnapError`] on malformed input.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.machine.restore_state(r)?;
+        self.fetch.restore_state(r)?;
+        self.x_ready = Snap::load(r)?;
+        self.f_ready = Snap::load(r)?;
+        self.muldiv_busy_until = Snap::load(r)?;
+        self.pending = Snap::load(r)?;
+        self.load_wait = Snap::load(r)?;
+        let stores: Vec<u64> = Snap::load(r)?;
+        self.outstanding_stores = stores.into_iter().collect();
+        self.next_mem_id = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        self.halted = Snap::load(r)?;
+        Ok(())
     }
 }
 

@@ -5,6 +5,7 @@ use bvl_isa::exec::MemAccess;
 use bvl_isa::instr::Instr;
 use bvl_isa::vcfg::Sew;
 use bvl_mem::MemHierarchy;
+use bvl_snap::snap_struct;
 
 /// Why a core could not retire useful work in a given cycle.
 ///
@@ -171,6 +172,24 @@ pub struct VecCmd {
     /// responds with a scalar value (paper section III-A).
     pub needs_scalar_response: bool,
 }
+
+snap_struct!(CoreStats {
+    cycles,
+    retired,
+    fetch_groups,
+    breakdown,
+    branches,
+    mispredicts,
+});
+
+snap_struct!(VecCmd {
+    seq,
+    instr,
+    vl,
+    sew,
+    mem,
+    needs_scalar_response,
+});
 
 /// The interface every vector engine implements: the VLITTLE cluster, the
 /// integrated vector unit and the decoupled vector engine.

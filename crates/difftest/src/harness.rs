@@ -32,7 +32,7 @@ const ORACLE_STEP_LIMIT: u64 = 2_000_000;
 
 /// Simulated-cycle budget per system run, far above anything a generated
 /// program needs but small enough that a livelocked run fails fast.
-const MAX_UNCORE_CYCLES: u64 = 20_000_000;
+pub(crate) const MAX_UNCORE_CYCLES: u64 = 20_000_000;
 
 /// Every hardware vector length a core in [`SystemKind::ALL`] can run an
 /// entry at: little cores and engine-less big cores (64), the integrated

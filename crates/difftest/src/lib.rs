@@ -29,11 +29,13 @@
 
 pub mod gen;
 pub mod harness;
+pub mod replay;
 pub mod shrink;
 pub mod text;
 
 pub use gen::generate;
 pub use harness::{check_program, difftest_workload, DiffResult, Divergence};
+pub use replay::{replay_divergence_tail, ReplayCache, TailReplay};
 pub use shrink::shrink;
 pub use text::{DtOp, DtProgram};
 

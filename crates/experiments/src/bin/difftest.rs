@@ -19,8 +19,11 @@
 //! Exit status: 0 = all passed, 1 = divergence found, 2 = a generated
 //! program was invalid (generator bug).
 
-use bvl_difftest::{check_program, generate, mix_seed, shrink, DiffResult};
+use bvl_difftest::{
+    check_program, generate, mix_seed, replay_divergence_tail, shrink, DiffResult, ReplayCache,
+};
 use bvl_experiments::sweep::{default_jobs, run_parallel};
+use std::cell::RefCell;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -77,14 +80,34 @@ fn main() -> ExitCode {
                 eprintln!("seed {s:#018x}: DIVERGENCE on {d}");
                 eprintln!("shrinking to a minimal reproducer...");
                 let full = generate(*s);
-                let minimal = shrink(&full, &|p| check_program(p).is_divergence());
+                // `shrink` takes a `&dyn Fn` predicate, so the memo
+                // cache rides along in a RefCell.
+                let cache = RefCell::new(ReplayCache::new());
+                let minimal = shrink(&full, &|p| cache.borrow_mut().still_diverges(p));
+                let cache = cache.into_inner();
                 let outcome = check_program(&minimal);
                 eprintln!(
-                    "minimal reproducer ({} of {} lines, {outcome:?}):",
+                    "minimal reproducer ({} of {} lines, {outcome:?}; \
+                     {} candidate checks memoized, {} simulated):",
                     minimal.lines.len(),
-                    full.lines.len()
+                    full.lines.len(),
+                    cache.hits,
+                    cache.misses
                 );
                 eprintln!("{}", minimal.render());
+                if let DiffResult::Diverged(min_d) = &outcome {
+                    match replay_divergence_tail(&minimal, min_d.system) {
+                        Ok(tr) => eprintln!(
+                            "tail replay: checkpoint at cycle {} replays the final {} of \
+                             {} cycles byte-identically ({} byte blob)",
+                            tr.checkpoint.uncore_cycle(),
+                            tr.replayed_cycles,
+                            tr.total_cycles,
+                            tr.checkpoint.to_bytes().len()
+                        ),
+                        Err(why) => eprintln!("tail replay unavailable: {why}"),
+                    }
+                }
                 eprintln!("commit it under crates/difftest/corpus/ once fixed");
                 return ExitCode::FAILURE;
             }

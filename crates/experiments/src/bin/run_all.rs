@@ -11,37 +11,22 @@
 //! cargo run --release -p bvl-experiments --bin run_all -- --scale tiny --jobs 8
 //! ```
 //!
+//! An interrupted invocation is resumable: `--persist-cache
+//! --checkpoint-every N` makes every point write its result (and, while
+//! in flight, a periodic whole-system checkpoint) under `<out>/cache/`;
+//! re-running with `--resume` replays completed points from disk with 0
+//! simulate calls and restarts interrupted points from their last
+//! checkpoint instead of cycle 0.
+//!
 //! The summary reports, per artifact: host wall seconds, simulate calls
 //! executed (cache hits excluded), simulated clock-domain cycles,
 //! aggregate Mcycles/s, and the fraction of cycles the quiescence engine
 //! batch-skipped (zero under `--no-skip`).
 
 use bvl_experiments::sweep::Throughput;
-use bvl_experiments::{figs, print_table, ExpOpts};
+use bvl_experiments::{print_table, ExpOpts, ARTIFACTS};
 use serde::Serialize;
 use std::time::Instant;
-
-/// A named experiment entry point.
-type Artifact = (&'static str, fn(&ExpOpts));
-
-/// Every artifact, in EXPERIMENTS.md order.
-const ARTIFACTS: [Artifact; 15] = [
-    ("fig04_speedup", figs::fig04_speedup::run),
-    ("fig05_ifetch", figs::fig05_ifetch::run),
-    ("fig06_dreq", figs::fig06_dreq::run),
-    ("fig07_breakdown", figs::fig07_breakdown::run),
-    ("fig08_lsq_sweep", figs::fig08_lsq_sweep::run),
-    ("fig09_vf_heatmap", figs::fig09_vf_heatmap::run),
-    ("fig10_perf_power", figs::fig10_perf_power::run),
-    ("fig11_pareto", figs::fig11_pareto::run),
-    ("tab45_workloads", figs::tab45_workloads::run),
-    ("tab06_area", figs::tab06_area::run),
-    ("tab07_power_levels", figs::tab07_power_levels::run),
-    ("abl_vxu_topology", figs::abl_vxu_topology::run),
-    ("abl_vmu_coalesce", figs::abl_vmu_coalesce::run),
-    ("abl_mode_switch", figs::abl_mode_switch::run),
-    ("abl_scaling", figs::abl_scaling::run),
-];
 
 /// One artifact's timing/throughput record (JSON row).
 #[derive(Serialize)]

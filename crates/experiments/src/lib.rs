@@ -60,6 +60,18 @@ pub struct ExpOpts {
     /// Results are bit-identical either way; this exists for A/B timing
     /// and for auditing the quiescence-skip engine in the field.
     pub no_skip: bool,
+    /// Emit a whole-system checkpoint every this-many uncore cycles on
+    /// every sweep point (`--checkpoint-every N`; 0 disables). Checkpoints
+    /// are persisted under `<cache_dir>/ckpt/` and deleted once their
+    /// point completes, so after an interrupt only in-flight points have
+    /// one on disk. Taking checkpoints never changes results (the
+    /// restore-equivalence contract) and never changes cache keys.
+    pub checkpoint_every: u64,
+    /// Resume an interrupted invocation (`--resume`): completed points
+    /// replay from the persisted cache (0 simulate calls), and points
+    /// with a leftover checkpoint under `<cache_dir>/ckpt/` restart from
+    /// it instead of cycle 0. Implies `use_cache` and `persist_cache`.
+    pub resume: bool,
     /// Where to write a Chrome `trace_event` JSON of one traced run
     /// (`--trace-out PATH`): the first sweep through this `ExpOpts`
     /// re-runs its first point with event tracing on and writes the log
@@ -100,6 +112,8 @@ impl ExpOpts {
             persist_cache: false,
             cache_dir,
             no_skip: false,
+            checkpoint_every: 0,
+            resume: false,
             trace_out: Arc::new(Mutex::new(None)),
             cache: SweepCache::new(),
             throughput: sweep::ThroughputTracker::new(),
@@ -120,8 +134,9 @@ impl ExpOpts {
     }
 
     /// Parses `--scale`, `--out`, `--jobs`, `--no-cache`,
-    /// `--persist-cache`, `--cache-dir`, `--no-skip` and `--trace-out`
-    /// from `std::env::args`.
+    /// `--persist-cache`, `--cache-dir`, `--no-skip`,
+    /// `--checkpoint-every`, `--resume` and `--trace-out` from
+    /// `std::env::args`.
     ///
     /// # Panics
     ///
@@ -134,6 +149,8 @@ impl ExpOpts {
         let mut persist_cache = false;
         let mut cache_dir = None;
         let mut no_skip = false;
+        let mut checkpoint_every = 0u64;
+        let mut resume = false;
         let mut trace_out = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -155,6 +172,14 @@ impl ExpOpts {
                 "--no-cache" => use_cache = false,
                 "--persist-cache" => persist_cache = true,
                 "--no-skip" => no_skip = true,
+                "--checkpoint-every" => {
+                    checkpoint_every = args
+                        .next()
+                        .expect("--checkpoint-every needs a value")
+                        .parse::<u64>()
+                        .expect("--checkpoint-every needs an uncore-cycle count");
+                }
+                "--resume" => resume = true,
                 "--cache-dir" => {
                     cache_dir = Some(PathBuf::from(
                         args.next().expect("--cache-dir needs a value"),
@@ -168,7 +193,7 @@ impl ExpOpts {
                 other => panic!(
                     "unknown argument `{other}` (use --scale tiny|default|large, --out DIR, \
                      --jobs N, --no-cache, --persist-cache, --cache-dir DIR, --no-skip, \
-                     --trace-out PATH)"
+                     --checkpoint-every N, --resume, --trace-out PATH)"
                 ),
             }
         }
@@ -177,6 +202,13 @@ impl ExpOpts {
         opts.use_cache = use_cache;
         opts.persist_cache = persist_cache;
         opts.no_skip = no_skip;
+        opts.checkpoint_every = checkpoint_every;
+        opts.resume = resume;
+        if opts.resume {
+            // Resuming is meaningless without the persisted cache layers.
+            opts.use_cache = true;
+            opts.persist_cache = true;
+        }
         if let Some(dir) = cache_dir {
             opts.cache_dir = dir;
         }
@@ -201,6 +233,30 @@ impl ExpOpts {
         eprintln!("wrote {}", path.display());
     }
 }
+
+/// A named experiment entry point, as listed in [`ARTIFACTS`].
+pub type Artifact = (&'static str, fn(&ExpOpts));
+
+/// Every evaluation artifact, in EXPERIMENTS.md order — the worklist the
+/// `run_all` binary iterates over. Public so the resume integration test
+/// can drive prefixes of the same list an interrupted invocation ran.
+pub const ARTIFACTS: [Artifact; 15] = [
+    ("fig04_speedup", figs::fig04_speedup::run),
+    ("fig05_ifetch", figs::fig05_ifetch::run),
+    ("fig06_dreq", figs::fig06_dreq::run),
+    ("fig07_breakdown", figs::fig07_breakdown::run),
+    ("fig08_lsq_sweep", figs::fig08_lsq_sweep::run),
+    ("fig09_vf_heatmap", figs::fig09_vf_heatmap::run),
+    ("fig10_perf_power", figs::fig10_perf_power::run),
+    ("fig11_pareto", figs::fig11_pareto::run),
+    ("tab45_workloads", figs::tab45_workloads::run),
+    ("tab06_area", figs::tab06_area::run),
+    ("tab07_power_levels", figs::tab07_power_levels::run),
+    ("abl_vxu_topology", figs::abl_vxu_topology::run),
+    ("abl_vmu_coalesce", figs::abl_vmu_coalesce::run),
+    ("abl_mode_switch", figs::abl_mode_switch::run),
+    ("abl_scaling", figs::abl_scaling::run),
+];
 
 /// Runs one workload on one system, panicking with context on failure
 /// (every simulated run is checked against the workload's reference).

@@ -20,7 +20,14 @@
 //! * with `--persist-cache`, results are also written under
 //!   `<out>/cache/` as JSON and reused by later invocations;
 //! * `--no-cache` forces a cold run: every unique point simulates fresh
-//!   and nothing is read from or written to either cache layer.
+//!   and nothing is read from or written to either cache layer;
+//! * with `--checkpoint-every N`, every in-flight point periodically
+//!   writes a whole-system checkpoint under `<cache_dir>/ckpt/` (deleted
+//!   when the point completes), and `--resume` restarts interrupted
+//!   points from their last checkpoint instead of cycle 0. Resumed
+//!   results are byte-identical by the restore-equivalence contract but
+//!   are deliberately *not* persisted to the disk cache — only
+//!   straight-through runs populate it.
 //!
 //! The workload key must identify the workload *instance*, not just its
 //! kernel: the same name built at a different scale (or, for synthetic
@@ -30,7 +37,9 @@
 
 use crate::ExpOpts;
 use bvl_obs::StatsSnapshot;
-use bvl_sim::{simulate_traced, simulate_with_stats, RunResult, SimParams, SystemKind};
+use bvl_sim::{
+    simulate_traced, simulate_with_stats_resumable, RunResult, SimParams, SysState, SystemKind,
+};
 use bvl_workloads::Workload;
 use serde::Serialize;
 use std::collections::HashMap;
@@ -92,12 +101,21 @@ impl SweepJob {
 
 /// The cache key for a (system, workload-instance, params) point; see
 /// [`SweepJob::cache_key`].
+///
+/// The checkpoint cadence and the trace flag are zeroed before hashing:
+/// both are pure observability knobs whose on/off state leaves results
+/// byte-identical (the restore-equivalence and tracing contracts), so a
+/// checkpointed or traced run must *reuse* the cache entry of its plain
+/// twin, not fork a parallel one.
 fn cache_key_for(system: SystemKind, workload_key: &str, params: &SimParams) -> String {
+    let mut p = params.clone();
+    p.checkpoint_every = 0;
+    p.trace = false;
     format!(
         "{}__{}__{:016x}",
         system.label(),
         workload_key,
-        fnv1a(format!("{params:?}").as_bytes())
+        fnv1a(format!("{p:?}").as_bytes())
     )
 }
 
@@ -296,6 +314,12 @@ pub fn run_sweep(jobs: &[SweepJob], opts: &ExpOpts) -> Vec<RunResult> {
         .map(|j| {
             let mut p = j.params.clone();
             p.no_skip |= opts.no_skip;
+            // `--checkpoint-every` arms every point; the cadence is
+            // excluded from the cache key (see `cache_key_for`), so this
+            // cannot fork or miss existing cache entries.
+            if opts.checkpoint_every > 0 {
+                p.checkpoint_every = opts.checkpoint_every;
+            }
             p
         })
         .collect();
@@ -337,18 +361,25 @@ pub fn run_sweep(jobs: &[SweepJob], opts: &ExpOpts) -> Vec<RunResult> {
         .filter(|&s| slot_results[s].is_none())
         .collect();
     let computed = run_parallel(&misses, opts.jobs, |&slot| {
-        let job = &jobs[unique[slot]];
         let start = Instant::now();
-        let (result, stats) = simulate_with_stats(job.system, &job.workload, &params[unique[slot]])
-            .unwrap_or_else(|e| panic!("{} on {}: {e}", job.workload_key, job.system.label()));
+        let (result, stats, resumed) = run_point(
+            &jobs[unique[slot]],
+            &params[unique[slot]],
+            &keys[unique[slot]],
+            opts,
+        );
         opts.throughput.record(stats, start.elapsed().as_secs_f64());
-        result
+        (result, resumed)
     });
-    for (&slot, result) in misses.iter().zip(computed) {
+    for (&slot, (result, resumed)) in misses.iter().zip(computed) {
         let key = &keys[unique[slot]];
         if opts.use_cache {
             opts.cache.insert(key.clone(), result.clone());
-            if opts.persist_cache {
+            // A checkpoint-restored run is byte-identical by contract,
+            // but the persisted cache stays a record of straight-through
+            // runs only — the conservative half of that contract. The
+            // point simulates in full on the next cold invocation.
+            if opts.persist_cache && !resumed {
                 store_cached(&opts.cache_dir, key, &result);
             }
         }
@@ -388,6 +419,54 @@ pub fn run_sweep(jobs: &[SweepJob], opts: &ExpOpts) -> Vec<RunResult> {
         .collect()
 }
 
+/// Simulates one deduplicated sweep point, writing periodic checkpoints
+/// when the cadence is armed and — under `--resume` — restarting from a
+/// leftover checkpoint instead of cycle 0. Returns the result, the run's
+/// skip counters, and whether the run actually resumed.
+///
+/// An unresumable checkpoint (undecodable, or fingerprint-mismatched
+/// because the parameters changed since the interrupt) is reported and
+/// ignored: the point restarts from cycle 0 rather than failing the
+/// sweep.
+fn run_point(
+    job: &SweepJob,
+    params: &SimParams,
+    key: &str,
+    opts: &ExpOpts,
+) -> (RunResult, bvl_sim::SkipStats, bool) {
+    let ckpt = ckpt_path(&opts.cache_dir, key);
+    let mut save = |state: &SysState| store_checkpoint(&ckpt, state);
+
+    if opts.resume {
+        if let Some(state) = load_checkpoint(&ckpt) {
+            match simulate_with_stats_resumable(
+                job.system,
+                &job.workload,
+                params,
+                Some(&state),
+                &mut save,
+            ) {
+                Ok((r, s)) => {
+                    let _ = fs::remove_file(&ckpt);
+                    return (r, s, true);
+                }
+                Err(e) => eprintln!(
+                    "{key}: checkpoint at cycle {} not resumable ({e}); \
+                     restarting from cycle 0",
+                    state.uncore_cycle()
+                ),
+            }
+        }
+    }
+    match simulate_with_stats_resumable(job.system, &job.workload, params, None, &mut save) {
+        Ok((r, s)) => {
+            let _ = fs::remove_file(&ckpt);
+            (r, s, false)
+        }
+        Err(e) => panic!("{} on {}: {e}", job.workload_key, job.system.label()),
+    }
+}
+
 // --- disk persistence -----------------------------------------------------
 //
 // One JSON file per cache key under `<cache_dir>/`. The encoding is
@@ -404,6 +483,40 @@ use std::path::{Path, PathBuf};
 
 fn cache_path(dir: &Path, key: &str) -> PathBuf {
     dir.join(format!("{key}.json"))
+}
+
+/// Where a point's in-flight checkpoint lives: `<cache_dir>/ckpt/<key>.snap`.
+/// Kept in a subdirectory so result JSONs and checkpoint blobs cannot
+/// collide, and so `--resume` can tell "completed" (JSON present) from
+/// "interrupted" (blob present) at a glance.
+fn ckpt_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join("ckpt").join(format!("{key}.snap"))
+}
+
+/// Writes a checkpoint blob via tmp-file + rename, so an interrupt
+/// mid-write never leaves a torn blob at the path `--resume` reads. (A
+/// torn blob would still be rejected by the frame checksum — the rename
+/// keeps the window empty, not merely survivable.)
+fn store_checkpoint(path: &Path, state: &SysState) {
+    let dir = path.parent().expect("checkpoint path has a parent");
+    fs::create_dir_all(dir).expect("create checkpoint dir");
+    let tmp = path.with_extension("snap.tmp");
+    fs::write(&tmp, state.to_bytes()).unwrap_or_else(|e| panic!("write {}: {e}", tmp.display()));
+    fs::rename(&tmp, path).unwrap_or_else(|e| panic!("rename {}: {e}", path.display()));
+}
+
+/// Loads a checkpoint blob if present and decodable; anything else — no
+/// file, torn bytes, a version from an older simulator — is a miss, not
+/// an error (the point just restarts from cycle 0).
+fn load_checkpoint(path: &Path) -> Option<SysState> {
+    let bytes = fs::read(path).ok()?;
+    match SysState::from_bytes(&bytes) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("{}: ignoring undecodable checkpoint ({e})", path.display());
+            None
+        }
+    }
 }
 
 fn load_cached(dir: &Path, key: &str) -> Option<RunResult> {
@@ -681,6 +794,26 @@ mod tests {
         assert!(t.edges_skipped > 0, "skip-on run never skipped");
         assert!(t.edges_run > t.edges_skipped);
         assert_eq!(t.since(&t), Throughput::default());
+    }
+
+    #[test]
+    fn cache_key_ignores_observability_knobs() {
+        let w = Arc::new(bvl_workloads::kernels::vvadd::build(
+            bvl_workloads::Scale::tiny(),
+        ));
+        let plain = SweepJob::new(SystemKind::B4Vl, &w, "tiny", SimParams::default());
+        let observed = SimParams {
+            checkpoint_every: 512,
+            trace: true,
+            ..SimParams::default()
+        };
+        let armed = SweepJob::new(SystemKind::B4Vl, &w, "tiny", observed);
+        assert_eq!(
+            plain.cache_key(),
+            armed.cache_key(),
+            "checkpoint cadence and tracing leave results byte-identical, \
+             so they must not fork the cache"
+        );
     }
 
     #[test]

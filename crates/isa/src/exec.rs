@@ -21,6 +21,7 @@ use crate::instr::{
 use crate::mem::Memory;
 use crate::reg::{FReg, VReg, XReg, NUM_REGS};
 use crate::vcfg::{Sew, VectorConfig};
+use bvl_snap::Snap;
 use std::fmt;
 
 /// One memory access performed by an instruction.
@@ -318,6 +319,60 @@ impl<M: Memory> Machine<M> {
             vregs: self.vregs.clone(),
             counters: self.counters,
         }
+    }
+
+    /// Appends the architectural state (registers, vector config, PC, halt
+    /// flag, counters — *not* the backing memory, which the simulator
+    /// checkpoints once, globally) to a checkpoint.
+    pub fn save_state(&self, w: &mut bvl_snap::SnapWriter) {
+        w.u32(self.vlen_bits);
+        self.xregs.save(w);
+        self.fregs.save(w);
+        self.vregs.save(w);
+        self.vcfg.save(w);
+        w.u32(self.pc);
+        w.bool(self.halted);
+        self.counters.save(w);
+    }
+
+    /// Restores state written by [`Machine::save_state`], keeping the
+    /// backing memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`bvl_snap::SnapError::Corrupt`] if the checkpoint was
+    /// taken at a different hardware vector length or the vector register
+    /// file has the wrong shape.
+    pub fn restore_state(
+        &mut self,
+        r: &mut bvl_snap::SnapReader<'_>,
+    ) -> Result<(), bvl_snap::SnapError> {
+        let vlen_bits = r.u32()?;
+        if vlen_bits != self.vlen_bits {
+            return Err(bvl_snap::SnapError::Corrupt {
+                what: format!(
+                    "machine vlen {} does not match checkpoint vlen {vlen_bits}",
+                    self.vlen_bits
+                ),
+            });
+        }
+        let xregs: [u64; NUM_REGS] = Snap::load(r)?;
+        let fregs: [u64; NUM_REGS] = Snap::load(r)?;
+        let vregs: Vec<Vec<u64>> = Snap::load(r)?;
+        let max_elems = (self.vlen_bits / 8) as usize;
+        if vregs.len() != NUM_REGS || vregs.iter().any(|v| v.len() != max_elems) {
+            return Err(bvl_snap::SnapError::Corrupt {
+                what: "vector register file has the wrong shape".into(),
+            });
+        }
+        self.xregs = xregs;
+        self.fregs = fregs;
+        self.vregs = vregs;
+        self.vcfg = Snap::load(r)?;
+        self.pc = r.u32()?;
+        self.halted = r.bool()?;
+        self.counters = Snap::load(r)?;
+        Ok(())
     }
 
     /// Runs until `halt`, returning the number of instructions executed.

@@ -54,6 +54,7 @@ pub mod mem;
 pub mod meta;
 pub mod predecode;
 pub mod reg;
+pub mod snap;
 pub mod vcfg;
 
 pub use asm::Assembler;

@@ -8,6 +8,7 @@
 
 use crate::queue::DelayQueue;
 use crate::req::MemReq;
+use bvl_snap::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// Configuration of one cache.
@@ -396,7 +397,88 @@ impl Cache {
     pub fn pop_writeback(&mut self) -> Option<u64> {
         self.wb_out.pop_front()
     }
+
+    /// Appends this cache's mutable state (everything but the
+    /// configuration) to a checkpoint.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.sets.save(w);
+        self.mshrs.save(w);
+        self.hit_pipe.save(w);
+        self.resp_out.save(w);
+        self.miss_out.save(w);
+        self.wb_out.save(w);
+        self.accepts_this_cycle.save(w);
+        self.stats.save(w);
+    }
+
+    /// Restores state written by [`Cache::save_state`] into this cache.
+    /// The configuration (`params`, `mshr_targets`) is kept — the caller
+    /// rebuilds it from the run parameters — and the restored geometry
+    /// must match it.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let sets: Vec<Vec<Line>> = Snap::load(r)?;
+        if sets.len() != self.sets.len()
+            || sets
+                .iter()
+                .any(|ways| ways.len() != self.params.assoc as usize)
+        {
+            return Err(SnapError::Corrupt {
+                what: format!(
+                    "cache geometry mismatch: {} sets restored into {}",
+                    sets.len(),
+                    self.sets.len()
+                ),
+            });
+        }
+        let mshrs: Vec<Mshr> = Snap::load(r)?;
+        if mshrs.len() > self.params.mshrs {
+            return Err(SnapError::Corrupt {
+                what: format!(
+                    "{} MSHRs restored into a cache with {}",
+                    mshrs.len(),
+                    self.params.mshrs
+                ),
+            });
+        }
+        let hit_pipe: DelayQueue<MemReq> = Snap::load(r)?;
+        if hit_pipe.latency() != self.params.hit_latency {
+            return Err(SnapError::Corrupt {
+                what: "cache hit-pipe latency mismatch".into(),
+            });
+        }
+        self.sets = sets;
+        self.mshrs = mshrs;
+        self.hit_pipe = hit_pipe;
+        self.resp_out = Snap::load(r)?;
+        self.miss_out = Snap::load(r)?;
+        self.wb_out = Snap::load(r)?;
+        self.accepts_this_cycle = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
+    }
 }
+
+snap_struct!(Line {
+    valid,
+    dirty,
+    tag,
+    last_used,
+});
+snap_struct!(Mshr {
+    line_addr,
+    reqs,
+    any_store,
+});
+snap_struct!(CacheStats {
+    accesses,
+    stores,
+    hits,
+    misses,
+    mshr_merges,
+    rejects,
+    writebacks,
+    invalidations,
+});
 
 #[cfg(test)]
 mod tests {

@@ -12,6 +12,7 @@
 //! migrated by exactly this invalidate-and-refill path the first time the
 //! VMU touches it.
 
+use bvl_snap::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::HashMap;
 
 /// Maximum number of tracked L1 caches.
@@ -138,6 +139,27 @@ impl Directory {
     /// Number of tracked lines (for tests / occupancy stats).
     pub fn tracked_lines(&self) -> usize {
         self.entries.len()
+    }
+}
+
+snap_struct!(DirEntry { sharers, owner });
+
+/// The directory's `HashMap` has no deterministic iteration order, so the
+/// encoding sorts entries by line address — identical directory states
+/// always serialize to identical bytes.
+impl Snap for Directory {
+    fn save(&self, w: &mut SnapWriter) {
+        let mut lines: Vec<(u64, DirEntry)> = self.entries.iter().map(|(k, v)| (*k, *v)).collect();
+        lines.sort_unstable_by_key(|(line, _)| *line);
+        lines.save(w);
+        self.messages.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let lines: Vec<(u64, DirEntry)> = Snap::load(r)?;
+        Ok(Directory {
+            entries: lines.into_iter().collect(),
+            messages: Snap::load(r)?,
+        })
     }
 }
 

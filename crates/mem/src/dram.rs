@@ -6,6 +6,7 @@
 //! gem5 simple memory controller in the paper's setup.
 
 use crate::queue::BoundedQueue;
+use bvl_snap::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// DRAM configuration.
@@ -133,6 +134,37 @@ impl<T> Dram<T> {
     /// Requests currently in flight.
     pub fn inflight(&self) -> usize {
         self.inflight.len()
+    }
+}
+
+snap_struct!(DramStats {
+    accesses,
+    writes,
+    rejects,
+});
+
+impl<T: Snap> Dram<T> {
+    /// Appends the mutable state (not the configuration) to a checkpoint.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.inflight.save(w);
+        self.done.save(w);
+        self.accepted_this_cycle.save(w);
+        self.stats.save(w);
+    }
+
+    /// Restores state written by [`Dram::save_state`], keeping `params`.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let inflight: BoundedQueue<(u64, T)> = Snap::load(r)?;
+        if inflight.capacity() != self.params.max_inflight {
+            return Err(SnapError::Corrupt {
+                what: "DRAM in-flight capacity mismatch".into(),
+            });
+        }
+        self.inflight = inflight;
+        self.done = Snap::load(r)?;
+        self.accepted_this_cycle = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
     }
 }
 

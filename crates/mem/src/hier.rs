@@ -29,6 +29,7 @@ use crate::coherence::Directory;
 use crate::dram::{Dram, DramParams};
 use crate::queue::DelayQueue;
 use crate::req::{AccessKind, MemReq, MemResp, PortId};
+use bvl_snap::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// Sentinel id marking internal writeback traffic (responses discarded).
@@ -736,7 +737,114 @@ impl MemHierarchy {
             PortId::DveL2 => self.resp_dve.pop_front(),
         }
     }
+
+    /// Appends the whole hierarchy's mutable state to a checkpoint. The
+    /// configuration is not encoded — a restore target is built from the
+    /// same [`HierConfig`] and [`MemHierarchy::restore_state`] validates
+    /// the shapes line up.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.little_l1i.len());
+        for c in self.little_l1i.iter().chain(self.little_l1d.iter()) {
+            c.save_state(w);
+        }
+        w.bool(self.big_l1i.is_some());
+        if let Some(c) = self.big_l1i.as_ref() {
+            c.save_state(w);
+        }
+        w.bool(self.big_l1d.is_some());
+        if let Some(c) = self.big_l1d.as_ref() {
+            c.save_state(w);
+        }
+        self.l2.save_state(w);
+        self.dram.save_state(w);
+        self.dir.save(w);
+        self.to_l2.save(w);
+        self.pending_l2.save(w);
+        self.from_l2.save(w);
+        self.pending_dram.save(w);
+        self.resp_little_d.save(w);
+        self.resp_little_i.save(w);
+        self.resp_big_d.save(w);
+        self.resp_big_i.save(w);
+        self.resp_ivu.save(w);
+        self.resp_vmu.save(w);
+        self.resp_dve.save(w);
+        self.dve_accepts_this_cycle.save(w);
+        self.vector_mode.save(w);
+        self.now.save(w);
+        self.next_internal_id.save(w);
+        self.stats.save(w);
+    }
+
+    /// Restores state written by [`MemHierarchy::save_state`] into a
+    /// hierarchy freshly built from the same configuration.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n_little: usize = r.usize()?;
+        if n_little != self.cfg.num_little {
+            return Err(SnapError::Corrupt {
+                what: format!(
+                    "checkpoint has {n_little} little L1 pairs, system has {}",
+                    self.cfg.num_little
+                ),
+            });
+        }
+        for c in self.little_l1i.iter_mut().chain(self.little_l1d.iter_mut()) {
+            c.restore_state(r)?;
+        }
+        // Each presence flag is interleaved with its cache payload, so the
+        // flags must be read one at a time, not hoisted together.
+        for cache in [&mut self.big_l1i, &mut self.big_l1d] {
+            match (r.bool()?, cache.as_mut()) {
+                (true, Some(c)) => c.restore_state(r)?,
+                (false, None) => {}
+                _ => {
+                    return Err(SnapError::Corrupt {
+                        what: "big-core L1 presence mismatch".into(),
+                    })
+                }
+            }
+        }
+        self.l2.restore_state(r)?;
+        self.dram.restore_state(r)?;
+        self.dir = Snap::load(r)?;
+        self.to_l2 = Snap::load(r)?;
+        self.pending_l2 = Snap::load(r)?;
+        self.from_l2 = Snap::load(r)?;
+        self.pending_dram = Snap::load(r)?;
+        let resp_little_d: Vec<VecDeque<MemResp>> = Snap::load(r)?;
+        let resp_little_i: Vec<VecDeque<MemResp>> = Snap::load(r)?;
+        if resp_little_d.len() != self.cfg.num_little || resp_little_i.len() != self.cfg.num_little
+        {
+            return Err(SnapError::Corrupt {
+                what: "little-core response queue count mismatch".into(),
+            });
+        }
+        self.resp_little_d = resp_little_d;
+        self.resp_little_i = resp_little_i;
+        self.resp_big_d = Snap::load(r)?;
+        self.resp_big_i = Snap::load(r)?;
+        self.resp_ivu = Snap::load(r)?;
+        self.resp_vmu = Snap::load(r)?;
+        self.resp_dve = Snap::load(r)?;
+        self.dve_accepts_this_cycle = Snap::load(r)?;
+        self.vector_mode = Snap::load(r)?;
+        self.now = Snap::load(r)?;
+        self.next_internal_id = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
+    }
 }
+
+snap_struct!(L2Entry { req, extra });
+snap_struct!(MemStats {
+    ifetch_reqs,
+    data_reqs,
+    l2_reqs,
+    dve_reqs,
+    vmu_reqs,
+    coherence_msgs,
+    line_migrations,
+});
 
 #[cfg(test)]
 mod tests {

@@ -15,6 +15,7 @@
 //! window that may yet be inserted — from a retired one, and the base
 //! only ever advances past retired slots.
 
+use bvl_snap::{Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 #[derive(Clone, Debug, Default)]
@@ -159,6 +160,48 @@ impl<T> IdMap<T> {
             .iter()
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|v| (self.base + i as u64, v)))
+    }
+}
+
+impl<T: Snap> Snap for Slot<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            Slot::Vacant => w.u8(0),
+            Slot::Occupied(v) => {
+                w.u8(1);
+                v.save(w);
+            }
+            Slot::Retired => w.u8(2),
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(Slot::Vacant),
+            1 => Ok(Slot::Occupied(T::load(r)?)),
+            2 => Ok(Slot::Retired),
+            t => Err(SnapError::BadTag {
+                ty: "IdMap::Slot",
+                tag: u64::from(t),
+            }),
+        }
+    }
+}
+
+/// The serialized form preserves the exact slot-tag sequence (vacant /
+/// occupied / retired), not just the live entries: retired tombstones
+/// inside the window are part of the map's behaviour (they reject
+/// re-insertion) and must survive a checkpoint round trip. `len` is
+/// derivable, so it is recomputed on load rather than trusted.
+impl<T: Snap> Snap for IdMap<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.base.save(w);
+        self.slots.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let base: u64 = Snap::load(r)?;
+        let slots: VecDeque<Slot<T>> = Snap::load(r)?;
+        let len = slots.iter().filter(|s| s.as_ref().is_some()).count();
+        Ok(IdMap { base, slots, len })
     }
 }
 

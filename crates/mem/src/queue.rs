@@ -1,5 +1,6 @@
 //! Latency-modeling queues shared by the timing components.
 
+use bvl_snap::{Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// A queue whose entries become visible only after a fixed delay, modeling
@@ -147,6 +148,39 @@ impl<T> BoundedQueue<T> {
     /// Drops all entries.
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+}
+
+impl<T: Snap> Snap for DelayQueue<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.latency.save(w);
+        self.entries.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(DelayQueue {
+            latency: Snap::load(r)?,
+            entries: Snap::load(r)?,
+        })
+    }
+}
+
+impl<T: Snap> Snap for BoundedQueue<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.capacity.save(w);
+        self.entries.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let capacity: usize = Snap::load(r)?;
+        let entries: VecDeque<T> = Snap::load(r)?;
+        if capacity == 0 || entries.len() > capacity {
+            return Err(SnapError::Corrupt {
+                what: format!(
+                    "BoundedQueue occupancy {} over capacity {capacity}",
+                    entries.len()
+                ),
+            });
+        }
+        Ok(BoundedQueue { entries, capacity })
     }
 }
 

@@ -1,5 +1,6 @@
 //! Memory request/response types and port identifiers.
 
+use bvl_snap::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
 use std::fmt;
 
 /// Kind of access, used for the paper's traffic breakdowns (Figures 5–6).
@@ -91,6 +92,78 @@ impl MemReq {
         self.addr & !(line_bytes - 1)
     }
 }
+
+impl Snap for AccessKind {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            AccessKind::IFetch => 0,
+            AccessKind::Data => 1,
+        });
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(AccessKind::IFetch),
+            1 => Ok(AccessKind::Data),
+            t => Err(SnapError::BadTag {
+                ty: "AccessKind",
+                tag: u64::from(t),
+            }),
+        }
+    }
+}
+
+impl Snap for PortId {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            PortId::LittleData(c) => {
+                w.u8(0);
+                w.u8(*c);
+            }
+            PortId::LittleFetch(c) => {
+                w.u8(1);
+                w.u8(*c);
+            }
+            PortId::BigData => w.u8(2),
+            PortId::Ivu => w.u8(3),
+            PortId::BigFetch => w.u8(4),
+            PortId::Vmu(b) => {
+                w.u8(5);
+                w.u8(*b);
+            }
+            PortId::DveL2 => w.u8(6),
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(PortId::LittleData(r.u8()?)),
+            1 => Ok(PortId::LittleFetch(r.u8()?)),
+            2 => Ok(PortId::BigData),
+            3 => Ok(PortId::Ivu),
+            4 => Ok(PortId::BigFetch),
+            5 => Ok(PortId::Vmu(r.u8()?)),
+            6 => Ok(PortId::DveL2),
+            t => Err(SnapError::BadTag {
+                ty: "PortId",
+                tag: u64::from(t),
+            }),
+        }
+    }
+}
+
+snap_struct!(MemReq {
+    id,
+    addr,
+    size,
+    is_store,
+    kind,
+    port,
+});
+snap_struct!(MemResp {
+    id,
+    addr,
+    is_store,
+    port,
+});
 
 #[cfg(test)]
 mod tests {

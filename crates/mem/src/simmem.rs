@@ -5,6 +5,7 @@
 //! models *when* accesses complete; the bytes themselves live here.
 
 use bvl_isa::mem::Memory;
+use bvl_snap::{Snap, SnapError, SnapReader, SnapWriter};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -131,6 +132,47 @@ impl SimMemory {
     /// The live prefix: every byte from 0 up to the high-water mark.
     pub fn live_bytes(&self) -> &[u8] {
         &self.bytes[..(self.high_water as usize).min(self.bytes.len())]
+    }
+}
+
+/// Only the live prefix (up to the high-water mark) is encoded: every
+/// byte at or above it is zero by the write-path invariant, so a restore
+/// zero-fills the rest. `brk` rides along so the bump allocator resumes
+/// where it left off.
+impl Snap for SimMemory {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.bytes.len());
+        w.u64(self.brk);
+        w.u64(self.high_water);
+        w.bytes(self.live_bytes());
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let total = r.usize()?;
+        if total > (4 << 30) {
+            // Bound allocation on corrupt input: no simulated system backs
+            // more than a few GiB.
+            return Err(SnapError::Corrupt {
+                what: format!("memory image claims {total} backing bytes"),
+            });
+        }
+        let brk = r.u64()?;
+        let high_water = r.u64()?;
+        let live = r.bytes()?;
+        if live.len() != (high_water as usize).min(total) || high_water as usize > total {
+            return Err(SnapError::Corrupt {
+                what: format!(
+                    "memory image live prefix {} disagrees with high-water {high_water} / total {total}",
+                    live.len()
+                ),
+            });
+        }
+        let mut bytes = vec![0u8; total];
+        bytes[..live.len()].copy_from_slice(live);
+        Ok(SimMemory {
+            bytes,
+            brk,
+            high_water,
+        })
     }
 }
 

@@ -9,6 +9,7 @@
 //! enforces exactly that structural hazard.
 
 use crate::queue::BoundedQueue;
+use bvl_snap::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// A single-ported SRAM-backed FIFO of line-sized entries.
 #[derive(Clone, Debug)]
@@ -109,6 +110,21 @@ impl<T> SramFifo<T> {
     /// the SRAM).
     pub fn front(&self) -> Option<&T> {
         self.slots.front()
+    }
+}
+
+impl<T: Snap> Snap for SramFifo<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.slots.save(w);
+        self.last_port_cycle.save(w);
+        self.port_conflicts.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SramFifo {
+            slots: Snap::load(r)?,
+            last_port_cycle: Snap::load(r)?,
+            port_conflicts: Snap::load(r)?,
+        })
     }
 }
 

@@ -16,6 +16,7 @@
 //! are instruction streams executed by the simulated cores.
 
 use bvl_isa::reg::XReg;
+use bvl_snap::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// A task: an entry point (plus optional vectorized variant) and its
@@ -42,6 +43,12 @@ impl Task {
         }
     }
 }
+
+snap_struct!(Task {
+    scalar_pc,
+    vector_pc,
+    args,
+});
 
 /// Cycle costs of runtime actions.
 #[derive(Clone, Copy, Debug)]
@@ -87,6 +94,13 @@ impl RuntimeStats {
         scope.set("overhead_cycles", self.overhead_cycles);
     }
 }
+
+snap_struct!(RuntimeStats {
+    tasks_run,
+    steals,
+    failed_steals,
+    overhead_cycles,
+});
 
 /// What a worker gets when it asks for work.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -229,6 +243,42 @@ impl WorkStealing {
         Fetched::Empty {
             backoff: self.params.steal_fail_cost,
         }
+    }
+
+    /// Appends the scheduler's mutable state — task table, deques, the
+    /// deterministic xorshift state and stats — to a checkpoint (`params`
+    /// is configuration and not written).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.tasks.save(w);
+        self.deques.save(w);
+        self.remaining.save(w);
+        self.rng.save(w);
+        self.stats.save(w);
+    }
+
+    /// Restores state written by [`WorkStealing::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`SnapError`] on malformed input or a worker count not
+    /// matching this scheduler's configuration.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.tasks = Snap::load(r)?;
+        let deques: Vec<VecDeque<usize>> = Snap::load(r)?;
+        if deques.len() != self.deques.len() {
+            return Err(SnapError::Corrupt {
+                what: format!(
+                    "checkpoint has {} worker deques, scheduler has {}",
+                    deques.len(),
+                    self.deques.len()
+                ),
+            });
+        }
+        self.deques = deques;
+        self.remaining = Snap::load(r)?;
+        self.rng = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
     }
 }
 

@@ -120,6 +120,13 @@ pub struct SimParams {
     /// thread-local bool, and the collected log is only returned by the
     /// `simulate_traced` entry point.
     pub trace: bool,
+    /// Emit a whole-system checkpoint (`crate::snapshot::SysState`) every
+    /// this-many uncore cycles; 0 (the default) disables checkpointing.
+    /// Taking a checkpoint is read-only — results are byte-identical with
+    /// it on or off — and the cadence is deliberately excluded from the
+    /// checkpoint's own parameter fingerprint, so a run may be resumed
+    /// under a different cadence than the one that saved it.
+    pub checkpoint_every: u64,
 }
 
 impl Default for SimParams {
@@ -130,6 +137,7 @@ impl Default for SimParams {
             max_uncore_cycles: 400_000_000,
             no_skip: false,
             trace: false,
+            checkpoint_every: 0,
         }
     }
 }

@@ -27,13 +27,15 @@
 
 pub mod config;
 pub mod result;
+pub mod snapshot;
 pub mod system;
 
 pub use config::{ClockConfig, SimParams, SystemKind};
 pub use result::RunResult;
+pub use snapshot::SysState;
 pub use system::{
-    simulate, simulate_traced, simulate_with_state, simulate_with_stats, ExecMode, FinalState,
-    SkipStats,
+    simulate, simulate_resumable, simulate_traced, simulate_with_state, simulate_with_stats,
+    simulate_with_stats_resumable, ExecMode, FinalState, SkipStats,
 };
 
 /// Checks every conservation law against a finished run's counter

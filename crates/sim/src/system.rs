@@ -2,14 +2,16 @@
 
 use crate::config::{ClockConfig, SimParams, SystemKind};
 use crate::result::RunResult;
+use crate::snapshot::{params_fingerprint, workload_fingerprint, SysState};
 use bvl_baseline::{dve_params, ivu_params, SimpleVecMachine};
 use bvl_core::fetch::TEXT_BASE;
 use bvl_core::types::{Quiescence, StallKind, VectorEngine};
 use bvl_core::{BigCore, BigParams, LittleCore, LittleParams};
 use bvl_isa::exec::ArchSnapshot;
-use bvl_mem::{HierConfig, MemHierarchy, MemImage, PortId, SharedMem};
+use bvl_mem::{HierConfig, MemHierarchy, MemImage, PortId, SharedMem, SimMemory};
 use bvl_obs::{trace, StatsRegistry, TraceLog};
 use bvl_runtime::{Fetched, RuntimeParams, WorkStealing};
+use bvl_snap::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
 use bvl_vengine::VLittleEngine;
 use bvl_workloads::{Workload, WorkloadClass};
 use std::sync::Arc;
@@ -34,6 +36,12 @@ pub struct SkipStats {
     pub windows: u64,
 }
 
+snap_struct!(SkipStats {
+    edges_run,
+    edges_skipped,
+    windows,
+});
+
 impl SkipStats {
     /// Fraction of all clock edges that were skipped.
     pub fn skipped_frac(&self) -> f64 {
@@ -42,6 +50,16 @@ impl SkipStats {
             0.0
         } else {
             self.edges_skipped as f64 / total as f64
+        }
+    }
+
+    /// The counters accumulated since `earlier` (a prior snapshot of the
+    /// same run — e.g. the totals a restored checkpoint carried in).
+    pub fn since(&self, earlier: &SkipStats) -> SkipStats {
+        SkipStats {
+            edges_run: self.edges_run - earlier.edges_run,
+            edges_skipped: self.edges_skipped - earlier.edges_skipped,
+            windows: self.windows - earlier.windows,
         }
     }
 }
@@ -95,6 +113,36 @@ impl Engine {
     /// Which cluster clock drives the engine.
     fn on_little_clock(&self) -> bool {
         matches!(self, Engine::VLittle(_))
+    }
+
+    /// Serializes the engine's mutable state. The variant is determined
+    /// by system construction; the tag byte only guards against decoding
+    /// a checkpoint into a differently shaped system.
+    fn save_state(&self, w: &mut SnapWriter) {
+        match self {
+            Engine::None => w.u8(0),
+            Engine::VLittle(e) => {
+                w.u8(1);
+                e.save_state(w);
+            }
+            Engine::Simple(m) => {
+                w.u8(2);
+                m.save_state(w);
+            }
+        }
+    }
+
+    /// Restores mutable state into the already-constructed engine.
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let tag = r.u8()?;
+        match (tag, self) {
+            (0, Engine::None) => Ok(()),
+            (1, Engine::VLittle(e)) => e.restore_state(r),
+            (2, Engine::Simple(m)) => m.restore_state(r),
+            (t, _) => Err(SnapError::Corrupt {
+                what: format!("engine variant tag {t} does not match the rebuilt system"),
+            }),
+        }
     }
 }
 
@@ -150,6 +198,36 @@ enum WorkerState {
     Parked,
 }
 
+impl Snap for WorkerState {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            WorkerState::NeedWork => w.u8(0),
+            WorkerState::Overhead(until, task) => {
+                w.u8(1);
+                until.save(w);
+                task.save(w);
+            }
+            WorkerState::Running => w.u8(2),
+            WorkerState::Parked => w.u8(3),
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => WorkerState::NeedWork,
+            1 => WorkerState::Overhead(u64::load(r)?, Option::<usize>::load(r)?),
+            2 => WorkerState::Running,
+            3 => WorkerState::Parked,
+            t => {
+                return Err(SnapError::BadTag {
+                    ty: "WorkerState",
+                    tag: u64::from(t),
+                })
+            }
+        })
+    }
+}
+
 fn pick_mode(kind: SystemKind, w: &Workload) -> ExecMode {
     match (kind, w.class) {
         (SystemKind::B4L | SystemKind::BIv4L, _) => ExecMode::Tasks,
@@ -157,6 +235,736 @@ fn pick_mode(kind: SystemKind, w: &Workload) -> ExecMode {
         (SystemKind::B4Vl, _) => ExecMode::Vector,
         (SystemKind::BIv | SystemKind::BDv, _) if w.vector_entry.is_some() => ExecMode::Vector,
         _ => ExecMode::Serial,
+    }
+}
+
+/// The fully composed system plus the tick loop's own control state.
+///
+/// Factoring the run loop's locals into a struct is what makes whole-run
+/// checkpointing possible: [`System::save_state`] serializes every field
+/// that evolves during a run, and restoring into a freshly built `System`
+/// (same kind/workload/params — immutable wiring is rebuilt, not saved)
+/// resumes the loop exactly where the checkpoint was taken.
+struct System<'w> {
+    kind: SystemKind,
+    workload: &'w Workload,
+    params: SimParams,
+    mode: ExecMode,
+    shared: SharedMem,
+    hier: MemHierarchy,
+    engine: Engine,
+    big: Option<BigCore>,
+    littles: Vec<LittleCore>,
+    big_worker_exists: bool,
+    runtime: Option<WorkStealing>,
+    worker_state: Vec<WorkerState>,
+    phase_idx: usize,
+    // Clock-domain periods (fs) — derived constants, not checkpointed.
+    pb: u64,
+    pl: u64,
+    pu: u64,
+    // Next edge time (fs) and elapsed cycles per domain.
+    next_b: u64,
+    next_l: u64,
+    next_u: u64,
+    cyc_b: u64,
+    cyc_l: u64,
+    cyc_u: u64,
+    big_active: bool,
+    little_active: bool,
+    skip_stats: SkipStats,
+    // Hoisted scratch for the skip planner (at most one entry per little);
+    // valid only within one `step`, so never checkpointed.
+    little_accts: Vec<Option<StallKind>>,
+    big_acct: Option<StallKind>,
+    plan_cooldown: u32,
+    plan_streak: u32,
+}
+
+impl<'w> System<'w> {
+    /// Builds the system `kind` with `workload` loaded and entry points
+    /// assigned, ready for its first [`step`](Self::step).
+    fn new(kind: SystemKind, workload: &'w Workload, params: &SimParams) -> Result<Self, String> {
+        let mode = pick_mode(kind, workload);
+        let shared = SharedMem::new(workload.mem.fork());
+        let program = Arc::clone(&workload.program);
+
+        // ---- memory hierarchy
+        let mut hier_cfg = HierConfig::with_little(kind.num_little());
+        hier_cfg.has_big = kind.has_big();
+        hier_cfg.has_dve = kind == SystemKind::BDv;
+        let mut hier = MemHierarchy::new(hier_cfg);
+        let vector_mode_banks = kind == SystemKind::B4Vl && mode == ExecMode::Vector;
+        hier.set_vector_mode(vector_mode_banks);
+
+        // ---- vector engine
+        let engine = match (kind, mode) {
+            (SystemKind::BIv | SystemKind::BIv4L, _) => Engine::Simple(Box::new(
+                SimpleVecMachine::new(ivu_params(), hier.line_bytes()),
+            )),
+            (SystemKind::BDv, _) => Engine::Simple(Box::new(SimpleVecMachine::new(
+                dve_params(),
+                hier.line_bytes(),
+            ))),
+            (SystemKind::B4Vl, ExecMode::Vector) => Engine::VLittle(Box::new(VLittleEngine::new(
+                params.engine,
+                hier.line_bytes(),
+            ))),
+            _ => Engine::None,
+        };
+
+        // ---- cores
+        let mut big = kind.has_big().then(|| {
+            BigCore::new(
+                shared.clone(),
+                Arc::clone(&program),
+                TEXT_BASE,
+                hier.line_bytes(),
+                engine.vlen_bits(),
+                BigParams::default(),
+            )
+        });
+        // Little cores exist as *cores* except when they are VLITTLE lanes.
+        let n_little_cores = if vector_mode_banks {
+            0
+        } else {
+            kind.num_little()
+        };
+        let mut littles: Vec<LittleCore> = (0..n_little_cores)
+            .map(|c| {
+                LittleCore::new(
+                    c as u8,
+                    shared.clone(),
+                    Arc::clone(&program),
+                    TEXT_BASE,
+                    hier.line_bytes(),
+                    LittleParams::default(),
+                )
+            })
+            .collect();
+
+        // ---- execution-mode setup
+        // Workers: index 0 = big (if present), then littles.
+        let big_worker_exists = big.is_some() && mode == ExecMode::Tasks;
+        let n_workers = usize::from(big_worker_exists)
+            + if mode == ExecMode::Tasks {
+                littles.len()
+            } else {
+                0
+            };
+        let mut runtime = (mode == ExecMode::Tasks)
+            .then(|| WorkStealing::new(n_workers, RuntimeParams::default()));
+        let worker_state = vec![WorkerState::NeedWork; n_workers];
+
+        match mode {
+            ExecMode::Serial => {
+                if let Some(b) = big.as_mut() {
+                    b.assign(workload.serial_entry);
+                } else {
+                    littles[0].assign(workload.serial_entry);
+                }
+            }
+            ExecMode::Vector => {
+                let entry = workload
+                    .vector_entry
+                    .ok_or_else(|| format!("{} has no vectorized variant", workload.name))?;
+                big.as_mut()
+                    .expect("vector mode needs a big core")
+                    .assign(entry);
+            }
+            ExecMode::Tasks => {
+                let rt = runtime.as_mut().expect("task mode");
+                rt.seed_tasks(workload.phases[0].tasks.clone());
+            }
+        }
+
+        // ---- clock domains
+        let pb = ClockConfig::period_fs(params.clocks.big_ghz);
+        let pl = ClockConfig::period_fs(params.clocks.little_ghz);
+        let pu = ClockConfig::period_fs(params.clocks.uncore_ghz);
+        let big_active = big.is_some();
+        let little_active = !littles.is_empty() || engine.on_little_clock();
+        let n_littles = littles.len();
+
+        Ok(System {
+            kind,
+            workload,
+            params: params.clone(),
+            mode,
+            shared,
+            hier,
+            engine,
+            big,
+            littles,
+            big_worker_exists,
+            runtime,
+            worker_state,
+            phase_idx: 0,
+            pb,
+            pl,
+            pu,
+            next_b: pb,
+            next_l: pl,
+            next_u: pu,
+            cyc_b: 0,
+            cyc_l: 0,
+            cyc_u: 0,
+            big_active,
+            little_active,
+            skip_stats: SkipStats::default(),
+            little_accts: Vec::with_capacity(n_littles),
+            big_acct: None,
+            plan_cooldown: 0,
+            plan_streak: 0,
+        })
+    }
+
+    /// Runs one iteration of the tick loop: the completion check, then
+    /// either a quiescence batch-skip or one naive multi-domain edge.
+    /// Returns `Ok(true)` when the run has completed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the run exceeds the configured cycle budget.
+    fn step(&mut self) -> Result<bool, String> {
+        // Completion check.
+        let cores_done = self.big.as_ref().is_none_or(BigCore::done)
+            && self.littles.iter().all(LittleCore::done);
+        let done = match self.mode {
+            ExecMode::Serial | ExecMode::Vector => cores_done && self.engine.idle(),
+            ExecMode::Tasks => {
+                let rt = self.runtime.as_ref().expect("task mode");
+                let workers_idle = self
+                    .worker_state
+                    .iter()
+                    .all(|s| matches!(s, WorkerState::Parked));
+                if rt.drained() && workers_idle && cores_done && self.engine.idle() {
+                    self.phase_idx += 1;
+                    if self.phase_idx >= self.workload.phases.len() {
+                        true
+                    } else {
+                        trace::emit(self.cyc_u, "sim", 0, "phase", self.phase_idx as u64);
+                        let rt = self.runtime.as_mut().expect("task mode");
+                        rt.seed_tasks(self.workload.phases[self.phase_idx].tasks.clone());
+                        for s in self.worker_state.iter_mut() {
+                            *s = WorkerState::NeedWork;
+                        }
+                        false
+                    }
+                } else {
+                    false
+                }
+            }
+        };
+        if done {
+            return Ok(true);
+        }
+        if self.cyc_u >= self.params.max_uncore_cycles {
+            return Err(format!(
+                "{} on {} exceeded {} uncore cycles",
+                self.workload.name,
+                self.kind.label(),
+                self.params.max_uncore_cycles
+            ));
+        }
+
+        // ---- quiescence-aware tick skipping --------------------------
+        // Every component certifies, via its `quiescence`/`next_event`
+        // method, the earliest future cycle at which ticking it could do
+        // more than repeat one constant stall accounting. When all
+        // components across all live clock domains are quiescent *now*,
+        // jump every domain straight to the earliest such event edge,
+        // batch-applying exactly the accounting the skipped naive ticks
+        // would have produced. Reported cycle counts and all statistics
+        // are bit-identical to the naive loop (see the skip-equivalence
+        // suite in `tests/`).
+        // Planning costs a sweep over every component even when a busy
+        // component vetoes it; during long active stretches that cost is
+        // pure overhead. Back off exponentially after failed attempts
+        // (results are unaffected — an unplanned edge is simply ticked
+        // naively; only the entry into an idle window is delayed by at
+        // most the cooldown).
+        let attempt = !self.params.no_skip && self.plan_cooldown == 0;
+        self.plan_cooldown = self.plan_cooldown.saturating_sub(1);
+        let t_star: Option<u64> = 'plan: {
+            if !attempt {
+                break 'plan None;
+            }
+            self.big_acct = None;
+            self.little_accts.clear();
+            let fold = |t: Option<u64>, fs: u64| Some(t.map_or(fs, |x: u64| x.min(fs)));
+            // fs time of the edge that processes cycle `e` of a domain.
+            let edge_fs = |e: u64, cyc: u64, next: u64, period: u64| next + (e - cyc) * period;
+            let mut t: Option<u64> = None;
+
+            // Uncore: the hierarchy's own event horizon.
+            match self.hier.next_event(self.cyc_u) {
+                Some(e) if e <= self.cyc_u => break 'plan None,
+                Some(e) => t = fold(t, edge_fs(e, self.cyc_u, self.next_u, self.pu)),
+                None => {}
+            }
+
+            // Big domain: core, big-clocked engine, worker 0.
+            if let Some(b) = self.big.as_ref() {
+                if self.hier.response_pending(PortId::BigFetch)
+                    || self.hier.response_pending(PortId::BigData)
+                {
+                    break 'plan None;
+                }
+                let (eca, esp, emd) = match &self.engine {
+                    Engine::None => (false, false, true),
+                    Engine::VLittle(e) => (e.can_accept(), e.scalar_pending(), e.mem_drained()),
+                    // A deliverable Simple-machine scalar forces that
+                    // machine's quiescence to `Active` below.
+                    Engine::Simple(m) => (m.can_accept(), false, m.mem_drained()),
+                };
+                match b.quiescence(self.cyc_b, eca, esp, emd) {
+                    Quiescence::Active => break 'plan None,
+                    Quiescence::Idle { until, account } => {
+                        self.big_acct = account;
+                        if let Some(u) = until {
+                            t = fold(t, edge_fs(u, self.cyc_b, self.next_b, self.pb));
+                        }
+                    }
+                }
+                if let Engine::Simple(m) = &self.engine {
+                    if self.hier.response_pending(m.port()) {
+                        break 'plan None;
+                    }
+                    match m.quiescence(self.cyc_b) {
+                        Quiescence::Active => break 'plan None,
+                        Quiescence::Idle { until, .. } => {
+                            if let Some(u) = until {
+                                t = fold(t, edge_fs(u, self.cyc_b, self.next_b, self.pb));
+                            }
+                        }
+                    }
+                }
+                if self.big_worker_exists {
+                    match worker_event(self.worker_state[0], self.cyc_b, b.done()) {
+                        Err(()) => break 'plan None,
+                        Ok(Some(u)) => t = fold(t, edge_fs(u, self.cyc_b, self.next_b, self.pb)),
+                        Ok(None) => {}
+                    }
+                }
+            }
+
+            // Little domain: cores, the VLITTLE engine, their workers.
+            if let Engine::VLittle(e) = &self.engine {
+                if self.hier.response_pending(PortId::Vmu(0)) {
+                    break 'plan None;
+                }
+                match e.quiescence(self.cyc_l) {
+                    Quiescence::Active => break 'plan None,
+                    Quiescence::Idle { until, .. } => {
+                        if let Some(u) = until {
+                            t = fold(t, edge_fs(u, self.cyc_l, self.next_l, self.pl));
+                        }
+                    }
+                }
+            }
+            for (i, lc) in self.littles.iter().enumerate() {
+                if self.hier.response_pending(PortId::LittleFetch(i as u8))
+                    || self.hier.response_pending(PortId::LittleData(i as u8))
+                {
+                    break 'plan None;
+                }
+                match lc.quiescence(self.cyc_l) {
+                    Quiescence::Active => break 'plan None,
+                    Quiescence::Idle { until, account } => {
+                        self.little_accts.push(account);
+                        if let Some(u) = until {
+                            t = fold(t, edge_fs(u, self.cyc_l, self.next_l, self.pl));
+                        }
+                    }
+                }
+                if self.mode == ExecMode::Tasks {
+                    let w = usize::from(self.big_worker_exists) + i;
+                    match worker_event(self.worker_state[w], self.cyc_l, lc.done()) {
+                        Err(()) => break 'plan None,
+                        Ok(Some(u)) => t = fold(t, edge_fs(u, self.cyc_l, self.next_l, self.pl)),
+                        Ok(None) => {}
+                    }
+                }
+            }
+
+            // No pending event at all means the system is wedged waiting
+            // for something that will never come — fall back to naive
+            // stepping so the cycle budget aborts exactly as it would
+            // have.
+            t
+        };
+        if attempt {
+            if t_star.is_some() {
+                self.plan_streak = 0;
+            } else {
+                self.plan_cooldown = 1u32 << self.plan_streak.min(PLAN_BACKOFF_LOG_CAP);
+                self.plan_streak += 1;
+            }
+        }
+
+        if let Some(t_star) = t_star {
+            // Skip every edge strictly before the earliest event edge.
+            let mut skipped = 0u64;
+            if self.next_u < t_star {
+                let n = (t_star - self.next_u).div_ceil(self.pu);
+                self.cyc_u += n;
+                self.next_u += n * self.pu;
+                skipped += n;
+                // Re-sync any lazily advanced hierarchy bookkeeping by
+                // replaying the last skipped (no-op) tick.
+                self.hier.tick(self.cyc_u - 1);
+            }
+            if self.big_active && self.next_b < t_star {
+                let n = (t_star - self.next_b).div_ceil(self.pb);
+                if let Some(b) = self.big.as_mut() {
+                    b.skip_idle(n, self.big_acct);
+                }
+                if let Engine::Simple(m) = &mut self.engine {
+                    m.skip_idle(n);
+                }
+                self.cyc_b += n;
+                self.next_b += n * self.pb;
+                skipped += n;
+            }
+            if self.little_active && self.next_l < t_star {
+                let n = (t_star - self.next_l).div_ceil(self.pl);
+                if let Engine::VLittle(e) = &mut self.engine {
+                    e.skip_idle(self.cyc_l, n);
+                }
+                for (i, lc) in self.littles.iter_mut().enumerate() {
+                    lc.skip_idle(n, self.little_accts[i]);
+                }
+                self.cyc_l += n;
+                self.next_l += n * self.pl;
+                skipped += n;
+            }
+            if skipped > 0 {
+                self.skip_stats.edges_skipped += skipped;
+                self.skip_stats.windows += 1;
+                trace::emit(self.cyc_u, "sim", 0, "skip", skipped);
+                return Ok(false);
+            }
+            // The next event sits on the very next edge: process it
+            // naively below.
+        }
+
+        // Advance to the earliest pending clock edge.
+        let mut t_fs = self.next_u;
+        if self.big_active {
+            t_fs = t_fs.min(self.next_b);
+        }
+        if self.little_active {
+            t_fs = t_fs.min(self.next_l);
+        }
+
+        if t_fs == self.next_u {
+            self.hier.tick(self.cyc_u);
+            self.cyc_u += 1;
+            self.next_u += self.pu;
+            self.skip_stats.edges_run += 1;
+        }
+        let little_edge = self.little_active && t_fs == self.next_l;
+        let big_edge = self.big_active && t_fs == self.next_b;
+
+        // Engines tick on their cluster's edge, before the cores that feed
+        // them.
+        if (self.engine.on_little_clock() && little_edge)
+            || (!self.engine.on_little_clock() && big_edge && !matches!(self.engine, Engine::None))
+        {
+            let cyc = if self.engine.on_little_clock() {
+                self.cyc_l
+            } else {
+                self.cyc_b
+            };
+            if let Some(e) = self.engine.as_dyn() {
+                e.tick(cyc, &mut self.hier);
+            }
+        }
+
+        if big_edge {
+            if let Some(b) = self.big.as_mut() {
+                b.tick(self.cyc_b, &mut self.hier, self.engine.as_dyn());
+                if self.mode == ExecMode::Tasks && self.big_worker_exists {
+                    let vector_capable = !matches!(self.engine, Engine::None);
+                    service_worker(
+                        0,
+                        self.cyc_b,
+                        &mut self.worker_state[0],
+                        self.runtime.as_mut().expect("task mode"),
+                        &mut WorkerCore::Big(b),
+                        vector_capable,
+                    );
+                }
+            }
+            self.cyc_b += 1;
+            self.next_b += self.pb;
+            self.skip_stats.edges_run += 1;
+        }
+
+        if little_edge {
+            for (i, lc) in self.littles.iter_mut().enumerate() {
+                lc.tick(self.cyc_l, &mut self.hier);
+                if self.mode == ExecMode::Tasks {
+                    let w = usize::from(self.big_worker_exists) + i;
+                    service_worker(
+                        w,
+                        self.cyc_l,
+                        &mut self.worker_state[w],
+                        self.runtime.as_mut().expect("task mode"),
+                        &mut WorkerCore::Little(lc),
+                        false,
+                    );
+                }
+            }
+            self.cyc_l += 1;
+            self.next_l += self.pl;
+            self.skip_stats.edges_run += 1;
+        }
+
+        Ok(false)
+    }
+
+    /// Verifies the workload's reference output and assembles the run's
+    /// results — call only after [`step`](Self::step) returned `Ok(true)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the final memory image does not match the workload's
+    /// reference.
+    fn finish(
+        &self,
+        want_state: bool,
+    ) -> Result<(RunResult, SkipStats, Option<FinalState>), String> {
+        // ---- verification
+        self.shared.with(|m| (self.workload.check)(m))?;
+
+        // ---- final-state extraction. The completion condition already
+        // required every core done and the engine idle, so the state is
+        // settled.
+        let final_state = want_state.then(|| FinalState {
+            mode: self.mode,
+            engine_drained: self.engine.arch_drained(),
+            big: self.big.as_ref().map(BigCore::arch_snapshot),
+            littles: self.littles.iter().map(LittleCore::arch_snapshot).collect(),
+            mem: self.shared.with(MemImage::capture),
+        });
+
+        // ---- result assembly
+        let wall_fs = [
+            self.cyc_u.saturating_mul(self.pu),
+            if self.big_active {
+                self.cyc_b.saturating_mul(self.pb)
+            } else {
+                0
+            },
+            if self.little_active {
+                self.cyc_l.saturating_mul(self.pl)
+            } else {
+                0
+            },
+        ]
+        .into_iter()
+        .max()
+        .expect("non-empty");
+
+        // Every clock edge was either processed naively or batch-skipped —
+        // the skip-mode conservation law. (`SkipStats` is deliberately not
+        // part of the result, so skip-on and skip-off results stay
+        // byte-identical. A restored run satisfies the law because the
+        // checkpoint carries the counters alongside the cycle state.)
+        debug_assert_eq!(
+            self.skip_stats.edges_run + self.skip_stats.edges_skipped,
+            self.cyc_u
+                + if self.big_active { self.cyc_b } else { 0 }
+                + if self.little_active { self.cyc_l } else { 0 },
+            "skip conservation: edges_run + edges_skipped != Σ domain cycles"
+        );
+
+        let fetch_groups = self.big.as_ref().map_or(0, |b| b.fetch_groups())
+            + self.littles.iter().map(|l| l.fetch_groups()).sum::<u64>();
+
+        // ---- unified stats registry: every component's counters under one
+        // hierarchical path schema (DESIGN.md §4.10). This snapshot is what
+        // figure modules read and what the conservation checker audits.
+        let mut reg = StatsRegistry::new();
+        {
+            let mut sys = reg.scope("sys");
+            let mut clock = sys.scope("clock");
+            clock.set("uncore", self.cyc_u);
+            if self.big_active {
+                clock.set("big", self.cyc_b);
+            }
+            if self.little_active {
+                clock.set("little", self.cyc_l);
+            }
+            sys.set("fetch_groups", fetch_groups);
+            if let Some(b) = self.big.as_ref() {
+                b.stats().register(&mut sys.scope("big"));
+            }
+            for (i, lc) in self.littles.iter().enumerate() {
+                lc.stats().register(&mut sys.scope(&format!("little{i}")));
+            }
+            match &self.engine {
+                Engine::VLittle(e) => {
+                    for c in 0..e.num_lanes() {
+                        e.lane_stats(c)
+                            .register(&mut sys.scope(&format!("lane{c}")));
+                    }
+                    e.register_stats(&mut sys.scope("engine"));
+                }
+                Engine::Simple(m) => m.stats().register(&mut sys.scope("engine")),
+                Engine::None => {}
+            }
+            if let Some(rt) = self.runtime.as_ref() {
+                rt.stats().register(&mut sys.scope("runtime"));
+            }
+            self.hier.register_stats(&mut sys);
+        }
+
+        let mut result = RunResult {
+            wall_ns: wall_fs as f64 / 1.0e6,
+            uncore_cycles: self.cyc_u,
+            big: self.big.as_ref().map(|b| *b.stats()),
+            littles: self.littles.iter().map(|l| *l.stats()).collect(),
+            lanes: Vec::new(),
+            fetch_groups,
+            mem: self.hier.stats(),
+            runtime: self.runtime.as_ref().map(|r| *r.stats()),
+            stats: reg.snapshot(),
+        };
+        if let Engine::VLittle(e) = &self.engine {
+            result.lanes = (0..e.num_lanes()).map(|c| *e.lane_stats(c)).collect();
+        }
+
+        // Debug builds audit every run against the conservation laws;
+        // release builds skip the sweep (it is pure verification, not
+        // measurement).
+        #[cfg(debug_assertions)]
+        {
+            let violations = bvl_obs::check_conservation(&result.stats);
+            assert!(
+                violations.is_empty(),
+                "conservation laws violated for {} on {}:\n{}",
+                self.workload.name,
+                self.kind.label(),
+                violations
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+
+        Ok((result, self.skip_stats, final_state))
+    }
+
+    /// Serializes every field that evolves during a run, in a fixed order
+    /// (shared memory, hierarchy, engine, cores, runtime, loop control).
+    /// Derived constants (periods, activity flags, worker topology) are
+    /// rebuilt by [`System::new`] and deliberately not written.
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.shared.with(|m| m.save(w));
+        self.hier.save_state(w);
+        self.engine.save_state(w);
+        if let Some(b) = self.big.as_ref() {
+            b.save_state(w);
+        }
+        for lc in &self.littles {
+            lc.save_state(w);
+        }
+        if let Some(rt) = self.runtime.as_ref() {
+            rt.save_state(w);
+        }
+        self.worker_state.save(w);
+        self.phase_idx.save(w);
+        self.cyc_b.save(w);
+        self.cyc_l.save(w);
+        self.cyc_u.save(w);
+        self.next_b.save(w);
+        self.next_l.save(w);
+        self.next_u.save(w);
+        self.skip_stats.save(w);
+        self.plan_cooldown.save(w);
+        self.plan_streak.save(w);
+    }
+
+    /// Restores a [`save_state`](Self::save_state) payload into this
+    /// freshly built system, overwriting mutable state in place.
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let mem = SimMemory::load(r)?;
+        self.shared.with_mut(|m| *m = mem);
+        self.hier.restore_state(r)?;
+        self.engine.restore_state(r)?;
+        if let Some(b) = self.big.as_mut() {
+            b.restore_state(r)?;
+        }
+        for lc in &mut self.littles {
+            lc.restore_state(r)?;
+        }
+        if let Some(rt) = self.runtime.as_mut() {
+            rt.restore_state(r)?;
+        }
+        let worker_state = Vec::<WorkerState>::load(r)?;
+        if worker_state.len() != self.worker_state.len() {
+            return Err(SnapError::Corrupt {
+                what: format!(
+                    "checkpoint has {} worker states, system has {}",
+                    worker_state.len(),
+                    self.worker_state.len()
+                ),
+            });
+        }
+        self.worker_state = worker_state;
+        self.phase_idx = usize::load(r)?;
+        self.cyc_b = u64::load(r)?;
+        self.cyc_l = u64::load(r)?;
+        self.cyc_u = u64::load(r)?;
+        self.next_b = u64::load(r)?;
+        self.next_l = u64::load(r)?;
+        self.next_u = u64::load(r)?;
+        self.skip_stats = SkipStats::load(r)?;
+        self.plan_cooldown = u32::load(r)?;
+        self.plan_streak = u32::load(r)?;
+        Ok(())
+    }
+
+    /// Captures the whole-system checkpoint at the current loop boundary.
+    fn snapshot(&self) -> SysState {
+        let mut w = SnapWriter::new();
+        self.save_state(&mut w);
+        SysState::new(
+            self.kind,
+            params_fingerprint(&self.params),
+            workload_fingerprint(self.workload),
+            self.cyc_u,
+            w.into_bytes(),
+        )
+    }
+
+    /// Restores `state` into this freshly built system after checking it
+    /// was taken on the same kind/params/workload.
+    fn restore_from(&mut self, state: &SysState) -> Result<(), String> {
+        if state.kind() != self.kind {
+            return Err(format!(
+                "checkpoint was taken on {}, not {}",
+                state.kind().label(),
+                self.kind.label()
+            ));
+        }
+        if state.params_fp() != params_fingerprint(&self.params) {
+            return Err("checkpoint was taken under different simulation parameters".into());
+        }
+        if state.workload_fp() != workload_fingerprint(self.workload) {
+            return Err(format!(
+                "checkpoint was taken on a different workload than {}",
+                self.workload.name
+            ));
+        }
+        let mut r = SnapReader::new(state.body());
+        self.restore_state(&mut r)
+            .and_then(|()| r.finish())
+            .map_err(|e| format!("checkpoint restore failed: {e}"))
     }
 }
 
@@ -185,7 +993,7 @@ pub fn simulate_with_stats(
     workload: &Workload,
     params: &SimParams,
 ) -> Result<(RunResult, SkipStats), String> {
-    run_system(kind, workload, params, false).map(|(r, s, _, _)| (r, s))
+    run_system(kind, workload, params, false, None, None).map(|(r, s, _, _, _)| (r, s))
 }
 
 /// Like [`simulate`], with event tracing forced on: returns the run's
@@ -203,8 +1011,8 @@ pub fn simulate_traced(
 ) -> Result<(RunResult, TraceLog), String> {
     let mut params = params.clone();
     params.trace = true;
-    run_system(kind, workload, &params, false)
-        .map(|(r, _, _, log)| (r, log.expect("tracing was requested")))
+    run_system(kind, workload, &params, false, None, None)
+        .map(|(r, _, _, _, log)| (r, log.expect("tracing was requested")))
 }
 
 /// Like [`simulate_with_stats`], additionally extracting the run's final
@@ -224,9 +1032,67 @@ pub fn simulate_with_state(
     workload: &Workload,
     params: &SimParams,
 ) -> Result<(RunResult, SkipStats, FinalState), String> {
-    run_system(kind, workload, params, true)
-        .map(|(r, s, f, _)| (r, s, f.expect("state extraction requested")))
+    run_system(kind, workload, params, true, None, None)
+        .map(|(r, s, f, _, _)| (r, s, f.expect("state extraction requested")))
 }
+
+/// Like [`simulate_with_state`], with deterministic checkpoint/restore.
+///
+/// When `resume` is given, the run starts from that checkpoint instead of
+/// cycle 0 (the checkpoint must have been taken on the same system kind,
+/// simulation parameters, and workload — fingerprint-checked). When
+/// `params.checkpoint_every` is nonzero, `on_checkpoint` is invoked with a
+/// fresh [`SysState`] each time the uncore clock crosses a multiple of
+/// that cadence, always at a loop boundary. The contract (`DESIGN.md`
+/// §4.11, enforced by the `restore_equivalence` suite) is that resuming
+/// any such checkpoint reproduces the straight-through run's result,
+/// final state, and stats snapshot byte-identically.
+///
+/// # Errors
+///
+/// Fails if the run exceeds the configured cycle budget, the final memory
+/// image does not match the workload's reference, or `resume` holds a
+/// checkpoint that does not match this system/params/workload or fails to
+/// decode.
+pub fn simulate_resumable(
+    kind: SystemKind,
+    workload: &Workload,
+    params: &SimParams,
+    resume: Option<&SysState>,
+    on_checkpoint: &mut dyn FnMut(&SysState),
+) -> Result<(RunResult, SkipStats, FinalState), String> {
+    run_system(kind, workload, params, true, resume, Some(on_checkpoint))
+        .map(|(r, s, f, _, _)| (r, s, f.expect("state extraction requested")))
+}
+
+/// Like [`simulate_resumable`], but without final-state extraction — the
+/// sweep harness's entry point, where only the [`RunResult`] matters and
+/// capturing the memory image on every point would be pure overhead.
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate_resumable`].
+pub fn simulate_with_stats_resumable(
+    kind: SystemKind,
+    workload: &Workload,
+    params: &SimParams,
+    resume: Option<&SysState>,
+    on_checkpoint: &mut dyn FnMut(&SysState),
+) -> Result<(RunResult, SkipStats), String> {
+    run_system(kind, workload, params, false, resume, Some(on_checkpoint))
+        .map(|(r, s, _, base, _)| (r, s.since(&base)))
+}
+
+/// Everything one run produces: result, cumulative skip counters, the
+/// final state when requested, the skip baseline the run started from
+/// (non-zero only on resume), and the trace log when tracing was armed.
+type RunOutput = (
+    RunResult,
+    SkipStats,
+    Option<FinalState>,
+    SkipStats,
+    Option<TraceLog>,
+);
 
 /// Arms the thread-local trace sink around the actual run so the sink is
 /// disarmed (and drained) on every exit path, including errors.
@@ -235,13 +1101,15 @@ fn run_system(
     workload: &Workload,
     params: &SimParams,
     want_state: bool,
-) -> Result<(RunResult, SkipStats, Option<FinalState>, Option<TraceLog>), String> {
+    resume: Option<&SysState>,
+    on_checkpoint: Option<&mut dyn FnMut(&SysState)>,
+) -> Result<RunOutput, String> {
     if params.trace {
         trace::start(TRACE_CAPACITY);
     }
-    let res = run_system_inner(kind, workload, params, want_state);
+    let res = run_system_inner(kind, workload, params, want_state, resume, on_checkpoint);
     let log = params.trace.then(trace::finish);
-    res.map(|(r, s, f)| (r, s, f, log))
+    res.map(|(r, s, f, base)| (r, s, f, base, log))
 }
 
 fn run_system_inner(
@@ -249,529 +1117,38 @@ fn run_system_inner(
     workload: &Workload,
     params: &SimParams,
     want_state: bool,
-) -> Result<(RunResult, SkipStats, Option<FinalState>), String> {
-    let mode = pick_mode(kind, workload);
-    let shared = SharedMem::new(workload.mem.fork());
-    let program = Arc::clone(&workload.program);
-
-    // ---- memory hierarchy
-    let mut hier_cfg = HierConfig::with_little(kind.num_little());
-    hier_cfg.has_big = kind.has_big();
-    hier_cfg.has_dve = kind == SystemKind::BDv;
-    let mut hier = MemHierarchy::new(hier_cfg);
-    let vector_mode_banks = kind == SystemKind::B4Vl && mode == ExecMode::Vector;
-    hier.set_vector_mode(vector_mode_banks);
-
-    // ---- vector engine
-    let mut engine = match (kind, mode) {
-        (SystemKind::BIv | SystemKind::BIv4L, _) => Engine::Simple(Box::new(
-            SimpleVecMachine::new(ivu_params(), hier.line_bytes()),
-        )),
-        (SystemKind::BDv, _) => Engine::Simple(Box::new(SimpleVecMachine::new(
-            dve_params(),
-            hier.line_bytes(),
-        ))),
-        (SystemKind::B4Vl, ExecMode::Vector) => Engine::VLittle(Box::new(VLittleEngine::new(
-            params.engine,
-            hier.line_bytes(),
-        ))),
-        _ => Engine::None,
-    };
-
-    // ---- cores
-    let mut big = kind.has_big().then(|| {
-        BigCore::new(
-            shared.clone(),
-            Arc::clone(&program),
-            TEXT_BASE,
-            hier.line_bytes(),
-            engine.vlen_bits(),
-            BigParams::default(),
-        )
-    });
-    // Little cores exist as *cores* except when they are VLITTLE lanes.
-    let n_little_cores = if vector_mode_banks {
-        0
-    } else {
-        kind.num_little()
-    };
-    let mut littles: Vec<LittleCore> = (0..n_little_cores)
-        .map(|c| {
-            LittleCore::new(
-                c as u8,
-                shared.clone(),
-                Arc::clone(&program),
-                TEXT_BASE,
-                hier.line_bytes(),
-                LittleParams::default(),
-            )
-        })
-        .collect();
-
-    // ---- execution-mode setup
-    // Workers: index 0 = big (if present), then littles.
-    let big_worker_exists = big.is_some() && mode == ExecMode::Tasks;
-    let n_workers = usize::from(big_worker_exists)
-        + if mode == ExecMode::Tasks {
-            littles.len()
-        } else {
-            0
-        };
-    let mut runtime =
-        (mode == ExecMode::Tasks).then(|| WorkStealing::new(n_workers, RuntimeParams::default()));
-    let mut worker_state = vec![WorkerState::NeedWork; n_workers];
-    let mut phase_idx = 0usize;
-
-    match mode {
-        ExecMode::Serial => {
-            if let Some(b) = big.as_mut() {
-                b.assign(workload.serial_entry);
-            } else {
-                littles[0].assign(workload.serial_entry);
-            }
-        }
-        ExecMode::Vector => {
-            let entry = workload
-                .vector_entry
-                .ok_or_else(|| format!("{} has no vectorized variant", workload.name))?;
-            big.as_mut()
-                .expect("vector mode needs a big core")
-                .assign(entry);
-        }
-        ExecMode::Tasks => {
-            let rt = runtime.as_mut().expect("task mode");
-            rt.seed_tasks(workload.phases[0].tasks.clone());
-        }
+    resume: Option<&SysState>,
+    mut on_checkpoint: Option<&mut dyn FnMut(&SysState)>,
+) -> Result<(RunResult, SkipStats, Option<FinalState>, SkipStats), String> {
+    let mut sys = System::new(kind, workload, params)?;
+    if let Some(state) = resume {
+        sys.restore_from(state)?;
     }
-
-    // ---- clock domains
-    let pb = ClockConfig::period_fs(params.clocks.big_ghz);
-    let pl = ClockConfig::period_fs(params.clocks.little_ghz);
-    let pu = ClockConfig::period_fs(params.clocks.uncore_ghz);
-    let (mut next_b, mut next_l, mut next_u) = (pb, pl, pu);
-    let (mut cyc_b, mut cyc_l, mut cyc_u) = (0u64, 0u64, 0u64);
-    let big_active = big.is_some();
-    let little_active = !littles.is_empty() || engine.on_little_clock();
-
-    let mut skip_stats = SkipStats::default();
-    // Hoisted scratch for the skip planner (at most one entry per little).
-    let mut little_accts: Vec<Option<StallKind>> = Vec::with_capacity(littles.len());
-    let mut big_acct: Option<StallKind> = None;
-
-    let (mut plan_cooldown, mut plan_streak) = (0u32, 0u32);
-    let mut t_fs;
+    // A restored checkpoint carries the interrupted run's cumulative skip
+    // counters in (so final totals match the straight-through run); this
+    // baseline lets `simulate_with_stats_resumable` also report what this
+    // call actually processed.
+    let skip_baseline = sys.skip_stats;
+    // Checkpoints fire at loop boundaries when the uncore clock crosses a
+    // multiple of the cadence. The next threshold is derived from the
+    // current cycle, so a resumed run re-synchronizes onto the same grid
+    // the straight-through run uses.
+    let every = params.checkpoint_every;
+    let grid_after = |cyc: u64| cyc.checked_div(every).map_or(u64::MAX, |q| (q + 1) * every);
+    let mut next_ckpt = grid_after(sys.cyc_u);
     loop {
-        // Completion check.
-        let cores_done =
-            big.as_ref().is_none_or(BigCore::done) && littles.iter().all(LittleCore::done);
-        let done = match mode {
-            ExecMode::Serial | ExecMode::Vector => cores_done && engine.idle(),
-            ExecMode::Tasks => {
-                let rt = runtime.as_ref().expect("task mode");
-                let workers_idle = worker_state
-                    .iter()
-                    .all(|s| matches!(s, WorkerState::Parked));
-                if rt.drained() && workers_idle && cores_done && engine.idle() {
-                    phase_idx += 1;
-                    if phase_idx >= workload.phases.len() {
-                        true
-                    } else {
-                        trace::emit(cyc_u, "sim", 0, "phase", phase_idx as u64);
-                        let rt = runtime.as_mut().expect("task mode");
-                        rt.seed_tasks(workload.phases[phase_idx].tasks.clone());
-                        for s in worker_state.iter_mut() {
-                            *s = WorkerState::NeedWork;
-                        }
-                        false
-                    }
-                } else {
-                    false
-                }
+        if sys.cyc_u >= next_ckpt {
+            if let Some(cb) = on_checkpoint.as_mut() {
+                cb(&sys.snapshot());
             }
-        };
-        if done {
+            next_ckpt = grid_after(sys.cyc_u);
+        }
+        if sys.step()? {
             break;
         }
-        if cyc_u >= params.max_uncore_cycles {
-            return Err(format!(
-                "{} on {} exceeded {} uncore cycles",
-                workload.name,
-                kind.label(),
-                params.max_uncore_cycles
-            ));
-        }
-
-        // ---- quiescence-aware tick skipping --------------------------
-        // Every component certifies, via its `quiescence`/`next_event`
-        // method, the earliest future cycle at which ticking it could do
-        // more than repeat one constant stall accounting. When all
-        // components across all live clock domains are quiescent *now*,
-        // jump every domain straight to the earliest such event edge,
-        // batch-applying exactly the accounting the skipped naive ticks
-        // would have produced. Reported cycle counts and all statistics
-        // are bit-identical to the naive loop (see the skip-equivalence
-        // suite in `tests/`).
-        // Planning costs a sweep over every component even when a busy
-        // component vetoes it; during long active stretches that cost is
-        // pure overhead. Back off exponentially after failed attempts
-        // (results are unaffected — an unplanned edge is simply ticked
-        // naively; only the entry into an idle window is delayed by at
-        // most the cooldown).
-        let attempt = !params.no_skip && plan_cooldown == 0;
-        plan_cooldown = plan_cooldown.saturating_sub(1);
-        let t_star: Option<u64> = 'plan: {
-            if !attempt {
-                break 'plan None;
-            }
-            big_acct = None;
-            little_accts.clear();
-            let fold = |t: Option<u64>, fs: u64| Some(t.map_or(fs, |x: u64| x.min(fs)));
-            // fs time of the edge that processes cycle `e` of a domain.
-            let edge_fs = |e: u64, cyc: u64, next: u64, period: u64| next + (e - cyc) * period;
-            let mut t: Option<u64> = None;
-
-            // Uncore: the hierarchy's own event horizon.
-            match hier.next_event(cyc_u) {
-                Some(e) if e <= cyc_u => break 'plan None,
-                Some(e) => t = fold(t, edge_fs(e, cyc_u, next_u, pu)),
-                None => {}
-            }
-
-            // Big domain: core, big-clocked engine, worker 0.
-            if let Some(b) = big.as_ref() {
-                if hier.response_pending(PortId::BigFetch) || hier.response_pending(PortId::BigData)
-                {
-                    break 'plan None;
-                }
-                let (eca, esp, emd) = match &engine {
-                    Engine::None => (false, false, true),
-                    Engine::VLittle(e) => (e.can_accept(), e.scalar_pending(), e.mem_drained()),
-                    // A deliverable Simple-machine scalar forces that
-                    // machine's quiescence to `Active` below.
-                    Engine::Simple(m) => (m.can_accept(), false, m.mem_drained()),
-                };
-                match b.quiescence(cyc_b, eca, esp, emd) {
-                    Quiescence::Active => break 'plan None,
-                    Quiescence::Idle { until, account } => {
-                        big_acct = account;
-                        if let Some(u) = until {
-                            t = fold(t, edge_fs(u, cyc_b, next_b, pb));
-                        }
-                    }
-                }
-                if let Engine::Simple(m) = &engine {
-                    if hier.response_pending(m.port()) {
-                        break 'plan None;
-                    }
-                    match m.quiescence(cyc_b) {
-                        Quiescence::Active => break 'plan None,
-                        Quiescence::Idle { until, .. } => {
-                            if let Some(u) = until {
-                                t = fold(t, edge_fs(u, cyc_b, next_b, pb));
-                            }
-                        }
-                    }
-                }
-                if big_worker_exists {
-                    match worker_event(worker_state[0], cyc_b, b.done()) {
-                        Err(()) => break 'plan None,
-                        Ok(Some(u)) => t = fold(t, edge_fs(u, cyc_b, next_b, pb)),
-                        Ok(None) => {}
-                    }
-                }
-            }
-
-            // Little domain: cores, the VLITTLE engine, their workers.
-            if let Engine::VLittle(e) = &engine {
-                if hier.response_pending(PortId::Vmu(0)) {
-                    break 'plan None;
-                }
-                match e.quiescence(cyc_l) {
-                    Quiescence::Active => break 'plan None,
-                    Quiescence::Idle { until, .. } => {
-                        if let Some(u) = until {
-                            t = fold(t, edge_fs(u, cyc_l, next_l, pl));
-                        }
-                    }
-                }
-            }
-            for (i, lc) in littles.iter().enumerate() {
-                if hier.response_pending(PortId::LittleFetch(i as u8))
-                    || hier.response_pending(PortId::LittleData(i as u8))
-                {
-                    break 'plan None;
-                }
-                match lc.quiescence(cyc_l) {
-                    Quiescence::Active => break 'plan None,
-                    Quiescence::Idle { until, account } => {
-                        little_accts.push(account);
-                        if let Some(u) = until {
-                            t = fold(t, edge_fs(u, cyc_l, next_l, pl));
-                        }
-                    }
-                }
-                if mode == ExecMode::Tasks {
-                    let w = usize::from(big_worker_exists) + i;
-                    match worker_event(worker_state[w], cyc_l, lc.done()) {
-                        Err(()) => break 'plan None,
-                        Ok(Some(u)) => t = fold(t, edge_fs(u, cyc_l, next_l, pl)),
-                        Ok(None) => {}
-                    }
-                }
-            }
-
-            // No pending event at all means the system is wedged waiting
-            // for something that will never come — fall back to naive
-            // stepping so the cycle budget aborts exactly as it would
-            // have.
-            t
-        };
-        if attempt {
-            if t_star.is_some() {
-                plan_streak = 0;
-            } else {
-                plan_cooldown = 1u32 << plan_streak.min(PLAN_BACKOFF_LOG_CAP);
-                plan_streak += 1;
-            }
-        }
-
-        if let Some(t_star) = t_star {
-            // Skip every edge strictly before the earliest event edge.
-            let mut skipped = 0u64;
-            if next_u < t_star {
-                let n = (t_star - next_u).div_ceil(pu);
-                cyc_u += n;
-                next_u += n * pu;
-                skipped += n;
-                // Re-sync any lazily advanced hierarchy bookkeeping by
-                // replaying the last skipped (no-op) tick.
-                hier.tick(cyc_u - 1);
-            }
-            if big_active && next_b < t_star {
-                let n = (t_star - next_b).div_ceil(pb);
-                if let Some(b) = big.as_mut() {
-                    b.skip_idle(n, big_acct);
-                }
-                if let Engine::Simple(m) = &mut engine {
-                    m.skip_idle(n);
-                }
-                cyc_b += n;
-                next_b += n * pb;
-                skipped += n;
-            }
-            if little_active && next_l < t_star {
-                let n = (t_star - next_l).div_ceil(pl);
-                if let Engine::VLittle(e) = &mut engine {
-                    e.skip_idle(cyc_l, n);
-                }
-                for (i, lc) in littles.iter_mut().enumerate() {
-                    lc.skip_idle(n, little_accts[i]);
-                }
-                cyc_l += n;
-                next_l += n * pl;
-                skipped += n;
-            }
-            if skipped > 0 {
-                skip_stats.edges_skipped += skipped;
-                skip_stats.windows += 1;
-                trace::emit(cyc_u, "sim", 0, "skip", skipped);
-                continue;
-            }
-            // The next event sits on the very next edge: process it
-            // naively below.
-        }
-
-        // Advance to the earliest pending clock edge.
-        t_fs = next_u;
-        if big_active {
-            t_fs = t_fs.min(next_b);
-        }
-        if little_active {
-            t_fs = t_fs.min(next_l);
-        }
-
-        if t_fs == next_u {
-            hier.tick(cyc_u);
-            cyc_u += 1;
-            next_u += pu;
-            skip_stats.edges_run += 1;
-        }
-        let little_edge = little_active && t_fs == next_l;
-        let big_edge = big_active && t_fs == next_b;
-
-        // Engines tick on their cluster's edge, before the cores that feed
-        // them.
-        if (engine.on_little_clock() && little_edge)
-            || (!engine.on_little_clock() && big_edge && !matches!(engine, Engine::None))
-        {
-            let cyc = if engine.on_little_clock() {
-                cyc_l
-            } else {
-                cyc_b
-            };
-            if let Some(e) = engine.as_dyn() {
-                e.tick(cyc, &mut hier);
-            }
-        }
-
-        if big_edge {
-            if let Some(b) = big.as_mut() {
-                b.tick(cyc_b, &mut hier, engine.as_dyn());
-                if mode == ExecMode::Tasks && big_worker_exists {
-                    let vector_capable = !matches!(engine, Engine::None);
-                    service_worker(
-                        0,
-                        cyc_b,
-                        &mut worker_state[0],
-                        runtime.as_mut().expect("task mode"),
-                        &mut WorkerCore::Big(b),
-                        vector_capable,
-                    );
-                }
-            }
-            cyc_b += 1;
-            next_b += pb;
-            skip_stats.edges_run += 1;
-        }
-
-        if little_edge {
-            for (i, lc) in littles.iter_mut().enumerate() {
-                lc.tick(cyc_l, &mut hier);
-                if mode == ExecMode::Tasks {
-                    let w = usize::from(big_worker_exists) + i;
-                    service_worker(
-                        w,
-                        cyc_l,
-                        &mut worker_state[w],
-                        runtime.as_mut().expect("task mode"),
-                        &mut WorkerCore::Little(lc),
-                        false,
-                    );
-                }
-            }
-            cyc_l += 1;
-            next_l += pl;
-            skip_stats.edges_run += 1;
-        }
     }
-
-    // ---- verification
-    shared.with(|m| (workload.check)(m))?;
-
-    // ---- final-state extraction (cores and memory are locals; snapshot
-    // before they drop). The completion condition above already required
-    // every core done and the engine idle, so the state is settled.
-    let final_state = want_state.then(|| FinalState {
-        mode,
-        engine_drained: engine.arch_drained(),
-        big: big.as_ref().map(BigCore::arch_snapshot),
-        littles: littles.iter().map(LittleCore::arch_snapshot).collect(),
-        mem: shared.with(MemImage::capture),
-    });
-
-    // ---- result assembly
-    let wall_fs = [
-        cyc_u.saturating_mul(pu),
-        if big_active {
-            cyc_b.saturating_mul(pb)
-        } else {
-            0
-        },
-        if little_active {
-            cyc_l.saturating_mul(pl)
-        } else {
-            0
-        },
-    ]
-    .into_iter()
-    .max()
-    .expect("non-empty");
-
-    // Every clock edge was either processed naively or batch-skipped —
-    // the skip-mode conservation law. (Checked here from loop locals:
-    // `SkipStats` is deliberately not part of the snapshot, so skip-on
-    // and skip-off results stay byte-identical.)
-    debug_assert_eq!(
-        skip_stats.edges_run + skip_stats.edges_skipped,
-        cyc_u + if big_active { cyc_b } else { 0 } + if little_active { cyc_l } else { 0 },
-        "skip conservation: edges_run + edges_skipped != Σ domain cycles"
-    );
-
-    let fetch_groups = big.as_ref().map_or(0, |b| b.fetch_groups())
-        + littles.iter().map(|l| l.fetch_groups()).sum::<u64>();
-
-    // ---- unified stats registry: every component's counters under one
-    // hierarchical path schema (DESIGN.md §4.10). This snapshot is what
-    // figure modules read and what the conservation checker audits.
-    let mut reg = StatsRegistry::new();
-    {
-        let mut sys = reg.scope("sys");
-        let mut clock = sys.scope("clock");
-        clock.set("uncore", cyc_u);
-        if big_active {
-            clock.set("big", cyc_b);
-        }
-        if little_active {
-            clock.set("little", cyc_l);
-        }
-        sys.set("fetch_groups", fetch_groups);
-        if let Some(b) = big.as_ref() {
-            b.stats().register(&mut sys.scope("big"));
-        }
-        for (i, lc) in littles.iter().enumerate() {
-            lc.stats().register(&mut sys.scope(&format!("little{i}")));
-        }
-        match &engine {
-            Engine::VLittle(e) => {
-                for c in 0..e.num_lanes() {
-                    e.lane_stats(c)
-                        .register(&mut sys.scope(&format!("lane{c}")));
-                }
-                e.register_stats(&mut sys.scope("engine"));
-            }
-            Engine::Simple(m) => m.stats().register(&mut sys.scope("engine")),
-            Engine::None => {}
-        }
-        if let Some(rt) = runtime.as_ref() {
-            rt.stats().register(&mut sys.scope("runtime"));
-        }
-        hier.register_stats(&mut sys);
-    }
-
-    let mut result = RunResult {
-        wall_ns: wall_fs as f64 / 1.0e6,
-        uncore_cycles: cyc_u,
-        big: big.as_ref().map(|b| *b.stats()),
-        littles: littles.iter().map(|l| *l.stats()).collect(),
-        lanes: Vec::new(),
-        fetch_groups,
-        mem: hier.stats(),
-        runtime: runtime.as_ref().map(|r| *r.stats()),
-        stats: reg.snapshot(),
-    };
-    if let Engine::VLittle(e) = &engine {
-        result.lanes = (0..e.num_lanes()).map(|c| *e.lane_stats(c)).collect();
-    }
-
-    // Debug builds audit every run against the conservation laws; release
-    // builds skip the sweep (it is pure verification, not measurement).
-    #[cfg(debug_assertions)]
-    {
-        let violations = bvl_obs::check_conservation(&result.stats);
-        assert!(
-            violations.is_empty(),
-            "conservation laws violated for {} on {}:\n{}",
-            workload.name,
-            kind.label(),
-            violations
-                .iter()
-                .map(ToString::to_string)
-                .collect::<Vec<_>>()
-                .join("\n")
-        );
-    }
-
-    Ok((result, skip_stats, final_state))
+    sys.finish(want_state)
+        .map(|(r, s, f)| (r, s, f, skip_baseline))
 }
 
 /// The cycle a worker's scheduling state machine next acts, if any.
@@ -955,6 +1332,55 @@ mod tests {
             ratio > 1.08,
             "halving the little clock sped things up? ratio {ratio}"
         );
+    }
+
+    #[test]
+    fn checkpointing_does_not_change_results() {
+        let w = vvadd::build(Scale::tiny());
+        let base =
+            simulate_with_state(SystemKind::B4Vl, &w, &SimParams::default()).expect("base run");
+        let params = SimParams {
+            checkpoint_every: 500,
+            ..SimParams::default()
+        };
+        let mut taken = 0usize;
+        let ckpt = simulate_resumable(SystemKind::B4Vl, &w, &params, None, &mut |_| taken += 1)
+            .expect("checkpointed run");
+        assert!(taken > 0, "expected at least one checkpoint");
+        assert_eq!(base, ckpt);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_checkpoints() {
+        let w = vvadd::build(Scale::tiny());
+        let params = SimParams {
+            checkpoint_every: 500,
+            ..SimParams::default()
+        };
+        let mut first = None;
+        simulate_resumable(SystemKind::B4Vl, &w, &params, None, &mut |s| {
+            first.get_or_insert_with(|| s.clone());
+        })
+        .expect("checkpointed run");
+        let state = first.expect("one checkpoint");
+
+        // Wrong system kind.
+        let err = simulate_resumable(SystemKind::BDv, &w, &params, Some(&state), &mut |_| {})
+            .expect_err("kind mismatch");
+        assert!(err.contains("taken on"), "unexpected error: {err}");
+
+        // Behaviorally different parameters.
+        let mut other = params.clone();
+        other.no_skip = true;
+        let err = simulate_resumable(SystemKind::B4Vl, &w, &other, Some(&state), &mut |_| {})
+            .expect_err("params mismatch");
+        assert!(err.contains("parameters"), "unexpected error: {err}");
+
+        // Different workload.
+        let saxpy = saxpy::build(Scale::tiny());
+        let err = simulate_resumable(SystemKind::B4Vl, &saxpy, &params, Some(&state), &mut |_| {})
+            .expect_err("workload mismatch");
+        assert!(err.contains("workload"), "unexpected error: {err}");
     }
 }
 

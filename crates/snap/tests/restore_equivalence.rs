@@ -1,0 +1,149 @@
+//! Checkpoint-restore equivalence suite: the headline guarantee of the
+//! checkpoint subsystem, in the same spirit as the tick-skip suite in
+//! `crates/sim/tests/skip_equivalence.rs`.
+//!
+//! For every system kind, workload, and skip mode, a checkpoint taken at
+//! any mid-run cycle and restored into a **fresh** system must run to a
+//! completion that is *byte-identical* to the straight-through run: the
+//! full [`RunResult`] (every counter, the exact `wall_ns` bits, the
+//! unified stats snapshot), the final architectural state (register
+//! files, memory image, drain certificates), and the cumulative
+//! [`SkipStats`].
+//!
+//! Checkpoints cross the serialized form on the way — `to_bytes` →
+//! `from_bytes` — so the suite proves the *blob* round-trips, not merely
+//! the in-memory structure.
+
+use bvl_sim::{
+    simulate_resumable, simulate_with_state, FinalState, RunResult, SimParams, SkipStats, SysState,
+    SystemKind,
+};
+use bvl_workloads::{kernels, Scale, Workload};
+use std::path::PathBuf;
+
+/// On an equivalence failure, persists the offending checkpoint blob
+/// under `target/tmp/checkpoint-failures/` (CI uploads the directory as
+/// an artifact) and returns the path for the panic message.
+fn dump_offending_blob(blob: &[u8], kind: SystemKind, workload: &str, cycle: u64) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("checkpoint-failures");
+    std::fs::create_dir_all(&dir).expect("create failure-blob dir");
+    let path = dir.join(format!("{kind}_{workload}_cycle{cycle}.snap"));
+    std::fs::write(&path, blob).expect("write failure blob");
+    path
+}
+
+/// Cadence chosen so even the shortest tiny-scale run crosses several
+/// checkpoint boundaries.
+const CADENCE: u64 = 300;
+
+fn workloads() -> Vec<Workload> {
+    let s = Scale::tiny();
+    // vvadd is memory-bound; mmult is compute-bound with reuse — between
+    // them every engine datapath and the task path get exercised.
+    vec![kernels::vvadd::build(s), kernels::mmult::build(s)]
+}
+
+fn params(no_skip: bool) -> SimParams {
+    SimParams {
+        no_skip,
+        ..SimParams::default()
+    }
+}
+
+/// Straight-through run, also collecting every checkpoint on the cadence.
+fn run_collecting(
+    kind: SystemKind,
+    w: &Workload,
+    no_skip: bool,
+) -> (RunResult, SkipStats, FinalState, Vec<SysState>) {
+    let mut p = params(no_skip);
+    p.checkpoint_every = CADENCE;
+    let mut ckpts = Vec::new();
+    let (r, s, f) = simulate_resumable(kind, w, &p, None, &mut |c| ckpts.push(c.clone()))
+        .unwrap_or_else(|e| panic!("{} on {kind} (no_skip={no_skip}): {e}", w.name));
+    (r, s, f, ckpts)
+}
+
+/// Picks a spread of restore points: the earliest, a middle, and the
+/// latest checkpoint (deduplicated when the run was short).
+fn restore_points(ckpts: &[SysState]) -> Vec<&SysState> {
+    let mut idx = vec![0, ckpts.len() / 2, ckpts.len() - 1];
+    idx.dedup();
+    idx.into_iter().map(|i| &ckpts[i]).collect()
+}
+
+#[test]
+fn restore_matches_straight_through_on_every_system() {
+    let workloads = workloads();
+    let mut restores = 0u64;
+    for kind in SystemKind::ALL {
+        for w in &workloads {
+            for no_skip in [false, true] {
+                // The baseline run takes no checkpoints at all.
+                let (base_r, base_s, base_f) = simulate_with_state(kind, w, &params(no_skip))
+                    .unwrap_or_else(|e| panic!("{} on {kind}: {e}", w.name));
+                let (ck_r, ck_s, ck_f, ckpts) = run_collecting(kind, w, no_skip);
+
+                // Merely taking checkpoints must not perturb anything.
+                assert_eq!(base_r, ck_r, "checkpointing changed {kind}/{}", w.name);
+                assert_eq!(base_s, ck_s, "checkpointing changed skip stats");
+                assert_eq!(base_f, ck_f, "checkpointing changed final state");
+                assert!(
+                    !ckpts.is_empty(),
+                    "{kind}/{} finished before the first checkpoint — lower CADENCE",
+                    w.name
+                );
+
+                for state in restore_points(&ckpts) {
+                    // Round-trip through the serialized blob.
+                    let blob = state.to_bytes();
+                    let decoded = SysState::from_bytes(&blob).unwrap_or_else(|e| {
+                        panic!("{kind}/{}: blob failed to decode: {e}", w.name)
+                    });
+                    assert_eq!(decoded.kind(), kind);
+                    assert_eq!(decoded.uncore_cycle(), state.uncore_cycle());
+
+                    // Restore into a fresh system and run to completion.
+                    let (r, s, f) =
+                        simulate_resumable(kind, w, &params(no_skip), Some(&decoded), &mut |_| {})
+                            .unwrap_or_else(|e| {
+                                panic!(
+                                    "{} on {kind} resumed at cycle {} (no_skip={no_skip}): {e}",
+                                    w.name,
+                                    state.uncore_cycle()
+                                )
+                            });
+
+                    let at = state.uncore_cycle();
+                    // Byte-level: the debug rendering comparison covers
+                    // exact float bits and every stats-snapshot path.
+                    let diverged = if base_r != r {
+                        Some("result")
+                    } else if format!("{base_r:?}") != format!("{r:?}") {
+                        Some("debug rendering")
+                    } else if base_s != s {
+                        Some("skip stats")
+                    } else if base_f != f {
+                        Some("final architectural state")
+                    } else {
+                        None
+                    };
+                    if let Some(what) = diverged {
+                        let path = dump_offending_blob(&blob, kind, w.name, at);
+                        panic!(
+                            "{what} diverged after restore at cycle {at} on {kind}/{} \
+                             (no_skip={no_skip}); offending checkpoint saved to {}",
+                            w.name,
+                            path.display()
+                        );
+                    }
+                    restores += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        restores >= SystemKind::ALL.len() as u64 * 2 * 2,
+        "suite exercised too few restores ({restores})"
+    );
+}

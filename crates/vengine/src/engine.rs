@@ -13,6 +13,7 @@ use crate::vmu::{Vmu, VmuParams};
 use crate::vxu::{Vxu, VxuParams};
 use bvl_core::types::{CoreStats, Quiescence, VecCmd, VectorEngine};
 use bvl_mem::{IdMap, MemHierarchy};
+use bvl_snap::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// Full engine configuration.
@@ -59,6 +60,17 @@ struct VxTrack {
     consumers: u32,
     scalar_seq: Option<u64>,
 }
+
+snap_struct!(MemTrack {
+    idx_events,
+    store_events,
+    loadwb_events,
+});
+
+snap_struct!(VxTrack {
+    consumers,
+    scalar_seq,
+});
 
 /// The VLITTLE engine: a little-core cluster acting as one decoupled
 /// vector engine.
@@ -369,6 +381,51 @@ impl VLittleEngine {
             lane.skip_idle(cycles, kind);
         }
         self.now += cycles;
+    }
+
+    /// Appends the engine's mutable state (lanes, VCU, VMU, VXU, event
+    /// and transaction tracking) to a checkpoint. Configuration (`params`,
+    /// `line_bytes`) is not written — a restore target is built from the
+    /// same [`VLittleEngine::new`] arguments.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for lane in &self.lanes {
+            lane.save_state(w);
+        }
+        self.vcu.save_state(w);
+        self.vmu.save_state(w);
+        self.vxu.save_state(w);
+        self.mem_track.save(w);
+        self.vx_track.save(w);
+        self.pending_events.save(w);
+        self.scalar_done.save(w);
+        self.next_mem_id.save(w);
+        self.next_vx_id.save(w);
+        self.now.save(w);
+        self.first_dispatch_done.save(w);
+    }
+
+    /// Restores state written by [`VLittleEngine::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`SnapError`] on malformed input or shapes not
+    /// matching this engine's configuration.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for lane in &mut self.lanes {
+            lane.restore_state(r)?;
+        }
+        self.vcu.restore_state(r)?;
+        self.vmu.restore_state(r)?;
+        self.vxu.restore_state(r)?;
+        self.mem_track = Snap::load(r)?;
+        self.vx_track = Snap::load(r)?;
+        self.pending_events = Snap::load(r)?;
+        self.scalar_done = Snap::load(r)?;
+        self.next_mem_id = Snap::load(r)?;
+        self.next_vx_id = Snap::load(r)?;
+        self.now = Snap::load(r)?;
+        self.first_dispatch_done = Snap::load(r)?;
+        Ok(())
     }
 }
 

@@ -20,6 +20,7 @@ use crate::vxu::Vxu;
 use bvl_core::types::{CoreStats, Quiescence, StallKind};
 use bvl_isa::instr::VArithOp;
 use bvl_isa::meta::{reduction_step_latency, vector_op_latency, LAT_ALU, LAT_DIV};
+use bvl_snap::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// Why a register value is still pending (for stall attribution).
@@ -73,6 +74,85 @@ pub struct TimedEvent {
     /// The event.
     pub event: LaneEvent,
 }
+
+impl Snap for PendKind {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            PendKind::Mem => 0,
+            PendKind::Llfu => 1,
+            PendKind::Xelem => 2,
+            PendKind::Alu => 3,
+        });
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => PendKind::Mem,
+            1 => PendKind::Llfu,
+            2 => PendKind::Xelem,
+            3 => PendKind::Alu,
+            t => {
+                return Err(SnapError::BadTag {
+                    ty: "PendKind",
+                    tag: u64::from(t),
+                })
+            }
+        })
+    }
+}
+
+impl Snap for LaneEvent {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            LaneEvent::IdxSent { mem_id } => {
+                w.u8(0);
+                mem_id.save(w);
+            }
+            LaneEvent::StoreSent { mem_id } => {
+                w.u8(1);
+                mem_id.save(w);
+            }
+            LaneEvent::VxReadDone { vx_id } => {
+                w.u8(2);
+                vx_id.save(w);
+            }
+            LaneEvent::VxConsumed { vx_id } => {
+                w.u8(3);
+                vx_id.save(w);
+            }
+            LaneEvent::LoadWbDone { mem_id } => {
+                w.u8(4);
+                mem_id.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => LaneEvent::IdxSent {
+                mem_id: Snap::load(r)?,
+            },
+            1 => LaneEvent::StoreSent {
+                mem_id: Snap::load(r)?,
+            },
+            2 => LaneEvent::VxReadDone {
+                vx_id: Snap::load(r)?,
+            },
+            3 => LaneEvent::VxConsumed {
+                vx_id: Snap::load(r)?,
+            },
+            4 => LaneEvent::LoadWbDone {
+                mem_id: Snap::load(r)?,
+            },
+            t => {
+                return Err(SnapError::BadTag {
+                    ty: "LaneEvent",
+                    tag: u64::from(t),
+                })
+            }
+        })
+    }
+}
+
+snap_struct!(TimedEvent { at, event });
 
 /// Read-only engine state a lane consults while issuing.
 pub struct LaneEnv<'a> {
@@ -380,6 +460,43 @@ impl Lane {
     /// Worst-case divide latency exposure (used by tests).
     pub fn div_busy_until(&self) -> u64 {
         self.div_busy_until
+    }
+
+    /// Appends the lane's mutable state to a checkpoint. Configuration
+    /// (`core`, `regmap`, `inq_depth`) is not written.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.inq.save(w);
+        self.ready.save(w);
+        self.pend.save(w);
+        self.issue_free_at.save(w);
+        self.div_busy_until.save(w);
+        self.stats.save(w);
+    }
+
+    /// Restores state written by [`Lane::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`SnapError`] on malformed input or a micro-op queue
+    /// deeper than this lane's configuration allows.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let inq: VecDeque<Uop> = Snap::load(r)?;
+        if inq.len() > self.inq_depth {
+            return Err(SnapError::Corrupt {
+                what: format!(
+                    "checkpoint lane queue holds {} uops, lane takes {}",
+                    inq.len(),
+                    self.inq_depth
+                ),
+            });
+        }
+        self.inq = inq;
+        self.ready = Snap::load(r)?;
+        self.pend = Snap::load(r)?;
+        self.issue_free_at = Snap::load(r)?;
+        self.div_busy_until = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
     }
 
     /// The divide-unit latency constant (re-exported for tests).

@@ -10,6 +10,7 @@
 
 use bvl_isa::instr::{VArithOp, VRedOp};
 use bvl_isa::vcfg::Sew;
+use bvl_snap::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
 
 /// What a lane does with a micro-op.
 #[derive(Clone, Debug, PartialEq)]
@@ -130,6 +131,101 @@ impl Uop {
         }
     }
 }
+
+impl Snap for UopKind {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            UopKind::Arith { op, srcs, dst } => {
+                w.u8(0);
+                op.save(w);
+                srcs.save(w);
+                dst.save(w);
+            }
+            UopKind::LoadWb { mem_id, dst } => {
+                w.u8(1);
+                mem_id.save(w);
+                dst.save(w);
+            }
+            UopKind::StoreRd { mem_id, src, idx } => {
+                w.u8(2);
+                mem_id.save(w);
+                src.save(w);
+                idx.save(w);
+            }
+            UopKind::IdxRd { mem_id, src } => {
+                w.u8(3);
+                mem_id.save(w);
+                src.save(w);
+            }
+            UopKind::VxRead { vx_id, src } => {
+                w.u8(4);
+                vx_id.save(w);
+                src.save(w);
+            }
+            UopKind::VxWrite { vx_id, dst } => {
+                w.u8(5);
+                vx_id.save(w);
+                dst.save(w);
+            }
+            UopKind::VxReduce { vx_id, op, dst } => {
+                w.u8(6);
+                vx_id.save(w);
+                op.save(w);
+                dst.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => UopKind::Arith {
+                op: Snap::load(r)?,
+                srcs: Snap::load(r)?,
+                dst: Snap::load(r)?,
+            },
+            1 => UopKind::LoadWb {
+                mem_id: Snap::load(r)?,
+                dst: Snap::load(r)?,
+            },
+            2 => UopKind::StoreRd {
+                mem_id: Snap::load(r)?,
+                src: Snap::load(r)?,
+                idx: Snap::load(r)?,
+            },
+            3 => UopKind::IdxRd {
+                mem_id: Snap::load(r)?,
+                src: Snap::load(r)?,
+            },
+            4 => UopKind::VxRead {
+                vx_id: Snap::load(r)?,
+                src: Snap::load(r)?,
+            },
+            5 => UopKind::VxWrite {
+                vx_id: Snap::load(r)?,
+                dst: Snap::load(r)?,
+            },
+            6 => UopKind::VxReduce {
+                vx_id: Snap::load(r)?,
+                op: Snap::load(r)?,
+                dst: Snap::load(r)?,
+            },
+            t => {
+                return Err(SnapError::BadTag {
+                    ty: "UopKind",
+                    tag: u64::from(t),
+                })
+            }
+        })
+    }
+}
+
+snap_struct!(Uop {
+    seq,
+    chime,
+    vl,
+    sew,
+    masked,
+    kind,
+});
 
 #[cfg(test)]
 mod tests {

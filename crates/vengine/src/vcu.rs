@@ -17,6 +17,7 @@ use crate::vmu::MemCmd;
 use bvl_core::types::VecCmd;
 use bvl_isa::instr::{Instr, VArithOp, VMemMode, VSrc};
 use bvl_mem::queue::DelayQueue;
+use bvl_snap::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// VCU configuration.
@@ -63,6 +64,36 @@ pub struct QueuedUop {
     /// Releases the instruction's scalar DataQ slot when broadcast.
     pub frees_data_slot: bool,
 }
+
+impl Snap for Target {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            Target::All => w.u8(0),
+            Target::One(c) => {
+                w.u8(1);
+                c.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Target::All,
+            1 => Target::One(Snap::load(r)?),
+            t => {
+                return Err(SnapError::BadTag {
+                    ty: "Target",
+                    tag: u64::from(t),
+                })
+            }
+        })
+    }
+}
+
+snap_struct!(QueuedUop {
+    uop,
+    target,
+    frees_data_slot,
+});
 
 /// A cross-element reservation produced by expansion.
 #[derive(Clone, Copy, Debug)]
@@ -650,6 +681,42 @@ impl Vcu {
     /// Micro-ops currently queued.
     pub fn uopq_len(&self) -> usize {
         self.uopq.len()
+    }
+
+    /// Appends the VCU's mutable state to a checkpoint (`params` is
+    /// configuration and not written).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.bus.save(w);
+        self.uopq.save(w);
+        self.dataq_used.save(w);
+        self.resp.save(w);
+        self.mem_on_bus.save(w);
+    }
+
+    /// Restores state written by [`Vcu::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`SnapError`] on malformed input or queue occupancies
+    /// exceeding this VCU's configured depths.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let bus: DelayQueue<VecCmd> = Snap::load(r)?;
+        let uopq: VecDeque<QueuedUop> = Snap::load(r)?;
+        if bus.len() > self.params.busq_depth || uopq.len() > self.params.uopq_depth {
+            return Err(SnapError::Corrupt {
+                what: format!(
+                    "checkpoint VCU queues ({} bus, {} uopq) exceed configured depths",
+                    bus.len(),
+                    uopq.len()
+                ),
+            });
+        }
+        self.bus = bus;
+        self.uopq = uopq;
+        self.dataq_used = Snap::load(r)?;
+        self.resp = Snap::load(r)?;
+        self.mem_on_bus = Snap::load(r)?;
+        Ok(())
     }
 }
 

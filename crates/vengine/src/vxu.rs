@@ -56,6 +56,18 @@ struct Tx {
     all_reads_done_at: Option<u64>,
 }
 
+bvl_snap::snap_struct!(VxuStats {
+    transactions,
+    elements,
+});
+
+bvl_snap::snap_struct!(Tx {
+    id,
+    total_elems,
+    reads_remaining,
+    all_reads_done_at,
+});
+
 /// The cross-element ring model.
 #[derive(Clone, Debug)]
 pub struct Vxu {
@@ -155,6 +167,29 @@ impl Vxu {
     pub fn complete(&mut self, id: u64) {
         let tx = self.tx.take().expect("active transaction");
         assert_eq!(tx.id, id, "completing a different transaction");
+    }
+
+    /// Appends the VXU's mutable state to a checkpoint (`params` is
+    /// configuration and not written).
+    pub fn save_state(&self, w: &mut bvl_snap::SnapWriter) {
+        use bvl_snap::Snap;
+        self.tx.save(w);
+        self.stats.save(w);
+    }
+
+    /// Restores state written by [`Vxu::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`bvl_snap::SnapError`] on malformed input.
+    pub fn restore_state(
+        &mut self,
+        r: &mut bvl_snap::SnapReader<'_>,
+    ) -> Result<(), bvl_snap::SnapError> {
+        use bvl_snap::Snap;
+        self.tx = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
     }
 }
 
